@@ -1,0 +1,88 @@
+"""Ablation D — PE-model abstraction level (accuracy vs annotation cost).
+
+Section 1 of the paper: "The number and combination of parameters used to
+model the PE determine the accuracy of the estimation. [...] The more
+detailed the PE model, the longer is the delay computation time. A tradeoff
+is needed to determine the optimal abstraction of PE modeling."
+
+This bench quantifies that trade-off on the MP3 SW design at 8k/4k caches:
+the full Algorithm-1 pipeline model vs a per-op latency table vs a bare
+op-count CPI model, each sharing the calibrated statistical terms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.mp3 import build_design
+from repro.cdfg.interp import Interpreter
+from repro.cycle import run_pcam
+from repro.estimation import DETAIL_LEVELS, annotate_with_detail, estimated_total_cycles
+from repro.pum import microblaze
+from repro.reporting import Table, pct_error
+from repro.tlm.generator import compile_process
+
+CONFIG = (8192, 4096)
+
+_results = {}
+
+
+@pytest.fixture(scope="module")
+def board_cycles(eval_design_factory):
+    design = eval_design_factory(*(("SW",) + CONFIG), calibrated=False)
+    return run_pcam(design).makespan_cycles
+
+
+@pytest.fixture(scope="module")
+def decoder_ir(eval_design_factory, calibration):
+    design = eval_design_factory(*(("SW",) + CONFIG), calibrated=True)
+    ir = compile_process(design.processes["decoder"])
+    pum = microblaze(
+        CONFIG[0], CONFIG[1],
+        memory_model=calibration.memory_model,
+        branch_model=calibration.branch_model,
+    )
+    return ir, pum
+
+
+@pytest.mark.parametrize("detail", DETAIL_LEVELS)
+def test_detail_level(benchmark, detail, decoder_ir, board_cycles):
+    ir, pum = decoder_ir
+
+    def annotate():
+        return annotate_with_detail(ir, pum, detail)
+
+    benchmark(annotate)
+    interp = Interpreter(ir)
+    interp.call("main")
+    estimate = estimated_total_cycles(ir, interp.block_counts)
+    _results[detail] = {
+        "estimate": estimate,
+        "error": pct_error(estimate, board_cycles),
+        "anno_seconds": annotate(),
+    }
+
+
+def test_render_ablation_detail(benchmark, tables, board_cycles):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        ["PE abstraction", "estimate", "error vs board", "annotation s"],
+        title=("Ablation D — PE-model detail vs accuracy "
+               "(SW, 8k/4k, board=%d)" % board_cycles),
+    )
+    for detail in DETAIL_LEVELS:
+        row = _results[detail]
+        table.add_row(
+            detail,
+            row["estimate"],
+            "%+.2f%%" % row["error"],
+            "%.3f" % row["anno_seconds"],
+        )
+    tables["ablationD_detail"] = table.render()
+
+    # The full model is the most accurate; the op-count model is the
+    # cheapest to annotate with but far less accurate.
+    assert abs(_results["full"]["error"]) < abs(_results["opcount"]["error"])
+    assert abs(_results["full"]["error"]) < abs(_results["latency"]["error"])
+    assert (_results["opcount"]["anno_seconds"]
+            < _results["full"]["anno_seconds"])

@@ -1,0 +1,103 @@
+"""Table 2 — Accuracy (SW-only): board vs ISS vs timed TLM.
+
+The paper sweeps five I/D-cache configurations of the pure-software MP3
+decoder and compares ISS and timed-TLM cycle estimates against on-board
+measurements.  Expected shape: the ISS's crude memory model underestimates
+badly with no cache and overestimates with large caches; the timed TLM's
+calibrated statistical model keeps the average absolute error roughly half
+the ISS's (paper: 9.08% vs 18.86%).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cycle import run_pcam
+from repro.isa import compile_program
+from repro.iss import ISS
+from repro.pum import PAPER_CACHE_CONFIGS
+from repro.reporting import Table, fmt_cycles, pct_error
+from repro.tlm import generate_tlm
+from repro.tlm.generator import compile_process
+from repro.apps.mp3 import MP3_STACK_WORDS
+
+_rows = {}
+
+
+def _config_id(config):
+    return "%dk/%dk" % (config[0] // 1024, config[1] // 1024)
+
+
+@pytest.fixture(scope="module")
+def sw_image(eval_design_factory):
+    design = eval_design_factory("SW", 0, 0, calibrated=False)
+    decl = design.processes["decoder"]
+    return compile_program(
+        compile_process(decl), "main", (), stack_words=MP3_STACK_WORDS
+    )
+
+
+@pytest.mark.parametrize("config", PAPER_CACHE_CONFIGS,
+                         ids=[_config_id(c) for c in PAPER_CACHE_CONFIGS])
+def test_board_measurement(benchmark, config, eval_design_factory):
+    design = eval_design_factory(*(("SW",) + config), calibrated=False)
+    board = benchmark.pedantic(
+        lambda: run_pcam(design), rounds=1, iterations=1
+    )
+    _rows.setdefault(config, {})["board"] = board.makespan_cycles
+
+
+@pytest.mark.parametrize("config", PAPER_CACHE_CONFIGS,
+                         ids=[_config_id(c) for c in PAPER_CACHE_CONFIGS])
+def test_iss_estimate(benchmark, config, sw_image):
+    iss = ISS(sw_image, icache_size=config[0], dcache_size=config[1])
+    result = benchmark.pedantic(iss.run, rounds=1, iterations=1)
+    _rows.setdefault(config, {})["iss"] = result.cycles
+
+
+@pytest.mark.parametrize("config", PAPER_CACHE_CONFIGS,
+                         ids=[_config_id(c) for c in PAPER_CACHE_CONFIGS])
+def test_tlm_estimate(benchmark, config, eval_design_factory):
+    design = eval_design_factory(*(("SW",) + config), calibrated=True)
+    model = generate_tlm(design, timed=True)
+    result = benchmark.pedantic(model.run, rounds=1, iterations=1)
+    _rows.setdefault(config, {})["tlm"] = result.makespan_cycles
+
+
+def test_render_table2(benchmark, tables):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        ["I/D cache", "Board cycles", "ISS cycles", "ISS err", "TLM cycles",
+         "TLM err"],
+        title="Table 2 — Accuracy (SW only) against board measurement",
+    )
+    iss_errors = []
+    tlm_errors = []
+    for config in PAPER_CACHE_CONFIGS:
+        row = _rows[config]
+        iss_err = pct_error(row["iss"], row["board"])
+        tlm_err = pct_error(row["tlm"], row["board"])
+        iss_errors.append(abs(iss_err))
+        tlm_errors.append(abs(tlm_err))
+        table.add_row(
+            _config_id(config),
+            fmt_cycles(row["board"]),
+            fmt_cycles(row["iss"]),
+            "%+.2f%%" % iss_err,
+            fmt_cycles(row["tlm"]),
+            "%+.2f%%" % tlm_err,
+        )
+    iss_avg = sum(iss_errors) / len(iss_errors)
+    tlm_avg = sum(tlm_errors) / len(tlm_errors)
+    table.add_row("Average", "", "", "%.2f%%" % iss_avg, "", "%.2f%%" % tlm_avg)
+    tables["table2_accuracy_sw"] = table.render()
+
+    # Paper shape: TLM average error clearly better than ISS (roughly half),
+    # TLM average in single digits, ISS worst with no cache.
+    assert tlm_avg < iss_avg
+    assert tlm_avg < 12.0
+    no_cache = PAPER_CACHE_CONFIGS[0]
+    assert abs(pct_error(_rows[no_cache]["iss"], _rows[no_cache]["board"])) > 20.0
+    # Board cycles decrease monotonically with cache size.
+    boards = [_rows[c]["board"] for c in PAPER_CACHE_CONFIGS]
+    assert all(a >= b for a, b in zip(boards, boards[1:]))

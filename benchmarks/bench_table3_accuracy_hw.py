@@ -1,0 +1,89 @@
+"""Table 3 — Accuracy of the HW designs (SW+1, SW+2, SW+4) vs the board.
+
+For each HW partitioning and each of the five I/D-cache configurations, the
+timed TLM's cycle estimate is compared against the cycle-accurate PCAM
+reference.  Expected shape: single-digit average absolute error per design
+(paper: 7.65% / 7.97% / 6.82%), and board cycles decreasing as more
+functions move to hardware.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cycle import run_pcam
+from repro.pum import PAPER_CACHE_CONFIGS
+from repro.reporting import Table, fmt_cycles, pct_error
+from repro.tlm import generate_tlm
+
+HW_VARIANTS = ("SW+1", "SW+2", "SW+4")
+
+_rows = {}
+
+
+def _config_id(config):
+    return "%dk/%dk" % (config[0] // 1024, config[1] // 1024)
+
+
+_CASES = [
+    (variant, config)
+    for variant in HW_VARIANTS
+    for config in PAPER_CACHE_CONFIGS
+]
+_CASE_IDS = ["%s-%s" % (v, _config_id(c)) for v, c in _CASES]
+
+
+@pytest.mark.parametrize("case", _CASES, ids=_CASE_IDS)
+def test_board_and_tlm(benchmark, case, eval_design_factory):
+    variant, config = case
+    board_design = eval_design_factory(*((variant,) + config),
+                                       calibrated=False)
+    board = run_pcam(board_design)
+    tlm_design = eval_design_factory(*((variant,) + config), calibrated=True)
+    model = generate_tlm(tlm_design, timed=True)
+    result = benchmark.pedantic(model.run, rounds=1, iterations=1)
+    _rows[(variant, config)] = {
+        "board": board.makespan_cycles,
+        "tlm": result.makespan_cycles,
+    }
+    assert result.processes["decoder"].return_value is not None
+
+
+def test_render_table3(benchmark, tables):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    headers = ["I/D cache"]
+    for variant in HW_VARIANTS:
+        headers += ["%s board" % variant, "%s TLM" % variant, "%s err" % variant]
+    table = Table(
+        headers,
+        title="Table 3 — Accuracy: error vs board measurement (HW designs)",
+    )
+    averages = {v: [] for v in HW_VARIANTS}
+    for config in PAPER_CACHE_CONFIGS:
+        cells = [_config_id(config)]
+        for variant in HW_VARIANTS:
+            row = _rows[(variant, config)]
+            err = pct_error(row["tlm"], row["board"])
+            averages[variant].append(abs(err))
+            cells += [
+                fmt_cycles(row["board"]),
+                fmt_cycles(row["tlm"]),
+                "%+.2f%%" % err,
+            ]
+        table.add_row(*cells)
+    avg_cells = ["Average"]
+    for variant in HW_VARIANTS:
+        avg = sum(averages[variant]) / len(averages[variant])
+        avg_cells += ["", "", "%.2f%%" % avg]
+    table.add_row(*avg_cells)
+    tables["table3_accuracy_hw"] = table.render()
+
+    # Paper shape: single-digit-ish average error for every HW design...
+    for variant in HW_VARIANTS:
+        avg = sum(averages[variant]) / len(averages[variant])
+        assert avg < 12.0, (variant, avg)
+    # ...and offloading reduces board cycles at every cache configuration.
+    for config in PAPER_CACHE_CONFIGS:
+        sw1 = _rows[("SW+1", config)]["board"]
+        sw4 = _rows[("SW+4", config)]["board"]
+        assert sw4 < sw1

@@ -1,0 +1,99 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Running ``pytest benchmarks/ --benchmark-only`` regenerates every table of
+the paper's evaluation section; the reproduced tables are printed in the
+terminal summary and written to ``benchmarks/results/``.
+
+Environment knobs:
+
+* ``REPRO_EVAL_FRAMES`` (default 2) — frames decoded in evaluation runs.
+* ``REPRO_TRAIN_FRAMES`` (default 1) — frames in the calibration run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.apps.mp3 import Mp3Params, build_design
+from repro.calibration import calibrate_pum
+from repro.pum import PAPER_CACHE_CONFIGS, microblaze
+
+EVAL_FRAMES = int(os.environ.get("REPRO_EVAL_FRAMES", "2"))
+TRAIN_FRAMES = int(os.environ.get("REPRO_TRAIN_FRAMES", "1"))
+TRAIN_SEED = 99
+EVAL_SEED = 7
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def pytest_configure(config):
+    config._repro_tables = {}
+
+
+@pytest.fixture(scope="session")
+def tables(request):
+    """Session store: name -> rendered table text (printed at the end)."""
+    return request.config._repro_tables
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    store = getattr(config, "_repro_tables", None)
+    if not store:
+        return
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 72)
+    terminalreporter.write_line("Reproduced paper tables")
+    terminalreporter.write_line("=" * 72)
+    for name in sorted(store):
+        text = store[name]
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)
+        with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
+            handle.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def mp3_params():
+    return Mp3Params()
+
+
+@pytest.fixture(scope="session")
+def eval_frames():
+    return EVAL_FRAMES
+
+
+@pytest.fixture(scope="session")
+def calibration(mp3_params):
+    """Calibrated PUM statistics from a training input (seed differs from
+    the evaluation seed, as the paper's averages come from prior runs)."""
+
+    def train_design(isize, dsize):
+        design, _ = build_design(
+            "SW", mp3_params, n_frames=TRAIN_FRAMES, seed=TRAIN_SEED,
+            icache_size=isize, dcache_size=dsize,
+        )
+        return design
+
+    return calibrate_pum(microblaze(), train_design, PAPER_CACHE_CONFIGS)
+
+
+@pytest.fixture(scope="session")
+def eval_design_factory(mp3_params, calibration):
+    """Builds evaluation designs, optionally with calibrated statistics."""
+
+    def factory(variant, icache_size, dcache_size, calibrated=True,
+                n_frames=EVAL_FRAMES):
+        kwargs = {}
+        if calibrated:
+            kwargs["memory_model"] = calibration.memory_model
+            kwargs["branch_model"] = calibration.branch_model
+        design, frames = build_design(
+            variant, mp3_params, n_frames=n_frames, seed=EVAL_SEED,
+            icache_size=icache_size, dcache_size=dcache_size, **kwargs,
+        )
+        return design
+
+    return factory

@@ -1,0 +1,72 @@
+"""HW/SW partitioning of a JPEG-style encoder — the Fig.-4 DCT in context.
+
+The paper's Fig. 4 shows the PUM of a DCT custom-HW unit.  This example puts
+that unit to work: a block-based image encoder (level shift → 2-D DCT →
+quantisation → zigzag → run-length stats) is evaluated all-software and with
+the DCT offloaded to the custom unit, using calibrated timed TLMs, and the
+TLM's predicted speedup is validated against the cycle-accurate PCAM.
+
+Run:  python examples/jpeg_offload.py
+"""
+
+from repro.apps.jpeg import build_jpeg_design
+from repro.calibration import calibrate_pum
+from repro.cycle import run_pcam
+from repro.pum import microblaze
+from repro.reporting import Table, fmt_cycles, pct_error
+from repro.tlm import generate_tlm
+
+N_BLOCKS = 4
+CONFIG = (8 * 1024, 4 * 1024)
+
+
+def main():
+    # Calibrate the CPU's statistical models on a different image.
+    cal = calibrate_pum(
+        microblaze(),
+        lambda i, d: build_jpeg_design(
+            False, n_blocks=2, seed=77, icache_size=i, dcache_size=d
+        ),
+        [CONFIG],
+    )
+
+    table = Table(
+        ["mapping", "TLM estimate", "board (PCAM)", "TLM error"],
+        title="JPEG encoder, %d blocks, %dk/%dk caches"
+              % (N_BLOCKS, CONFIG[0] // 1024, CONFIG[1] // 1024),
+    )
+    estimates = {}
+    boards = {}
+    for offload in (False, True):
+        name = "CPU + DCT-HW" if offload else "all-SW"
+        tlm = generate_tlm(
+            build_jpeg_design(
+                offload, n_blocks=N_BLOCKS,
+                icache_size=CONFIG[0], dcache_size=CONFIG[1],
+                memory_model=cal.memory_model,
+                branch_model=cal.branch_model,
+            ),
+            timed=True,
+        ).run()
+        board = run_pcam(build_jpeg_design(
+            offload, n_blocks=N_BLOCKS,
+            icache_size=CONFIG[0], dcache_size=CONFIG[1],
+        ))
+        estimates[offload] = tlm.makespan_cycles
+        boards[offload] = board.makespan_cycles
+        table.add_row(
+            name,
+            fmt_cycles(tlm.makespan_cycles),
+            fmt_cycles(board.makespan_cycles),
+            "%+.1f%%" % pct_error(tlm.makespan_cycles, board.makespan_cycles),
+        )
+    print(table.render())
+    print()
+    predicted = estimates[False] / estimates[True]
+    actual = boards[False] / boards[True]
+    print("Speedup from DCT offload: predicted %.2fx, actual %.2fx"
+          % (predicted, actual))
+
+
+if __name__ == "__main__":
+    main()

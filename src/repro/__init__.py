@@ -1,0 +1,39 @@
+"""repro — Cycle-approximate retargetable performance estimation at the
+transaction level.
+
+A from-scratch Python reproduction of Hwang, Abdi and Gajski (DATE 2008).
+The package provides:
+
+* :mod:`repro.cfrontend` — CMini (C subset) lexer/parser/type checker.
+* :mod:`repro.cdfg` — linear IR, CFG/DFG construction, reference interpreter.
+* :mod:`repro.pum` — retargetable Processing Unit Models (Section 4.1).
+* :mod:`repro.estimation` — the estimation engine (Algorithms 1 and 2).
+* :mod:`repro.codegen` — timed native-Python code generation.
+* :mod:`repro.simkernel` / :mod:`repro.tlm` — discrete-event kernel and
+  transaction-level platform models (the SystemC-wrapper substitute).
+* :mod:`repro.isa` / :mod:`repro.iss` — toy RISC ISA, compiler and the
+  interpreted ISS baseline.
+* :mod:`repro.cycle` — cycle-accurate PCAM co-simulation (the "board").
+* :mod:`repro.apps`, :mod:`repro.workloads` — the MP3-style decoder and
+  other workloads used in the evaluation.
+
+The typical entry point is :func:`repro.estimate_program` /
+:func:`repro.build_timed_tlm`; see ``examples/quickstart.py``.
+"""
+
+__version__ = "1.0.0"
+
+from .api import (
+    annotate_program,
+    build_timed_tlm,
+    compile_cmini,
+    estimate_function,
+)
+
+__all__ = [
+    "annotate_program",
+    "build_timed_tlm",
+    "compile_cmini",
+    "estimate_function",
+    "__version__",
+]

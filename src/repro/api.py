@@ -1,0 +1,75 @@
+"""High-level convenience API for the estimation flow.
+
+These helpers wire the front-end, CDFG builder, estimation engine and TLM
+generator together for the common case; each subsystem remains usable on its
+own.  Imports are local so that ``import repro`` stays cheap.
+"""
+
+from __future__ import annotations
+
+
+def compile_cmini(source):
+    """Parse + analyze + lower CMini source.
+
+    Returns a :class:`repro.cdfg.ir.IRProgram` (the CDFG of every function).
+    """
+    from .cdfg.builder import build_program
+    from .cfrontend.semantic import parse_and_analyze
+
+    program, info = parse_and_analyze(source)
+    return build_program(program, info)
+
+
+def estimate_function(source_or_ir, func_name, pum):
+    """Estimate per-basic-block delays of one function on a PUM.
+
+    Args:
+        source_or_ir: CMini source text or an already-built IR program.
+        func_name: function to estimate.
+        pum: a :class:`repro.pum.model.PUM`.
+
+    Returns:
+        dict mapping basic-block label to estimated cycle delay.
+    """
+    from .estimation.annotator import annotate_function
+
+    ir_program = (
+        compile_cmini(source_or_ir)
+        if isinstance(source_or_ir, str)
+        else source_or_ir
+    )
+    func = ir_program.function(func_name)
+    return annotate_function(func, pum)
+
+
+def annotate_program(source_or_ir, pum):
+    """Annotate every function of a program with per-BB delays for ``pum``.
+
+    Returns the IR program with ``block.delay`` filled in on every block.
+    """
+    from .estimation.annotator import annotate_ir_program
+
+    ir_program = (
+        compile_cmini(source_or_ir)
+        if isinstance(source_or_ir, str)
+        else source_or_ir
+    )
+    annotate_ir_program(ir_program, pum)
+    return ir_program
+
+
+def build_timed_tlm(design, n_frames=None):
+    """Generate the timed TLM executable model for a platform design.
+
+    Args:
+        design: a :class:`repro.tlm.platform.Design` (platform + mapping +
+            application sources).
+        n_frames: optional workload-size override forwarded to the design's
+            stimulus generator.
+
+    Returns:
+        a :class:`repro.tlm.model.TLModel` ready to ``run()``.
+    """
+    from .tlm.generator import generate_tlm
+
+    return generate_tlm(design, timed=True, n_frames=n_frames)

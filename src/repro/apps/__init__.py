@@ -1,0 +1,5 @@
+"""Application workloads: the MP3 decoder case study and small kernels."""
+
+from .kernels import dct_source, fir_source, sort_source
+
+__all__ = ["dct_source", "fir_source", "sort_source"]

@@ -1,0 +1,214 @@
+"""A JPEG-style encoder pipeline — second multi-PE case study.
+
+Exercises the Fig.-4 scenario end to end: an image encoder whose 8×8 DCT can
+be offloaded to the DCT custom-HW unit of the paper's PUM example.  The
+pipeline is block-based: level-shift → 2-D DCT → quantisation (table-driven)
+→ zigzag scan → run-length statistics → checksum.
+
+Like the MP3 case study, both mappings ("SW" and "HW" with the DCT on the
+custom unit) compute bit-identical results; the designs plug into the timed
+TLM generator and the PCAM reference alike.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..pum.library import dct_hw, microblaze
+from ..tlm.platform import Design
+
+#: Channel ids of the DCT offload link.
+DCT_REQ_CHANNEL = 30
+DCT_RSP_CHANNEL = 31
+
+_QUANT = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+]
+
+
+def _zigzag_order():
+    order = []
+    for s in range(15):
+        indices = [
+            (s - j, j) for j in range(8)
+            if 0 <= s - j < 8 and 0 <= j < 8
+        ]
+        if s % 2 == 0:
+            indices.reverse()
+        order.extend(y * 8 + x for y, x in indices)
+    return order
+
+
+def _dct_cos():
+    values = []
+    for u in range(8):
+        for x in range(8):
+            values.append(math.cos((2 * x + 1) * u * math.pi / 16.0))
+    return values
+
+
+def _pixels(n_blocks, seed):
+    state = (seed * 2654435761 + 13) & 0xFFFFFFFF
+    out = []
+    for _ in range(n_blocks * 64):
+        state = (state * 1664525 + 1013904223) & 0xFFFFFFFF
+        out.append(state % 256)
+    return out
+
+
+_DCT_FN = """
+void dct2d(float src[], float dst[], float tmp[]) {
+  for (int y = 0; y < 8; y++) {
+    for (int u = 0; u < 8; u++) {
+      float acc = 0.0;
+      for (int x = 0; x < 8; x++) {
+        acc += src[y * 8 + x] * DCT_COS[u * 8 + x];
+      }
+      float cu = 1.0;
+      if (u == 0) cu = 0.7071067811865476;
+      tmp[y * 8 + u] = acc * cu * 0.5;
+    }
+  }
+  for (int u = 0; u < 8; u++) {
+    for (int v = 0; v < 8; v++) {
+      float acc = 0.0;
+      for (int y = 0; y < 8; y++) {
+        acc += tmp[y * 8 + u] * DCT_COS[v * 8 + y];
+      }
+      float cv = 1.0;
+      if (v == 0) cv = 0.7071067811865476;
+      dst[v * 8 + u] = acc * cv * 0.5;
+    }
+  }
+}
+"""
+
+
+def cpu_source(n_blocks=6, seed=21, offload_dct=False):
+    """The encoder's CPU translation unit."""
+    pixels = ", ".join(str(p) for p in _pixels(n_blocks, seed))
+    quant = ", ".join(str(q) for q in _QUANT)
+    zigzag = ", ".join(str(z) for z in _zigzag_order())
+    cos_table = ", ".join(repr(c) for c in _dct_cos())
+    if offload_dct:
+        dct_decl = ""
+        dct_stage = (
+            "    send(%d, fblock, 64);\n"
+            "    recv(%d, coeffs, 64);" % (DCT_REQ_CHANNEL, DCT_RSP_CHANNEL)
+        )
+        cos_decl = ""
+    else:
+        dct_decl = _DCT_FN
+        dct_stage = "    dct2d(fblock, coeffs, tmp);"
+        cos_decl = "const float DCT_COS[64] = {%s};" % cos_table
+    return """
+const int NBLOCKS = %(n_blocks)d;
+const int PIXELS[%(n_pixels)d] = {%(pixels)s};
+const int QUANT[64] = {%(quant)s};
+const int ZIGZAG[64] = {%(zigzag)s};
+%(cos_decl)s
+float fblock[64];
+float coeffs[64];
+float tmp[64];
+int q[64];
+int run_hist[16];
+int checksum;
+int nonzeros;
+%(dct_decl)s
+int main(void) {
+  for (int b = 0; b < NBLOCKS; b++) {
+    for (int i = 0; i < 64; i++) {
+      fblock[i] = (float)(PIXELS[b * 64 + i] - 128);
+    }
+%(dct_stage)s
+    for (int i = 0; i < 64; i++) {
+      float scaled = coeffs[i] / (float)QUANT[i];
+      if (scaled < 0.0) {
+        q[i] = -(int)(0.5 - scaled);
+      } else {
+        q[i] = (int)(scaled + 0.5);
+      }
+    }
+    int run = 0;
+    for (int k = 0; k < 64; k++) {
+      int v = q[ZIGZAG[k]];
+      if (v == 0) {
+        run++;
+      } else {
+        if (run > 15) run = 15;
+        run_hist[run]++;
+        run = 0;
+        nonzeros++;
+        checksum = (checksum * 31 + v) & 16777215;
+      }
+    }
+  }
+  int code = checksum;
+  for (int i = 0; i < 16; i++) code = (code * 17 + run_hist[i]) & 16777215;
+  return code + nonzeros;
+}
+""" % {
+        "n_blocks": n_blocks,
+        "n_pixels": n_blocks * 64,
+        "pixels": pixels,
+        "quant": quant,
+        "zigzag": zigzag,
+        "cos_decl": cos_decl,
+        "dct_decl": dct_decl,
+        "dct_stage": dct_stage,
+    }
+
+
+def dct_hw_source(n_blocks):
+    """The DCT server running on the custom-HW unit."""
+    cos_table = ", ".join(repr(c) for c in _dct_cos())
+    return """
+const float DCT_COS[64] = {%(cos)s};
+float fblock[64];
+float coeffs[64];
+float tmp[64];
+%(dct_fn)s
+void main(void) {
+  for (int b = 0; b < %(n_blocks)d; b++) {
+    recv(%(req)d, fblock, 64);
+    dct2d(fblock, coeffs, tmp);
+    send(%(rsp)d, coeffs, 64);
+  }
+}
+""" % {
+        "cos": cos_table,
+        "dct_fn": _DCT_FN,
+        "n_blocks": n_blocks,
+        "req": DCT_REQ_CHANNEL,
+        "rsp": DCT_RSP_CHANNEL,
+    }
+
+
+def build_jpeg_design(offload_dct, n_blocks=6, seed=21,
+                      icache_size=8 * 1024, dcache_size=4 * 1024,
+                      memory_model=None, branch_model=None):
+    """Build the encoder design, all-SW or with the DCT on custom HW."""
+    design = Design("JPEG-%s" % ("HW" if offload_dct else "SW"))
+    design.add_pe("cpu", microblaze(
+        icache_size, dcache_size,
+        memory_model=memory_model, branch_model=branch_model,
+    ))
+    design.add_process(
+        "encoder", cpu_source(n_blocks, seed, offload_dct), "main", "cpu"
+    )
+    if offload_dct:
+        design.add_pe("hw_dct", dct_hw())
+        design.add_bus("sysbus")
+        design.add_channel(DCT_REQ_CHANNEL, "dct_req", "sysbus")
+        design.add_channel(DCT_RSP_CHANNEL, "dct_rsp", "sysbus")
+        design.add_process(
+            "p_dct", dct_hw_source(n_blocks), "main", "hw_dct"
+        )
+    return design

@@ -1,0 +1,193 @@
+"""Small CMini kernels: DCT (the paper's Fig. 4 custom-HW example), FIR and
+sorting.
+
+These are used by tests, examples and the ablation benchmarks — compact
+workloads whose behaviour is easy to reason about, next to the full MP3
+decoder case study.
+"""
+
+from __future__ import annotations
+
+import math
+
+_N_DCT = 8
+
+
+def _dct_cos_table():
+    values = []
+    for u in range(_N_DCT):
+        for x in range(_N_DCT):
+            values.append(
+                math.cos((2 * x + 1) * u * math.pi / (2.0 * _N_DCT))
+            )
+    return values
+
+
+def dct_source(n_blocks=4, seed=3):
+    """An 8×8 2-D DCT over ``n_blocks`` deterministic input blocks.
+
+    Matches the paper's Fig.-4 DCT custom-HW example: pure integer/float
+    arithmetic, table-driven, no memory hierarchy needed.
+    """
+    rng_state = (seed * 2654435761 + 7) & 0xFFFFFFFF
+    pixels = []
+    for _ in range(n_blocks * 64):
+        rng_state = (rng_state * 1664525 + 1013904223) & 0xFFFFFFFF
+        pixels.append(rng_state % 256)
+    cos_values = ", ".join(repr(v) for v in _dct_cos_table())
+    pixel_values = ", ".join(str(v) for v in pixels)
+    return """
+const int N = 8;
+const int NBLOCKS = %(n_blocks)d;
+const float DCT_COS[64] = {%(cos_values)s};
+const int PIXELS[%(n_pixels)d] = {%(pixel_values)s};
+float block_in[64];
+float row_pass[64];
+float coeffs[64];
+float energy;
+
+void dct_rows(float src[], float dst[]) {
+  for (int y = 0; y < N; y++) {
+    for (int u = 0; u < N; u++) {
+      float acc = 0.0;
+      for (int x = 0; x < N; x++) {
+        acc += src[y * N + x] * DCT_COS[u * N + x];
+      }
+      float cu = 1.0;
+      if (u == 0) cu = 0.7071067811865476;
+      dst[y * N + u] = acc * cu * 0.5;
+    }
+  }
+}
+
+void dct_cols(float src[], float dst[]) {
+  for (int u = 0; u < N; u++) {
+    for (int v = 0; v < N; v++) {
+      float acc = 0.0;
+      for (int y = 0; y < N; y++) {
+        acc += src[y * N + u] * DCT_COS[v * N + y];
+      }
+      float cv = 1.0;
+      if (v == 0) cv = 0.7071067811865476;
+      dst[v * N + u] = acc * cv * 0.5;
+    }
+  }
+}
+
+int main(void) {
+  for (int b = 0; b < NBLOCKS; b++) {
+    for (int i = 0; i < 64; i++) {
+      block_in[i] = (float)(PIXELS[b * 64 + i] - 128);
+    }
+    dct_rows(block_in, row_pass);
+    dct_cols(row_pass, coeffs);
+    for (int i = 0; i < 64; i++) {
+      energy += coeffs[i] * coeffs[i] * 1e-4;
+    }
+  }
+  return (int)energy;
+}
+""" % {
+        "n_blocks": n_blocks,
+        "n_pixels": n_blocks * 64,
+        "cos_values": cos_values,
+        "pixel_values": pixel_values,
+    }
+
+
+def fir_source(n_taps=16, n_samples=256, seed=5):
+    """A direct-form FIR filter over a deterministic input signal."""
+    taps = [
+        math.sin(0.3 * (i + 1)) / (i + 1.5) for i in range(n_taps)
+    ]
+    rng_state = (seed * 2654435761 + 7) & 0xFFFFFFFF
+    signal = []
+    for _ in range(n_samples):
+        rng_state = (rng_state * 1664525 + 1013904223) & 0xFFFFFFFF
+        signal.append((rng_state % 2001 - 1000) / 1000.0)
+    return """
+const int NTAPS = %(n_taps)d;
+const int NSAMPLES = %(n_samples)d;
+const float TAPS[%(n_taps)d] = {%(taps)s};
+const float SIGNAL[%(n_samples)d] = {%(signal)s};
+float output[%(n_samples)d];
+float energy;
+
+void fir(void) {
+  for (int n = 0; n < NSAMPLES; n++) {
+    float acc = 0.0;
+    for (int k = 0; k < NTAPS; k++) {
+      if (n - k >= 0) {
+        acc += TAPS[k] * SIGNAL[n - k];
+      }
+    }
+    output[n] = acc;
+  }
+}
+
+int main(void) {
+  fir();
+  for (int n = 0; n < NSAMPLES; n++) {
+    energy += output[n] * output[n];
+  }
+  return (int)(energy * 1000.0);
+}
+""" % {
+        "n_taps": n_taps,
+        "n_samples": n_samples,
+        "taps": ", ".join(repr(t) for t in taps),
+        "signal": ", ".join(repr(s) for s in signal),
+    }
+
+
+def sort_source(n_items=128, seed=11):
+    """Insertion sort + binary search: branchy integer control flow."""
+    rng_state = (seed * 2654435761 + 7) & 0xFFFFFFFF
+    items = []
+    for _ in range(n_items):
+        rng_state = (rng_state * 1664525 + 1013904223) & 0xFFFFFFFF
+        items.append(rng_state % 10000)
+    return """
+const int NITEMS = %(n_items)d;
+int data[%(n_items)d] = {%(items)s};
+
+void insertion_sort(int a[], int n) {
+  for (int i = 1; i < n; i++) {
+    int key = a[i];
+    int j = i - 1;
+    while (j >= 0 && a[j] > key) {
+      a[j + 1] = a[j];
+      j = j - 1;
+    }
+    a[j + 1] = key;
+  }
+}
+
+int bsearch_count(int a[], int n, int needle) {
+  int lo = 0;
+  int hi = n - 1;
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    if (a[mid] == needle) return 1;
+    if (a[mid] < needle) lo = mid + 1;
+    else hi = mid - 1;
+  }
+  return 0;
+}
+
+int main(void) {
+  insertion_sort(data, NITEMS);
+  int found = 0;
+  for (int probe = 0; probe < 2000; probe += 13) {
+    found += bsearch_count(data, NITEMS, probe);
+  }
+  int sorted_ok = 1;
+  for (int i = 1; i < NITEMS; i++) {
+    if (data[i - 1] > data[i]) sorted_ok = 0;
+  }
+  return found * 2 + sorted_ok;
+}
+""" % {
+        "n_items": n_items,
+        "items": ", ".join(str(v) for v in items),
+    }

@@ -1,0 +1,26 @@
+"""The MP3-style decoder case study (paper Fig. 6 and Section 5)."""
+
+from .designs import MP3_STACK_WORDS, VARIANTS, build_design, compile_sw_image
+from .params import Mp3Params
+from .source import (
+    CHANNEL_IDS,
+    HW_UNITS,
+    VARIANT_MAPPINGS,
+    build_sources,
+    cpu_source,
+    hw_source,
+)
+
+__all__ = [
+    "CHANNEL_IDS",
+    "HW_UNITS",
+    "MP3_STACK_WORDS",
+    "Mp3Params",
+    "VARIANTS",
+    "VARIANT_MAPPINGS",
+    "build_design",
+    "build_sources",
+    "compile_sw_image",
+    "cpu_source",
+    "hw_source",
+]

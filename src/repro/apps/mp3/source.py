@@ -1,0 +1,509 @@
+"""CMini source generation for the MP3-style decoder.
+
+Builds the translation units of every process in the four evaluated designs
+(paper Section 5):
+
+* **SW** — the whole decoder on the CPU;
+* **SW+1** — the left channel's FilterCore moved to custom HW;
+* **SW+2** — left FilterCore *and* left IMDCT on custom HW;
+* **SW+4** — FilterCore and IMDCT of both channels on four HW units.
+
+When a function is offloaded, the CPU-side call is replaced by a
+``send``/``recv`` transaction pair over the system bus (the bus channel model
+of the paper's reference [16]); the HW unit runs a server loop around the
+same function body, keeping its state (IMDCT overlap, synthesis FIFO) in its
+own globals.  All designs therefore compute bit-identical results — which the
+integration tests assert.
+"""
+
+from __future__ import annotations
+
+from ...workloads.mp3frames import make_frames
+from .params import (
+    Mp3Params,
+    alias_coefficients,
+    huffman_thresholds,
+    imdct_matrix,
+    intensity_ratios,
+    linbits_adjust,
+    reorder_table,
+    scalefactor_table,
+    synthesis_matrix,
+    synthesis_window,
+)
+
+#: Per-frame mode-flag bits (stored in the MODE array).
+MODE_MIDSIDE = 1
+MODE_SHORT_BLOCKS = 2
+MODE_INTENSITY = 4
+
+#: Offloadable units and their channel id pairs (request, response).
+HW_UNITS = ("filter_l", "filter_r", "imdct_l", "imdct_r")
+CHANNEL_IDS = {
+    "filter_l": (10, 11),
+    "filter_r": (12, 13),
+    "imdct_l": (14, 15),
+    "imdct_r": (16, 17),
+}
+
+#: Design variant -> set of offloaded units.
+VARIANT_MAPPINGS = {
+    "SW": frozenset(),
+    "SW+1": frozenset({"filter_l"}),
+    "SW+2": frozenset({"filter_l", "imdct_l"}),
+    "SW+4": frozenset(HW_UNITS),
+}
+
+
+def _fmt_float_array(name, values):
+    body = ", ".join(repr(v) for v in values)
+    return "const float %s[%d] = {%s};" % (name, len(values), body)
+
+
+def _fmt_int_array(name, values, const=True):
+    body = ", ".join(str(v) for v in values)
+    prefix = "const int" if const else "int"
+    return "%s %s[%d] = {%s};" % (prefix, name, len(values), body)
+
+
+def _dims(params, n_frames):
+    p = params
+    return "\n".join([
+        "const int NSB = %d;" % p.n_subbands,
+        "const int NSLOTS = %d;" % p.n_slots,
+        "const int NPHASES = %d;" % p.n_phases,
+        "const int NALIAS = %d;" % p.n_alias,
+        "const int NGRANULES = %d;" % p.n_granules,
+        "const int NFRAMES = %d;" % n_frames,
+        "const int GS = %d;" % p.granule_samples,
+        "const int VSIZE = %d;" % p.v_size,
+        "const int FIFO_SIZE = %d;" % p.fifo_size,
+        "const int IMDCT_OUT = %d;" % p.imdct_out,
+    ])
+
+
+def _imdct_tables(params):
+    return _fmt_float_array("IMDCT_COS", imdct_matrix(params.n_slots))
+
+
+def _filter_tables(params):
+    return "\n".join([
+        _fmt_float_array("SYNTH_MAT", synthesis_matrix(params.n_subbands)),
+        _fmt_float_array(
+            "WINDOW", synthesis_window(params.n_phases, params.v_size)
+        ),
+    ])
+
+
+_IMDCT_FN = """
+void imdct_granule(float x[], float t[], float ov[]) {
+  float tmp[IMDCT_OUT];
+  for (int sb = 0; sb < NSB; sb++) {
+    int xb = sb * NSLOTS;
+    for (int i = 0; i < IMDCT_OUT; i++) {
+      float s = 0.0;
+      for (int k = 0; k < NSLOTS; k++) {
+        s += x[xb + k] * IMDCT_COS[i * NSLOTS + k];
+      }
+      tmp[i] = s;
+    }
+    for (int i = 0; i < NSLOTS; i++) {
+      t[xb + i] = tmp[i] + ov[xb + i];
+      ov[xb + i] = tmp[NSLOTS + i];
+    }
+    if ((sb & 1) == 1) {
+      for (int i = 1; i < NSLOTS; i += 2) {
+        t[xb + i] = -t[xb + i];
+      }
+    }
+  }
+}
+"""
+
+_FILTER_FN = """
+void filter_granule(float t[], float fifo[], float pcm[]) {
+  float s_in[NSB];
+  float v[VSIZE];
+  for (int s = 0; s < NSLOTS; s++) {
+    for (int k = 0; k < NSB; k++) {
+      s_in[k] = t[k * NSLOTS + s];
+    }
+    for (int i = 0; i < VSIZE; i++) {
+      float acc = 0.0;
+      for (int k = 0; k < NSB; k++) {
+        acc += SYNTH_MAT[i * NSB + k] * s_in[k];
+      }
+      v[i] = acc;
+    }
+    for (int i = FIFO_SIZE - 1; i >= VSIZE; i--) {
+      fifo[i] = fifo[i - VSIZE];
+    }
+    for (int i = 0; i < VSIZE; i++) {
+      fifo[i] = v[i];
+    }
+    for (int j = 0; j < NSB; j++) {
+      float acc = 0.0;
+      for (int p = 0; p < NPHASES; p++) {
+        acc += fifo[p * VSIZE + j] * WINDOW[p * VSIZE + j];
+      }
+      pcm[s * NSB + j] = acc;
+    }
+  }
+}
+"""
+
+_REFINE_FN = """
+void refine_samples(int frames[], int off, int wq[]) {
+  for (int i = 0; i < GS; i++) {
+    int v = frames[off + i];
+    if (v == 0) {
+      wq[i] = 0;
+    } else {
+      int mag = v;
+      if (mag < 0) mag = -mag;
+      int level = 0;
+      while (level < 15 && mag > HUFF_THRESH[level]) {
+        level++;
+      }
+      mag = mag + LINADJ[level];
+      if (mag < 0) mag = 0;
+      if (v < 0) wq[i] = -mag;
+      else wq[i] = mag;
+    }
+  }
+}
+"""
+
+_DEQUANT_FN = """
+void dequantize(int wq[], int scf[], int scf_off, float x[]) {
+  for (int sb = 0; sb < NSB; sb++) {
+    float scale = SCALE_TAB[scf[scf_off + sb]];
+    for (int s = 0; s < NSLOTS; s++) {
+      int v = wq[sb * NSLOTS + s];
+      if (v == 0) {
+        x[sb * NSLOTS + s] = 0.0;
+      } else {
+        float fv = (float)v;
+        float mag = fv;
+        if (mag < 0.0) mag = -mag;
+        x[sb * NSLOTS + s] = scale * fv * (1.0 + 0.0625 * mag);
+      }
+    }
+  }
+}
+"""
+
+_REORDER_FN = """
+void reorder_short(float x[], float tmp[]) {
+  for (int i = 0; i < GS; i++) {
+    tmp[i] = x[REORDER[i]];
+  }
+  for (int i = 0; i < GS; i++) {
+    x[i] = tmp[i];
+  }
+}
+"""
+
+_INTENSITY_FN = """
+void intensity_stereo(float xl[], float xr[]) {
+  int half = NSB / 2;
+  for (int sb = half; sb < NSB; sb++) {
+    int pos = sb - half;
+    if (pos > 7) pos = 7;
+    float left = IS_RATIO[pos];
+    float right = 1.0 - left;
+    for (int s = 0; s < NSLOTS; s++) {
+      int idx = sb * NSLOTS + s;
+      float v = xl[idx] + xr[idx];
+      xl[idx] = v * left;
+      xr[idx] = v * right;
+    }
+  }
+}
+"""
+
+_SMOOTH_FN = """
+void smooth_gains(float x[], float state[]) {
+  for (int sb = 0; sb < NSB; sb++) {
+    float energy = 0.0;
+    for (int s = 0; s < NSLOTS; s++) {
+      float v = x[sb * NSLOTS + s];
+      energy += v * v;
+    }
+    float smoothed = 0.85 * state[sb] + 0.15 * energy;
+    state[sb] = smoothed;
+    if (smoothed > 1e8) {
+      float damp = 1e8 / smoothed;
+      for (int s = 0; s < NSLOTS; s++) {
+        x[sb * NSLOTS + s] = x[sb * NSLOTS + s] * damp;
+      }
+    }
+  }
+}
+"""
+
+_CRC_FN = """
+int crc_frame(int frames[], int off, int n) {
+  int crc = 65535;
+  for (int i = 0; i < n; i++) {
+    int word = frames[off + i] & 255;
+    crc = crc ^ (word << 8);
+    for (int b = 0; b < 4; b++) {
+      if ((crc & 32768) != 0) {
+        crc = ((crc << 1) ^ 4129) & 65535;
+      } else {
+        crc = (crc << 1) & 65535;
+      }
+    }
+  }
+  return crc;
+}
+"""
+
+_MIDSIDE_FN = """
+void midside(float xl[], float xr[]) {
+  for (int i = 0; i < GS; i++) {
+    float m = xl[i];
+    float s = xr[i];
+    xl[i] = (m + s) * 0.7071067811865476;
+    xr[i] = (m - s) * 0.7071067811865476;
+  }
+}
+"""
+
+_ALIAS_FN = """
+void alias_reduce(float x[]) {
+  for (int sb = 1; sb < NSB; sb++) {
+    int b = sb * NSLOTS;
+    for (int k = 0; k < NALIAS; k++) {
+      float lo = x[b - 1 - k];
+      float hi = x[b + k];
+      x[b - 1 - k] = lo * ALIAS_CS[k] - hi * ALIAS_CA[k];
+      x[b + k] = hi * ALIAS_CS[k] + lo * ALIAS_CA[k];
+    }
+  }
+}
+"""
+
+_CONSUME_FN = """
+void consume(float pcm[]) {
+  for (int i = 0; i < GS; i++) {
+    float sample = pcm[i] * 32768.0;
+    if (sample > 32767.0) {
+      sample = 32767.0;
+      clip_count++;
+    }
+    if (sample < -32768.0) {
+      sample = -32768.0;
+      clip_count++;
+    }
+    out_energy += sample * sample * 1e-6;
+    out_samples++;
+  }
+}
+"""
+
+
+def _channel_stage(unit, buf_in, buf_out):
+    req, rsp = CHANNEL_IDS[unit]
+    return (
+        "      send(%d, %s, GS);\n"
+        "      recv(%d, %s, GS);" % (req, buf_in, rsp, buf_out)
+    )
+
+
+def cpu_source(params, frames, mapping):
+    """The CPU process translation unit for one design variant.
+
+    Args:
+        params: :class:`Mp3Params`.
+        frames: a :class:`~repro.workloads.mp3frames.FrameSet`.
+        mapping: set of offloaded unit names (subset of :data:`HW_UNITS`).
+    """
+    p = params
+    mapping = frozenset(mapping)
+    unknown = mapping - frozenset(HW_UNITS)
+    if unknown:
+        raise ValueError("unknown HW units: %s" % sorted(unknown))
+
+    cs, ca = alias_coefficients(p.n_alias)
+    parts = [_dims(p, frames.n_frames)]
+    parts.append(_fmt_float_array("SCALE_TAB", scalefactor_table()))
+    parts.append(_fmt_float_array("ALIAS_CS", cs))
+    parts.append(_fmt_float_array("ALIAS_CA", ca))
+    parts.append(_fmt_int_array("HUFF_THRESH", huffman_thresholds()))
+    parts.append(_fmt_int_array("LINADJ", linbits_adjust()))
+    parts.append(_fmt_int_array("REORDER", reorder_table(p.granule_samples)))
+    parts.append(_fmt_float_array("IS_RATIO", intensity_ratios()))
+
+    need_imdct = ("imdct_l" not in mapping) or ("imdct_r" not in mapping)
+    need_filter = ("filter_l" not in mapping) or ("filter_r" not in mapping)
+    if need_imdct:
+        parts.append(_imdct_tables(p))
+    if need_filter:
+        parts.append(_filter_tables(p))
+
+    parts.append(_fmt_int_array("FRAMES", frames.samples))
+    parts.append(_fmt_int_array("SCF", frames.scalefactors))
+    parts.append(_fmt_int_array("MODE", frames.modes))
+
+    gs = p.granule_samples
+    work = [
+        "float xl[%d];" % gs, "float xr[%d];" % gs,
+        "float tl[%d];" % gs, "float tr[%d];" % gs,
+        "float pcm[%d];" % gs, "float scratch[%d];" % gs,
+        "int wq[%d];" % gs,
+        "float gain_l[%d];" % p.n_subbands,
+        "float gain_r[%d];" % p.n_subbands,
+        "float out_energy;", "int clip_count;", "int out_samples;",
+        "int crc_acc;",
+    ]
+    if "imdct_l" not in mapping:
+        work.append("float ov_l[%d];" % gs)
+    if "imdct_r" not in mapping:
+        work.append("float ov_r[%d];" % gs)
+    if "filter_l" not in mapping:
+        work.append("float fifo_l[%d];" % p.fifo_size)
+    if "filter_r" not in mapping:
+        work.append("float fifo_r[%d];" % p.fifo_size)
+    parts.append("\n".join(work))
+
+    parts.append(_REFINE_FN)
+    parts.append(_DEQUANT_FN)
+    parts.append(_REORDER_FN)
+    parts.append(_MIDSIDE_FN)
+    parts.append(_INTENSITY_FN)
+    parts.append(_SMOOTH_FN)
+    parts.append(_ALIAS_FN)
+    parts.append(_CRC_FN)
+    parts.append(_CONSUME_FN)
+    if need_imdct:
+        parts.append(_IMDCT_FN)
+    if need_filter:
+        parts.append(_FILTER_FN)
+
+    def imdct_stage(channel):
+        unit = "imdct_%s" % channel
+        x, t = ("xl", "tl") if channel == "l" else ("xr", "tr")
+        if unit in mapping:
+            return _channel_stage(unit, x, t)
+        return "      imdct_granule(%s, %s, ov_%s);" % (x, t, channel)
+
+    def filter_stage(channel):
+        unit = "filter_%s" % channel
+        t = "tl" if channel == "l" else "tr"
+        if unit in mapping:
+            return _channel_stage(unit, t, "pcm")
+        return "      filter_granule(%s, fifo_%s, pcm);" % (t, channel)
+
+    per_channel = gs
+    per_granule = p.n_channels * per_channel
+    per_frame = p.n_granules * per_granule
+    scf_per_granule = p.n_channels * p.n_subbands
+    scf_per_frame = p.n_granules * scf_per_granule
+
+    main = """
+int main(void) {
+  for (int f = 0; f < NFRAMES; f++) {
+    int mode = MODE[f];
+    crc_acc = crc_acc ^ crc_frame(FRAMES, f * %(per_frame)d, %(per_frame)d);
+    for (int g = 0; g < NGRANULES; g++) {
+      int off = f * %(per_frame)d + g * %(per_granule)d;
+      int scf_off = f * %(scf_per_frame)d + g * %(scf_per_granule)d;
+      refine_samples(FRAMES, off, wq);
+      dequantize(wq, SCF, scf_off, xl);
+      refine_samples(FRAMES, off + %(per_channel)d, wq);
+      dequantize(wq, SCF, scf_off + NSB, xr);
+      if ((mode & 2) != 0) {
+        reorder_short(xl, scratch);
+        reorder_short(xr, scratch);
+      }
+      if ((mode & 1) != 0) {
+        midside(xl, xr);
+      }
+      if ((mode & 4) != 0) {
+        intensity_stereo(xl, xr);
+      }
+      smooth_gains(xl, gain_l);
+      smooth_gains(xr, gain_r);
+      alias_reduce(xl);
+      alias_reduce(xr);
+%(imdct_l)s
+%(imdct_r)s
+%(filter_l)s
+      consume(pcm);
+%(filter_r)s
+      consume(pcm);
+    }
+  }
+  return clip_count * 65536 + out_samples + (int)out_energy + crc_acc;
+}
+""" % {
+        "per_frame": per_frame,
+        "per_granule": per_granule,
+        "per_channel": per_channel,
+        "scf_per_frame": scf_per_frame,
+        "scf_per_granule": scf_per_granule,
+        "imdct_l": imdct_stage("l"),
+        "imdct_r": imdct_stage("r"),
+        "filter_l": filter_stage("l"),
+        "filter_r": filter_stage("r"),
+    }
+    parts.append(main)
+    return "\n".join(parts)
+
+
+def hw_source(params, unit, n_frames):
+    """The translation unit of one custom-HW server process."""
+    if unit not in HW_UNITS:
+        raise ValueError("unknown HW unit %r" % unit)
+    p = params
+    req, rsp = CHANNEL_IDS[unit]
+    n_calls = n_frames * p.n_granules
+    parts = [_dims(p, n_frames)]
+    gs = p.granule_samples
+    if unit.startswith("imdct"):
+        parts.append(_imdct_tables(p))
+        parts.append("float x[%d];\nfloat t[%d];\nfloat ov[%d];" % (gs, gs, gs))
+        parts.append(_IMDCT_FN)
+        body = "    imdct_granule(x, t, ov);"
+        buf_in, buf_out = "x", "t"
+    else:
+        parts.append(_filter_tables(p))
+        parts.append(
+            "float t[%d];\nfloat pcm[%d];\nfloat fifo[%d];"
+            % (gs, gs, p.fifo_size)
+        )
+        parts.append(_FILTER_FN)
+        body = "    filter_granule(t, fifo, pcm);"
+        buf_in, buf_out = "t", "pcm"
+    parts.append("""
+int main(void) {
+  for (int it = 0; it < %(n_calls)d; it++) {
+    recv(%(req)d, %(buf_in)s, GS);
+%(body)s
+    send(%(rsp)d, %(buf_out)s, GS);
+  }
+  return 0;
+}
+""" % {"n_calls": n_calls, "req": req, "rsp": rsp,
+       "buf_in": buf_in, "buf_out": buf_out, "body": body})
+    return "\n".join(parts)
+
+
+def build_sources(variant, params=None, n_frames=4, seed=1):
+    """All translation units of one design variant.
+
+    Returns ``(cpu_src, {unit: hw_src}, frames)``.
+    """
+    if variant not in VARIANT_MAPPINGS:
+        raise ValueError(
+            "unknown variant %r (choose from %s)"
+            % (variant, sorted(VARIANT_MAPPINGS))
+        )
+    params = params or Mp3Params()
+    frames = make_frames(params, n_frames, seed)
+    mapping = VARIANT_MAPPINGS[variant]
+    cpu = cpu_source(params, frames, mapping)
+    hw = {unit: hw_source(params, unit, n_frames) for unit in sorted(mapping)}
+    return cpu, hw, frames

@@ -1,0 +1,17 @@
+"""Calibration of the PUM's statistical models from reference runs."""
+
+from .calibrate import (
+    CalibrationResult,
+    build_branch_model,
+    build_memory_model,
+    calibrate_pum,
+    measure_design,
+)
+
+__all__ = [
+    "CalibrationResult",
+    "build_branch_model",
+    "build_memory_model",
+    "calibrate_pum",
+    "measure_design",
+]

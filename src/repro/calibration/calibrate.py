@@ -1,0 +1,110 @@
+"""Fill the PUM's statistical branch/memory models from measured runs.
+
+The paper's memory model stores "the average i-cache and d-cache hit-rates
+... for a set of cache sizes" and the branch model "the average
+misprediction ratio" — measured quantities.  This module measures them by
+running the cycle-accurate reference on a *training* workload and building
+:class:`~repro.pum.model.MemoryModel` / :class:`~repro.pum.model.BranchModel`
+instances from the observed rates.
+
+Estimation benchmarks calibrate on a training input and evaluate on a
+different input, so the reported accuracy is honest about the statistical
+nature of the PUM (the same honesty gap the paper's Tables 2/3 measure).
+"""
+
+from __future__ import annotations
+
+from ..cycle.pcam import run_pcam
+from ..pum.model import BranchModel, CachePoint, MemoryModel
+
+
+class CalibrationResult:
+    """Everything a calibration sweep measured."""
+
+    def __init__(self, memory_model, branch_model, measurements):
+        self.memory_model = memory_model
+        self.branch_model = branch_model
+        #: {(icache_size, dcache_size): merged cpu stats dict}
+        self.measurements = measurements
+
+    def __repr__(self):
+        return "CalibrationResult(%d configs)" % len(self.measurements)
+
+
+def measure_design(design):
+    """Run the cycle-accurate reference once; returns merged CPU stats."""
+    return run_pcam(design).cpu_stats()
+
+
+def build_memory_model(measurements, ext_latency, hit_delay=0):
+    """Build a :class:`MemoryModel` from per-config measured hit rates.
+
+    Args:
+        measurements: {(icache_size, dcache_size): stats dict} where the
+            stats carry ``icache_hits``/``icache_misses`` etc.
+        ext_latency: the platform's external (miss) latency in cycles.
+        hit_delay: extra cycles charged per cache hit (0: hits are covered
+            by the pipeline's MEM stage).
+    """
+    i_table = {}
+    d_table = {}
+    i_accum = {}
+    d_accum = {}
+    for (isize, dsize), stats in measurements.items():
+        if isize > 0:
+            hits, misses = stats["icache_hits"], stats["icache_misses"]
+            acc_h, acc_m = i_accum.get(isize, (0, 0))
+            i_accum[isize] = (acc_h + hits, acc_m + misses)
+        if dsize > 0:
+            hits, misses = stats["dcache_hits"], stats["dcache_misses"]
+            acc_h, acc_m = d_accum.get(dsize, (0, 0))
+            d_accum[dsize] = (acc_h + hits, acc_m + misses)
+    for size, (hits, misses) in i_accum.items():
+        total = hits + misses
+        i_table[size] = CachePoint(hits / total if total else 0.0, hit_delay)
+    for size, (hits, misses) in d_accum.items():
+        total = hits + misses
+        d_table[size] = CachePoint(hits / total if total else 0.0, hit_delay)
+    return MemoryModel(i_table, d_table, ext_latency)
+
+
+def build_branch_model(measurements, policy, penalty):
+    """Average the measured misprediction ratio into a :class:`BranchModel`."""
+    predictions = 0
+    misses = 0.0
+    for stats in measurements.values():
+        n = stats.get("branch_predictions", 0)
+        predictions += n
+        misses += stats.get("branch_miss_rate", 0.0) * n
+    miss_rate = misses / predictions if predictions else 0.0
+    return BranchModel(policy, penalty, miss_rate)
+
+
+def calibrate_pum(base_pum, make_design, cache_configs):
+    """Calibrate a CPU PUM over a set of cache configurations.
+
+    Args:
+        base_pum: the PUM whose statistical models should be replaced (its
+            datapath/execution models are kept as-is).
+        make_design: callable ``(icache_size, dcache_size) -> Design``
+            building the *training* design for one cache configuration.
+        cache_configs: iterable of ``(icache_size, dcache_size)`` tuples.
+
+    Returns:
+        a :class:`CalibrationResult`; ``result.memory_model`` /
+        ``result.branch_model`` plug into ``PUM`` via the library factories
+        (e.g. ``microblaze(memory_model=..., branch_model=...)``).
+    """
+    measurements = {}
+    for isize, dsize in cache_configs:
+        design = make_design(isize, dsize)
+        measurements[(isize, dsize)] = measure_design(design)
+    ext_latency = base_pum.memory.ext_latency if base_pum.memory else 0
+    memory_model = build_memory_model(measurements, ext_latency)
+    if base_pum.branch is not None:
+        branch_model = build_branch_model(
+            measurements, base_pum.branch.policy, base_pum.branch.penalty
+        )
+    else:
+        branch_model = None
+    return CalibrationResult(memory_model, branch_model, measurements)

@@ -1,0 +1,23 @@
+"""Control/data-flow graph IR: builder, DFG extraction and interpreter."""
+
+from .builder import build_program
+from .dfg import BlockDFG, build_block_dfg, build_function_dfgs
+from .interp import Interpreter, InterpreterError, NullComm, QueueComm, run_function
+from .ir import BasicBlock, IRFunction, IRProgram, Op, global_storage
+
+__all__ = [
+    "BasicBlock",
+    "BlockDFG",
+    "Interpreter",
+    "InterpreterError",
+    "IRFunction",
+    "IRProgram",
+    "NullComm",
+    "Op",
+    "QueueComm",
+    "build_block_dfg",
+    "build_function_dfgs",
+    "build_program",
+    "global_storage",
+    "run_function",
+]

@@ -1,0 +1,89 @@
+"""Shared 32-bit C arithmetic semantics.
+
+Every execution backend in the repo — the IR interpreter, the generated
+timed-Python code and the R32 instruction-set simulators — must agree on the
+arithmetic of CMini's ``int`` (a 32-bit two's-complement integer) and
+``float`` (modelled as a C ``double``, i.e. a Python float).  These helpers
+are the single source of truth for that agreement.
+"""
+
+from __future__ import annotations
+
+INT_BITS = 32
+INT_MASK = (1 << INT_BITS) - 1
+INT_MIN = -(1 << (INT_BITS - 1))
+INT_MAX = (1 << (INT_BITS - 1)) - 1
+
+
+def wrap32(value):
+    """Wrap a Python int to signed 32-bit two's complement."""
+    value &= INT_MASK
+    if value > INT_MAX:
+        value -= 1 << INT_BITS
+    return value
+
+
+def to_unsigned32(value):
+    """Reinterpret a signed 32-bit value as unsigned."""
+    return value & INT_MASK
+
+
+def c_add(a, b):
+    return wrap32(a + b)
+
+
+def c_sub(a, b):
+    return wrap32(a - b)
+
+
+def c_mul(a, b):
+    return wrap32(a * b)
+
+
+def c_div(a, b):
+    """C integer division: truncates toward zero. Raises on division by zero."""
+    if b == 0:
+        raise ZeroDivisionError("integer division by zero")
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return wrap32(q)
+
+
+def c_rem(a, b):
+    """C integer remainder: sign follows the dividend."""
+    if b == 0:
+        raise ZeroDivisionError("integer remainder by zero")
+    return wrap32(a - c_div(a, b) * b)
+
+
+def c_shl(a, b):
+    """Left shift; shift amounts are taken modulo 32 (common HW behaviour)."""
+    return wrap32(a << (b & 31))
+
+
+def c_shr(a, b):
+    """Arithmetic right shift (CMini ints are signed)."""
+    return wrap32(a >> (b & 31))
+
+
+def c_neg(a):
+    return wrap32(-a)
+
+
+def c_not(a):
+    return wrap32(~a)
+
+
+def c_float_to_int(value):
+    """C float→int conversion: truncation toward zero, wrapped to 32 bits."""
+    return wrap32(int(value))
+
+
+def c_int_to_float(value):
+    return float(value)
+
+
+def as_bool(value):
+    """C truthiness: nonzero is true."""
+    return value != 0

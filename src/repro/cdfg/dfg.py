@@ -1,0 +1,152 @@
+"""Per-basic-block data-flow graph extraction.
+
+The estimation engine schedules each basic block's DFG onto the PUM
+(Algorithm 1).  This module derives that DFG: nodes are the block's op
+indices; edges are
+
+* *true* dependencies through temps (def → use),
+* memory dependencies on the same variable (store→load, load→store,
+  store→store — array accesses are not index-disambiguated, which is the
+  conservative choice a source-level estimator must make), and
+* call/communication barriers (calls may touch any global state).
+
+Because a basic block is straight-line code the DFG is a DAG; Algorithm 1's
+termination argument relies on exactly this property.
+"""
+
+from __future__ import annotations
+
+
+class BlockDFG:
+    """The data-flow graph of one basic block.
+
+    Attributes:
+        block: the source :class:`~repro.cdfg.ir.BasicBlock`.
+        deps: ``deps[i]`` is the frozenset of op indices op *i* depends on.
+        succs: inverse adjacency (``succs[i]`` = ops that depend on op *i*).
+    """
+
+    __slots__ = ("block", "deps", "succs")
+
+    def __init__(self, block, deps):
+        self.block = block
+        self.deps = deps
+        succs = [set() for _ in deps]
+        for i, dep_set in enumerate(deps):
+            for j in dep_set:
+                succs[j].add(i)
+        self.succs = [frozenset(s) for s in succs]
+
+    def __len__(self):
+        return len(self.deps)
+
+    def roots(self):
+        """Op indices with no dependencies."""
+        return [i for i, deps in enumerate(self.deps) if not deps]
+
+    def topological_order(self):
+        """A topological order of the ops (program order is always valid)."""
+        return list(range(len(self.deps)))
+
+    def critical_path_length(self, latency_of):
+        """Length of the longest path where node weight = ``latency_of(op)``.
+
+        This is the ASAP lower bound on the block's schedule: no scheduler,
+        however wide, can finish the block faster than its critical path.
+        """
+        ops = self.block.ops
+        finish = [0] * len(ops)
+        for i in range(len(ops)):
+            start = 0
+            for j in self.deps[i]:
+                if finish[j] > start:
+                    start = finish[j]
+            finish[i] = start + latency_of(ops[i])
+        return max(finish) if finish else 0
+
+    def depth(self, index, latency_of):
+        """Longest path from op ``index`` to any sink (List-scheduling priority)."""
+        memo = {}
+
+        def walk(i):
+            if i in memo:
+                return memo[i]
+            best = 0
+            for j in self.succs[i]:
+                child = walk(j)
+                if child > best:
+                    best = child
+            memo[i] = best + latency_of(self.block.ops[i])
+            return memo[i]
+
+        return walk(index)
+
+    def all_depths(self, latency_of):
+        """Depths of every op (computed once, bottom-up)."""
+        ops = self.block.ops
+        depths = [0] * len(ops)
+        for i in range(len(ops) - 1, -1, -1):
+            best = 0
+            for j in self.succs[i]:
+                if depths[j] > best:
+                    best = depths[j]
+            depths[i] = best + latency_of(ops[i])
+        return depths
+
+
+def build_block_dfg(block):
+    """Compute the :class:`BlockDFG` of a basic block."""
+    ops = block.ops
+    deps = [set() for _ in ops]
+
+    # True dependencies through temps.
+    def_site = {}
+    for i, op in enumerate(ops):
+        for arg in op.args:
+            if arg in def_site:
+                deps[i].add(def_site[arg])
+        if op.dst is not None:
+            def_site[op.dst] = i
+
+    # Memory dependencies per variable.
+    last_store = {}
+    loads_since_store = {}
+    for i, op in enumerate(ops):
+        var = op.touches_var
+        if var is None:
+            continue
+        key = (op.attrs.get("scope", "local"), var)
+        if op.opcode in ("ld", "ldx"):
+            if key in last_store:
+                deps[i].add(last_store[key])
+            loads_since_store.setdefault(key, []).append(i)
+        else:  # st / stx
+            if key in last_store:
+                deps[i].add(last_store[key])
+            for load_idx in loads_since_store.get(key, ()):
+                deps[i].add(load_idx)
+            loads_since_store[key] = []
+            last_store[key] = i
+
+    # Calls and comm ops are ordering barriers with all memory ops and with
+    # each other (they may read/write globals and shared buffers).
+    last_barrier = None
+    memory_since_barrier = []
+    for i, op in enumerate(ops):
+        if op.opcode in ("call", "comm"):
+            if last_barrier is not None:
+                deps[i].add(last_barrier)
+            deps[i].update(memory_since_barrier)
+            last_barrier = i
+            memory_since_barrier = []
+        elif op.is_memory:
+            if last_barrier is not None:
+                deps[i].add(last_barrier)
+            memory_since_barrier.append(i)
+
+    return BlockDFG(block, [frozenset(d) for d in deps])
+
+
+def build_function_dfgs(func):
+    """Build DFGs for every block of a function; returns label → BlockDFG."""
+    return {block.label: build_block_dfg(block) for block in func.blocks}

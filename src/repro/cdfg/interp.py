@@ -1,0 +1,326 @@
+"""Reference interpreter for the linear IR.
+
+The interpreter defines CMini's execution semantics.  The generated timed
+Python code, the R32 ISS and the cycle-accurate PCAM must all agree with it
+bit-for-bit on ``int`` results (and exactly on ``float`` results, since every
+backend uses double arithmetic); the integration test-suite enforces this.
+
+It also exposes two instrumentation hooks used elsewhere in the system:
+
+* ``on_block(func_name, label)`` — called each time a basic block starts
+  executing.  The timing annotator's *estimated total* for a run is the sum
+  of annotated block delays over this trace, and the PCAM's HW datapath model
+  re-schedules each block dynamically from the same hook.
+* ``comm`` — an object with ``send(chan, values)`` / ``recv(chan, count)``
+  implementing the communication intrinsics.
+"""
+
+from __future__ import annotations
+
+from ..cfrontend.ctypes_ import FLOAT, INT, is_array
+from . import cnum
+from .ir import default_value, global_storage
+
+
+class InterpreterError(Exception):
+    """Raised for runtime errors in interpreted CMini code."""
+
+
+class NullComm:
+    """Communication endpoints that fail on use (for pure computations)."""
+
+    def send(self, chan, values):
+        raise InterpreterError("send() called but no comm handler installed")
+
+    def recv(self, chan, count):
+        raise InterpreterError("recv() called but no comm handler installed")
+
+
+class QueueComm:
+    """Simple in-process FIFO channels, handy for tests and examples."""
+
+    def __init__(self):
+        self.queues = {}
+
+    def send(self, chan, values):
+        self.queues.setdefault(chan, []).extend(values)
+
+    def recv(self, chan, count):
+        queue = self.queues.get(chan, [])
+        if len(queue) < count:
+            raise InterpreterError(
+                "recv(%d) on channel %d with only %d queued"
+                % (count, chan, len(queue))
+            )
+        taken, self.queues[chan] = queue[:count], queue[count:]
+        return taken
+
+
+def eval_binop(op, a, b, ctype):
+    """Evaluate a binary IR operation with C semantics.
+
+    ``ctype`` is the *operand* type; comparisons return int 0/1 regardless.
+    """
+    if op == "+":
+        return cnum.c_add(a, b) if ctype == INT else a + b
+    if op == "-":
+        return cnum.c_sub(a, b) if ctype == INT else a - b
+    if op == "*":
+        return cnum.c_mul(a, b) if ctype == INT else a * b
+    if op == "/":
+        if ctype == INT:
+            return cnum.c_div(a, b)
+        if b == 0.0:
+            raise ZeroDivisionError("float division by zero")
+        return a / b
+    if op == "%":
+        return cnum.c_rem(a, b)
+    if op == "<<":
+        return cnum.c_shl(a, b)
+    if op == ">>":
+        return cnum.c_shr(a, b)
+    if op == "&":
+        return a & b
+    if op == "|":
+        return a | b
+    if op == "^":
+        return a ^ b
+    if op == "==":
+        return 1 if a == b else 0
+    if op == "!=":
+        return 1 if a != b else 0
+    if op == "<":
+        return 1 if a < b else 0
+    if op == ">":
+        return 1 if a > b else 0
+    if op == "<=":
+        return 1 if a <= b else 0
+    if op == ">=":
+        return 1 if a >= b else 0
+    raise InterpreterError("unknown binary op %r" % op)
+
+
+def eval_unop(op, a, ctype):
+    if op == "-":
+        return cnum.c_neg(a) if ctype == INT else -a
+    if op == "!":
+        return 0 if a else 1
+    if op == "~":
+        return cnum.c_not(a)
+    raise InterpreterError("unknown unary op %r" % op)
+
+
+def eval_cast(value, to_type):
+    if to_type == INT:
+        return cnum.c_float_to_int(value) if isinstance(value, float) else value
+    return float(value)
+
+
+class _Frame:
+    __slots__ = ("func", "temps", "locals")
+
+    def __init__(self, func):
+        self.func = func
+        self.temps = [None] * func.n_temps
+        self.locals = {}
+
+
+class Interpreter:
+    """Executes IR functions with reference semantics."""
+
+    def __init__(self, ir_program, comm=None, on_block=None, max_depth=200):
+        self.program = ir_program
+        self.globals = global_storage(ir_program)
+        self.comm = comm if comm is not None else NullComm()
+        self.on_block = on_block
+        self.max_depth = max_depth
+        self._depth = 0
+        #: (func_name, label) -> execution count; always maintained (cheap)
+        self.block_counts = {}
+
+    def reset(self):
+        """Reset global storage and counters for a fresh run."""
+        self.globals = global_storage(self.program)
+        self.block_counts = {}
+
+    def call(self, func_name, *args):
+        """Invoke ``func_name`` with Python values.
+
+        Scalars are passed by value; arrays must be Python lists and are
+        passed by reference (mutations are visible to the caller), matching C
+        array-decay semantics.
+        """
+        func = self.program.function(func_name)
+        if len(args) != len(func.params):
+            raise InterpreterError(
+                "%s() expects %d args, got %d"
+                % (func_name, len(func.params), len(args))
+            )
+        frame = _Frame(func)
+        for (name, ctype), value in zip(func.params, args):
+            if is_array(ctype):
+                if not isinstance(value, list):
+                    raise InterpreterError(
+                        "array parameter %r needs a list" % name
+                    )
+                frame.locals[name] = value
+            else:
+                frame.locals[name] = float(value) if ctype == FLOAT else int(value)
+        return self._run(frame)
+
+    # -- execution -----------------------------------------------------------
+
+    def _run(self, frame):
+        self._depth += 1
+        if self._depth > self.max_depth:
+            self._depth -= 1
+            raise InterpreterError("call depth exceeded (runaway recursion?)")
+        try:
+            func = frame.func
+            self._init_locals(frame)
+            block = func.blocks[0]
+            counts = self.block_counts
+            while True:
+                key = (func.name, block.label)
+                counts[key] = counts.get(key, 0) + 1
+                if self.on_block is not None:
+                    self.on_block(func.name, block.label)
+                result = self._exec_block(frame, block)
+                if result is None:
+                    raise InterpreterError(
+                        "block %s fell through without terminator" % block.label
+                    )
+                kind, payload = result
+                if kind == "jump":
+                    block = func.blocks[payload]
+                else:  # "ret"
+                    return payload
+        finally:
+            self._depth -= 1
+
+    def _init_locals(self, frame):
+        func = frame.func
+        for name, ctype in func.locals.items():
+            if name in frame.locals:
+                continue  # parameter
+            if is_array(ctype):
+                init = func.local_array_inits.get(name)
+                if init is not None:
+                    values = list(init)
+                    pad = ctype.size - len(values)
+                    if pad:
+                        values.extend([default_value(ctype.elem)] * pad)
+                    frame.locals[name] = values
+                else:
+                    frame.locals[name] = [default_value(ctype.elem)] * ctype.size
+            else:
+                frame.locals[name] = default_value(ctype)
+
+    def _storage(self, frame, scope, var):
+        if scope == "global":
+            return self.globals
+        return frame.locals
+
+    def _exec_block(self, frame, block):
+        temps = frame.temps
+        for op in block.ops:
+            opcode = op.opcode
+            if opcode == "const":
+                temps[op.dst] = op.attrs["value"]
+            elif opcode == "ld":
+                store = self._storage(frame, op.attrs["scope"], op.attrs["var"])
+                temps[op.dst] = store[op.attrs["var"]]
+            elif opcode == "st":
+                store = self._storage(frame, op.attrs["scope"], op.attrs["var"])
+                store[op.attrs["var"]] = temps[op.args[0]]
+            elif opcode == "ldx":
+                array = self._storage(frame, op.attrs["scope"], op.attrs["var"])[
+                    op.attrs["var"]
+                ]
+                index = temps[op.args[0]]
+                self._check_bounds(op, index, len(array))
+                temps[op.dst] = array[index]
+            elif opcode == "stx":
+                array = self._storage(frame, op.attrs["scope"], op.attrs["var"])[
+                    op.attrs["var"]
+                ]
+                index = temps[op.args[0]]
+                self._check_bounds(op, index, len(array))
+                array[index] = temps[op.args[1]]
+            elif opcode == "bin":
+                temps[op.dst] = eval_binop(
+                    op.attrs["op"],
+                    temps[op.args[0]],
+                    temps[op.args[1]],
+                    op.attrs["ctype"],
+                )
+            elif opcode == "un":
+                temps[op.dst] = eval_unop(
+                    op.attrs["op"], temps[op.args[0]], op.attrs["ctype"]
+                )
+            elif opcode == "cast":
+                temps[op.dst] = eval_cast(
+                    temps[op.args[0]], op.attrs["to_type"]
+                )
+            elif opcode == "call":
+                value = self._exec_call(frame, op)
+                if op.dst is not None:
+                    temps[op.dst] = value
+            elif opcode == "comm":
+                self._exec_comm(frame, op)
+            elif opcode == "br":
+                if cnum.as_bool(temps[op.args[0]]):
+                    return ("jump", op.attrs["true_label"])
+                return ("jump", op.attrs["false_label"])
+            elif opcode == "jmp":
+                return ("jump", op.attrs["label"])
+            elif opcode == "ret":
+                if op.args:
+                    return ("ret", temps[op.args[0]])
+                return ("ret", None)
+            else:  # pragma: no cover
+                raise InterpreterError("unknown opcode %r" % opcode)
+        return None
+
+    def _exec_call(self, frame, op):
+        callee = self.program.function(op.attrs["func"])
+        inner = _Frame(callee)
+        temps = frame.temps
+        for (name, ctype), spec in zip(callee.params, op.attrs["arg_spec"]):
+            if spec[0] == "temp":
+                value = temps[op.args[spec[1]]]
+                inner.locals[name] = (
+                    float(value) if ctype == FLOAT else value
+                )
+            else:  # ("array", var, scope)
+                _, var, scope = spec
+                inner.locals[name] = self._storage(frame, scope, var)[var]
+        return self._run(inner)
+
+    def _exec_comm(self, frame, op):
+        chan = frame.temps[op.args[0]]
+        count = frame.temps[op.args[1]]
+        var = op.attrs["var"]
+        array = self._storage(frame, op.attrs["scope"], var)[var]
+        if count < 0 or count > len(array):
+            raise InterpreterError(
+                "comm count %d out of range for %r[%d]" % (count, var, len(array))
+            )
+        if op.attrs["kind"] == "send":
+            self.comm.send(chan, array[:count])
+        else:
+            values = self.comm.recv(chan, count)
+            array[:count] = values
+
+    @staticmethod
+    def _check_bounds(op, index, size):
+        if not isinstance(index, int) or index < 0 or index >= size:
+            raise InterpreterError(
+                "index %r out of bounds for %r[%d] (line %s)"
+                % (index, op.attrs["var"], size, op.line)
+            )
+
+
+def run_function(ir_program, func_name, *args, comm=None):
+    """One-shot convenience: interpret ``func_name`` and return its value."""
+    return Interpreter(ir_program, comm=comm).call(func_name, *args)

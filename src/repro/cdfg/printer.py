@@ -1,0 +1,67 @@
+"""Human-readable dumps of the IR — useful for debugging and documentation."""
+
+from __future__ import annotations
+
+
+def format_op(op):
+    attrs = op.attrs
+    opcode = op.opcode
+    if opcode == "const":
+        return "t%d = const %r" % (op.dst, attrs["value"])
+    if opcode == "ld":
+        return "t%d = ld %s:%s" % (op.dst, attrs["scope"][0], attrs["var"])
+    if opcode == "st":
+        return "st %s:%s = t%d" % (attrs["scope"][0], attrs["var"], op.args[0])
+    if opcode == "ldx":
+        return "t%d = ldx %s:%s[t%d]" % (
+            op.dst, attrs["scope"][0], attrs["var"], op.args[0],
+        )
+    if opcode == "stx":
+        return "stx %s:%s[t%d] = t%d" % (
+            attrs["scope"][0], attrs["var"], op.args[0], op.args[1],
+        )
+    if opcode == "bin":
+        return "t%d = t%d %s t%d" % (op.dst, op.args[0], attrs["op"], op.args[1])
+    if opcode == "un":
+        return "t%d = %s t%d" % (op.dst, attrs["op"], op.args[0])
+    if opcode == "cast":
+        return "t%d = (%s) t%d" % (op.dst, attrs["to_type"], op.args[0])
+    if opcode == "call":
+        args = ", ".join(
+            ("t%d" % op.args[s[1]]) if s[0] == "temp" else s[1]
+            for s in attrs["arg_spec"]
+        )
+        head = "t%d = " % op.dst if op.dst is not None else ""
+        return "%scall %s(%s)" % (head, attrs["func"], args)
+    if opcode == "comm":
+        return "%s(t%d, %s, t%d)" % (
+            attrs["kind"], op.args[0], attrs["var"], op.args[1],
+        )
+    if opcode == "br":
+        return "br t%d ? bb%d : bb%d" % (
+            op.args[0], attrs["true_label"], attrs["false_label"],
+        )
+    if opcode == "jmp":
+        return "jmp bb%d" % attrs["label"]
+    if opcode == "ret":
+        if op.args:
+            return "ret t%d" % op.args[0]
+        return "ret"
+    return repr(op)
+
+
+def format_function(func):
+    lines = ["func %s(%s):" % (func.name, ", ".join(n for n, _ in func.params))]
+    for block in func.blocks:
+        delay = "" if block.delay is None else "   ; delay=%d" % block.delay
+        lines.append("  bb%d:%s" % (block.label, delay))
+        for op in block.ops:
+            lines.append("    " + format_op(op))
+    return "\n".join(lines)
+
+
+def format_program(ir_program):
+    chunks = []
+    for name in sorted(ir_program.functions):
+        chunks.append(format_function(ir_program.functions[name]))
+    return "\n\n".join(chunks)

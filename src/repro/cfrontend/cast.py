@@ -1,0 +1,301 @@
+"""Abstract syntax tree node definitions for CMini.
+
+Every node records its source line so later passes (semantic analysis, the
+CDFG builder, the timing annotator) can report positions.  Expression nodes
+gain a ``ctype`` attribute during semantic analysis.
+"""
+
+from __future__ import annotations
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line=None):
+        self.line = line
+
+    def __repr__(self):
+        pairs = []
+        for slot_owner in type(self).__mro__:
+            for name in getattr(slot_owner, "__slots__", ()):
+                if name in ("line", "ctype"):
+                    continue
+                pairs.append("%s=%r" % (name, getattr(self, name)))
+        return "%s(%s)" % (type(self).__name__, ", ".join(pairs))
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+class Expr(Node):
+    """Base class for expressions; ``ctype`` is filled in by semantic analysis."""
+
+    __slots__ = ("ctype",)
+
+    def __init__(self, line=None):
+        super().__init__(line)
+        self.ctype = None
+
+
+class IntLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line=None):
+        super().__init__(line)
+        self.value = value
+
+
+class FloatLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line=None):
+        super().__init__(line)
+        self.value = value
+
+
+class Name(Expr):
+    """A reference to a variable (scalar or whole array)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name, line=None):
+        super().__init__(line)
+        self.name = name
+
+
+class Index(Expr):
+    """Array subscript ``base[index]`` where ``base`` is a :class:`Name`."""
+
+    __slots__ = ("base", "index")
+
+    def __init__(self, base, index, line=None):
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class BinOp(Expr):
+    """Binary arithmetic/comparison/bitwise/logical operation."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right, line=None):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class UnOp(Expr):
+    """Unary operation: ``-``, ``!`` or ``~``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand, line=None):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Cast(Expr):
+    """Implicit numeric conversion inserted by semantic analysis."""
+
+    __slots__ = ("target", "operand")
+
+    def __init__(self, target, operand, line=None):
+        super().__init__(line)
+        self.target = target
+        self.operand = operand
+
+
+class Assign(Expr):
+    """Assignment ``target op value`` where op is ``=``, ``+=``, etc.
+
+    ``target`` is a :class:`Name` or :class:`Index`.
+    """
+
+    __slots__ = ("op", "target", "value")
+
+    def __init__(self, op, target, value, line=None):
+        super().__init__(line)
+        self.op = op
+        self.target = target
+        self.value = value
+
+
+class Cond(Expr):
+    """Ternary conditional ``cond ? then : other``."""
+
+    __slots__ = ("cond", "then", "other")
+
+    def __init__(self, cond, then, other, line=None):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.other = other
+
+
+class Call(Expr):
+    """Function call, including the ``send``/``recv`` communication builtins."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name, args, line=None):
+        super().__init__(line)
+        self.name = name
+        self.args = args
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class Block(Stmt):
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts, line=None):
+        super().__init__(line)
+        self.stmts = stmts
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, line=None):
+        super().__init__(line)
+        self.expr = expr
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then", "other")
+
+    def __init__(self, cond, then, other=None, line=None):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.other = other
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body, line=None):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Stmt):
+    __slots__ = ("body", "cond")
+
+    def __init__(self, body, cond, line=None):
+        super().__init__(line)
+        self.body = body
+        self.cond = cond
+
+
+class For(Stmt):
+    """``for (init; cond; step) body`` — each header slot may be ``None``."""
+
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init, cond, step, body, line=None):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value=None, line=None):
+        super().__init__(line)
+        self.value = value
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+# --------------------------------------------------------------------------
+# Declarations
+# --------------------------------------------------------------------------
+
+
+class VarDecl(Stmt):
+    """A variable declaration, global or local.
+
+    ``ctype`` is a scalar type name or :class:`~repro.cfrontend.ctypes_.ArrayType`.
+    ``init`` is an expression, a list of expressions (array initializer) or
+    ``None``.
+    """
+
+    __slots__ = ("name", "ctype", "init", "is_const")
+
+    def __init__(self, name, ctype, init=None, is_const=False, line=None):
+        super().__init__(line)
+        self.name = name
+        self.ctype = ctype
+        self.init = init
+        self.is_const = is_const
+
+
+class Param(Node):
+    __slots__ = ("name", "ctype")
+
+    def __init__(self, name, ctype, line=None):
+        super().__init__(line)
+        self.name = name
+        self.ctype = ctype
+
+
+class FuncDecl(Node):
+    """A function definition. CMini has no separate prototypes."""
+
+    __slots__ = ("name", "ret_type", "params", "body")
+
+    def __init__(self, name, ret_type, params, body, line=None):
+        super().__init__(line)
+        self.name = name
+        self.ret_type = ret_type
+        self.params = params
+        self.body = body
+
+
+class Program(Node):
+    """A translation unit: ordered global declarations and functions."""
+
+    __slots__ = ("decls",)
+
+    def __init__(self, decls, line=None):
+        super().__init__(line)
+        self.decls = decls
+
+    @property
+    def functions(self):
+        return [d for d in self.decls if isinstance(d, FuncDecl)]
+
+    @property
+    def globals(self):
+        return [d for d in self.decls if isinstance(d, VarDecl)]
+
+    def function(self, name):
+        for decl in self.functions:
+            if decl.name == name:
+                return decl
+        raise KeyError(name)

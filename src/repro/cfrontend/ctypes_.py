@@ -1,0 +1,68 @@
+"""CMini's tiny type system.
+
+There are three scalar types (``int``, ``float``, ``void``) plus
+one-dimensional arrays of ``int`` or ``float``.  Arrays decay to references
+when passed to functions (C semantics); there is no pointer arithmetic.
+"""
+
+from __future__ import annotations
+
+from .errors import SemanticError
+
+INT = "int"
+FLOAT = "float"
+VOID = "void"
+
+SCALAR_TYPES = (INT, FLOAT)
+
+
+class ArrayType:
+    """A one-dimensional array type.
+
+    ``size`` is ``None`` for array function parameters (unsized, C-style
+    ``int a[]``) and a positive integer for declared arrays.
+    """
+
+    __slots__ = ("elem", "size")
+
+    def __init__(self, elem, size=None):
+        if elem not in SCALAR_TYPES:
+            raise SemanticError("array element type must be int or float")
+        if size is not None and size <= 0:
+            raise SemanticError("array size must be positive, got %r" % (size,))
+        self.elem = elem
+        self.size = size
+
+    def __repr__(self):
+        if self.size is None:
+            return "%s[]" % self.elem
+        return "%s[%d]" % (self.elem, self.size)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ArrayType)
+            and self.elem == other.elem
+            and self.size == other.size
+        )
+
+    def __hash__(self):
+        return hash((self.elem, self.size))
+
+
+def is_array(ctype):
+    return isinstance(ctype, ArrayType)
+
+
+def is_scalar(ctype):
+    return ctype in SCALAR_TYPES
+
+
+def is_numeric(ctype):
+    return ctype in SCALAR_TYPES
+
+
+def common_type(left, right):
+    """Usual arithmetic conversion: float wins over int."""
+    if FLOAT in (left, right):
+        return FLOAT
+    return INT

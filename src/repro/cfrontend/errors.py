@@ -1,0 +1,36 @@
+"""Error types raised by the CMini front-end.
+
+All front-end errors carry a source location so tooling built on top of the
+library (annotators, TLM generators) can point the user at the offending line.
+"""
+
+from __future__ import annotations
+
+
+class CMiniError(Exception):
+    """Base class for all CMini front-end errors."""
+
+    def __init__(self, message, line=None, col=None):
+        self.message = message
+        self.line = line
+        self.col = col
+        super().__init__(self._format())
+
+    def _format(self):
+        if self.line is None:
+            return self.message
+        if self.col is None:
+            return "line %d: %s" % (self.line, self.message)
+        return "line %d:%d: %s" % (self.line, self.col, self.message)
+
+
+class LexError(CMiniError):
+    """Raised when the lexer encounters an invalid character or literal."""
+
+
+class ParseError(CMiniError):
+    """Raised when the parser encounters an unexpected token."""
+
+
+class SemanticError(CMiniError):
+    """Raised by semantic analysis: type errors, undefined names, etc."""

@@ -1,0 +1,240 @@
+"""Tokenizer for CMini, the C subset accepted by the front-end.
+
+CMini supports ``int``, ``float`` and ``void`` types, one-dimensional arrays,
+functions, the usual statement forms (``if``/``else``, ``while``, ``for``,
+``return``, ``break``, ``continue``) and C's arithmetic, comparison, logical
+and bitwise operators.  Comments use ``//`` and ``/* ... */``.
+
+The lexer is a straightforward hand-rolled scanner: it produces a list of
+:class:`Token` values that the recursive-descent parser consumes.
+"""
+
+from __future__ import annotations
+
+from .errors import LexError
+
+KEYWORDS = frozenset(
+    [
+        "int",
+        "float",
+        "void",
+        "const",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "return",
+        "break",
+        "continue",
+    ]
+)
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "++",
+    "--",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+]
+
+_PUNCTUATION = ["(", ")", "{", "}", "[", "]", ";", ","]
+
+
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        kind: one of ``"id"``, ``"int"``, ``"float"``, ``"kw"``, ``"op"``,
+            ``"punct"`` or ``"eof"``.
+        value: the token text (or numeric value for literals).
+        line, col: 1-based source position.
+    """
+
+    __slots__ = ("kind", "value", "line", "col")
+
+    def __init__(self, kind, value, line, col):
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.col = col
+
+    def __repr__(self):
+        return "Token(%r, %r, line=%d, col=%d)" % (
+            self.kind,
+            self.value,
+            self.line,
+            self.col,
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (self.kind, self.value) == (other.kind, other.value)
+
+    def __hash__(self):
+        return hash((self.kind, self.value))
+
+
+class Lexer:
+    """Scans CMini source text into a token stream."""
+
+    def __init__(self, source):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def tokenize(self):
+        """Return the full token list, terminated by an ``eof`` token."""
+        tokens = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.source):
+                tokens.append(Token("eof", "", self.line, self.col))
+                return tokens
+            tokens.append(self._next_token())
+
+    # -- internals ---------------------------------------------------------
+
+    def _peek(self, offset=0):
+        idx = self.pos + offset
+        if idx < len(self.source):
+            return self.source[idx]
+        return ""
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    def _skip_whitespace_and_comments(self):
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line = self.line
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment", start_line)
+            else:
+                return
+
+    def _next_token(self):
+        ch = self._peek()
+        line, col = self.line, self.col
+        if ch.isalpha() or ch == "_":
+            return self._lex_word(line, col)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number(line, col)
+        for op in _OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token("op", op, line, col)
+        if ch in _PUNCTUATION:
+            self._advance()
+            return Token("punct", ch, line, col)
+        raise LexError("unexpected character %r" % ch, line, col)
+
+    def _lex_word(self, line, col):
+        start = self.pos
+        while self.pos < len(self.source) and (
+            self._peek().isalnum() or self._peek() == "_"
+        ):
+            self._advance()
+        word = self.source[start : self.pos]
+        kind = "kw" if word in KEYWORDS else "id"
+        return Token(kind, word, line, col)
+
+    def _lex_number(self, line, col):
+        start = self.pos
+        is_float = False
+        if self._peek() == "0" and self._peek(1) != "" and self._peek(1) in "xX":
+            self._advance(2)
+            if not self._is_hex(self._peek()):
+                raise LexError("malformed hex literal", line, col)
+            while self._is_hex(self._peek()):
+                self._advance()
+            text = self.source[start : self.pos]
+            return Token("int", int(text, 16), line, col)
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == ".":
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() != "" and self._peek() in "eE":
+            probe = 1
+            if self._peek(1) != "" and self._peek(1) in "+-":
+                probe = 2
+            if self._peek(probe).isdigit():
+                is_float = True
+                self._advance(probe)
+                while self._peek().isdigit():
+                    self._advance()
+        if self._peek() != "" and self._peek() in "fF":
+            is_float = True
+            text = self.source[start : self.pos]
+            self._advance()
+        else:
+            text = self.source[start : self.pos]
+        if self._peek().isalpha() or self._peek() == "_":
+            raise LexError("malformed numeric literal", line, col)
+        if is_float:
+            return Token("float", float(text), line, col)
+        return Token("int", int(text, 10), line, col)
+
+    @staticmethod
+    def _is_hex(ch):
+        return ch != "" and ch in "0123456789abcdefABCDEF"
+
+
+def tokenize(source):
+    """Convenience wrapper: tokenize ``source`` and return the token list."""
+    return Lexer(source).tokenize()

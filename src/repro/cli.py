@@ -1,0 +1,250 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro estimate app.cmini --pum microblaze --icache 8192
+    python -m repro run app.cmini --entry main --timed
+    python -m repro disasm app.cmini
+    python -m repro pum microblaze
+
+Subcommands:
+
+``estimate``
+    Annotate every basic block with its Algorithm-2 delay on the chosen PUM
+    and print the annotated CDFG plus a per-function summary.
+``run``
+    Execute a program: reference interpreter by default, or the generated
+    timed code (``--timed``) which also reports the cycle estimate.
+``disasm``
+    Compile to the R32 ISA and print the disassembly.
+``pum``
+    Print a preset PUM (or one loaded from JSON) as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .api import compile_cmini
+from .cdfg.printer import format_function
+from .estimation.annotator import annotate_ir_program
+from .pum import dct_hw, filtercore_hw, imdct_hw, load_pum, microblaze, pum_to_json, superscalar2
+
+PUM_PRESETS = {
+    "microblaze": microblaze,
+    "dct-hw": dct_hw,
+    "filtercore-hw": filtercore_hw,
+    "imdct-hw": imdct_hw,
+    "superscalar2": superscalar2,
+}
+
+
+def _resolve_pum(args):
+    if getattr(args, "pum_json", None):
+        return load_pum(args.pum_json)
+    factory = PUM_PRESETS[args.pum]
+    if args.pum == "microblaze":
+        return factory(icache_size=args.icache, dcache_size=args.dcache)
+    return factory()
+
+
+def _add_pum_options(parser):
+    parser.add_argument(
+        "--pum", choices=sorted(PUM_PRESETS), default="microblaze",
+        help="PUM preset to target (default: microblaze)",
+    )
+    parser.add_argument(
+        "--pum-json", metavar="PATH",
+        help="load the PUM from a JSON file instead of a preset",
+    )
+    parser.add_argument("--icache", type=int, default=8 * 1024,
+                        help="i-cache size in bytes (microblaze preset)")
+    parser.add_argument("--dcache", type=int, default=4 * 1024,
+                        help="d-cache size in bytes (microblaze preset)")
+
+
+def cmd_estimate(args, out):
+    with open(args.source) as handle:
+        source = handle.read()
+    ir = compile_cmini(source)
+    pum = _resolve_pum(args)
+    report = annotate_ir_program(ir, pum)
+    out.write("Annotated for %s in %.3f s (%d functions, %d blocks, "
+              "%d ops)\n\n" % (pum.name, report.seconds, report.n_functions,
+                               report.n_blocks, report.n_ops))
+    for name in sorted(ir.functions):
+        func = ir.function(name)
+        total = sum(b.delay for b in func.blocks)
+        out.write("%s: sum of static block delays = %d cycles\n"
+                  % (name, total))
+        if args.verbose:
+            out.write(format_function(func) + "\n")
+        out.write("\n")
+    return 0
+
+
+def cmd_run(args, out):
+    with open(args.source) as handle:
+        source = handle.read()
+    ir = compile_cmini(source)
+    entry_args = tuple(int(a) for a in args.args)
+    if args.timed:
+        from .codegen import ProcessContext, generate_program
+
+        pum = _resolve_pum(args)
+        annotate_ir_program(ir, pum)
+        generated = generate_program(ir, timed=True)
+        ctx = ProcessContext(name=args.entry)
+        value = generated.entry(args.entry)(
+            ctx, generated.fresh_globals(), *entry_args
+        )
+        out.write("%s(%s) = %r\n" % (
+            args.entry, ", ".join(map(str, entry_args)), value,
+        ))
+        out.write("Estimated %d cycles on %s (%.2f us at %.0f MHz)\n" % (
+            ctx.total_cycles, pum.name,
+            ctx.total_cycles / pum.frequency_mhz, pum.frequency_mhz,
+        ))
+    else:
+        from .cdfg.interp import Interpreter
+
+        value = Interpreter(ir).call(args.entry, *entry_args)
+        out.write("%s(%s) = %r\n" % (
+            args.entry, ", ".join(map(str, entry_args)), value,
+        ))
+    return 0
+
+
+def cmd_disasm(args, out):
+    from .isa import compile_program
+
+    with open(args.source) as handle:
+        source = handle.read()
+    ir = compile_cmini(source)
+    entry_args = tuple(int(a) for a in args.args)
+    image = compile_program(ir, args.entry, entry_args)
+    out.write("%r\n\n" % image)
+    out.write(image.disassemble() + "\n")
+    return 0
+
+
+def cmd_profile(args, out):
+    from .estimation import profile_program
+
+    with open(args.source) as handle:
+        source = handle.read()
+    ir = compile_cmini(source)
+    pum = _resolve_pum(args)
+    entry_args = tuple(int(a) for a in args.args)
+    profile = profile_program(ir, pum, entry=args.entry, args=entry_args)
+    out.write(profile.render(top=args.top) + "\n")
+    return 0
+
+
+def cmd_tlm(args, out):
+    from .tlm import generate_tlm, load_design
+
+    design = load_design(args.design)
+    model = generate_tlm(
+        design, timed=not args.functional, granularity=args.granularity
+    )
+    result = model.run()
+    out.write("Design %r (%s TLM): makespan %d cycles, simulated in %.3f s\n"
+              % (design.name, "functional" if args.functional else "timed",
+                 result.makespan_cycles, result.wall_seconds))
+    for name in sorted(result.processes):
+        process = result.processes[name]
+        out.write(
+            "  %-16s on %-12s %10d cycles  %4d transactions  -> %r\n" % (
+                process.name, process.pe_name, process.cycles,
+                process.transactions, process.return_value,
+            )
+        )
+    return 0
+
+
+def cmd_pum(args, out):
+    if args.name.endswith(".json"):
+        pum = load_pum(args.name)
+    else:
+        try:
+            pum = PUM_PRESETS[args.name]()
+        except KeyError:
+            out.write("unknown PUM preset %r (choose from %s)\n"
+                      % (args.name, ", ".join(sorted(PUM_PRESETS))))
+            return 2
+    out.write(pum_to_json(pum) + "\n")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cycle-approximate retargetable performance estimation "
+                    "at the transaction level (DATE 2008 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_est = sub.add_parser("estimate", help="annotate a program's basic "
+                                            "blocks with delay estimates")
+    p_est.add_argument("source", help="CMini source file")
+    p_est.add_argument("-v", "--verbose", action="store_true",
+                       help="print the annotated CDFG")
+    _add_pum_options(p_est)
+    p_est.set_defaults(func=cmd_estimate)
+
+    p_run = sub.add_parser("run", help="execute a program")
+    p_run.add_argument("source", help="CMini source file")
+    p_run.add_argument("--entry", default="main", help="entry function")
+    p_run.add_argument("--timed", action="store_true",
+                       help="run the generated timed code and report cycles")
+    p_run.add_argument("args", nargs="*", default=[],
+                       help="integer arguments for the entry function")
+    _add_pum_options(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_dis = sub.add_parser("disasm", help="compile to R32 and disassemble")
+    p_dis.add_argument("source", help="CMini source file")
+    p_dis.add_argument("--entry", default="main", help="entry function")
+    p_dis.add_argument("args", nargs="*", default=[],
+                       help="integer arguments for the entry function")
+    p_dis.set_defaults(func=cmd_disasm)
+
+    p_prof = sub.add_parser("profile", help="estimated-cycle profile "
+                                            "(hotspot report)")
+    p_prof.add_argument("source", help="CMini source file")
+    p_prof.add_argument("--entry", default="main", help="entry function")
+    p_prof.add_argument("--top", type=int, default=8,
+                        help="number of hottest blocks to show")
+    p_prof.add_argument("args", nargs="*", default=[],
+                        help="integer arguments for the entry function")
+    _add_pum_options(p_prof)
+    p_prof.set_defaults(func=cmd_profile)
+
+    p_pum = sub.add_parser("pum", help="print a PUM preset (or JSON file) "
+                                       "as JSON")
+    p_pum.add_argument("name", help="preset name or .json path")
+    p_pum.set_defaults(func=cmd_pum)
+
+    p_tlm = sub.add_parser("tlm", help="generate and simulate a TLM from a "
+                                       "design JSON file")
+    p_tlm.add_argument("design", help="design .json (see repro.tlm.serialize)")
+    p_tlm.add_argument("--functional", action="store_true",
+                       help="untimed functional TLM (no annotation)")
+    p_tlm.add_argument("--granularity", choices=["transaction", "block"],
+                       default="transaction")
+    p_tlm.set_defaults(func=cmd_tlm)
+
+    return parser
+
+
+def main(argv=None, out=None):
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Timed native code generation (paper Section 4.3) and its runtime."""
+
+from .pygen import CodegenError, GeneratedProgram, generate_program, generate_source
+from .runtime import GRANULARITIES, ProcessContext
+
+__all__ = [
+    "CodegenError",
+    "GRANULARITIES",
+    "GeneratedProgram",
+    "ProcessContext",
+    "generate_program",
+    "generate_source",
+]

@@ -1,0 +1,111 @@
+"""Runtime support for generated timed code.
+
+Generated process code receives a :class:`ProcessContext` as its first
+argument.  The context implements the paper's ``wait()`` accounting:
+
+* ``wait(cycles)`` — called at the end of every basic block — only
+  *accumulates* the estimated delay;
+* the accumulated delay is applied to the simulation kernel (``sc_wait`` in
+  the paper) lazily, at inter-process transaction boundaries, because
+  rescheduling the kernel per basic block would destroy simulation speed.
+  The granularity is user-controllable: ``"transaction"`` (default) or
+  ``"block"`` (sync on every block — the ablation baseline).
+
+A context also works without any kernel attached ("standalone" mode): the
+generated code then simply accumulates ``total_cycles``, which is how the
+estimation engine produces a cycle count for a single-PE program without
+spinning up a TLM.
+"""
+
+from __future__ import annotations
+
+from ..cdfg import cnum
+
+GRANULARITIES = ("transaction", "block")
+
+# Re-exported names the generated code refers to.
+c_div = cnum.c_div
+c_rem = cnum.c_rem
+c_f2i = cnum.c_float_to_int
+
+
+class ProcessContext:
+    """Per-process timing and communication state.
+
+    Args:
+        name: process name (diagnostics).
+        cycle_ns: duration of one PE cycle in kernel time units.
+        comm: object with ``send(process, chan, values)`` and
+            ``recv(process, chan, count)``; usually a
+            :class:`~repro.tlm.model.ChannelBinding`.  ``None`` for pure
+            computations.
+        sim_process: the kernel :class:`~repro.simkernel.kernel.SimProcess`
+            this context belongs to, or ``None`` in standalone mode.
+        granularity: when accumulated waits hit the kernel (see module doc).
+    """
+
+    def __init__(self, name="proc", cycle_ns=10.0, comm=None,
+                 sim_process=None, granularity="transaction",
+                 cpu_share=None):
+        if granularity not in GRANULARITIES:
+            raise ValueError(
+                "granularity must be one of %s" % (GRANULARITIES,)
+            )
+        self.name = name
+        self.cycle_ns = cycle_ns
+        self.comm = comm
+        self.sim_process = sim_process
+        self.granularity = granularity
+        #: optional :class:`~repro.rtos.model.CPUShare` when this process
+        #: shares its PE under an RTOS model
+        self.cpu_share = cpu_share
+        self.pending_cycles = 0
+        self.total_cycles = 0
+        self.n_transactions = 0
+
+    # -- timing ------------------------------------------------------------
+
+    def wait(self, cycles):
+        """Accumulate the estimated delay of one basic-block execution."""
+        self.pending_cycles += cycles
+        self.total_cycles += cycles
+        if self.granularity == "block":
+            self.sync()
+
+    def sync(self):
+        """Apply accumulated delay to the simulation kernel (``sc_wait``).
+
+        Under an RTOS model the delay is executed on the shared processor
+        (serialised against other processes on the same PE) instead of being
+        a private wait.
+        """
+        if self.pending_cycles and self.sim_process is not None:
+            if self.cpu_share is not None:
+                self.cpu_share.execute(
+                    self.sim_process, self.name, self.pending_cycles
+                )
+            else:
+                self.sim_process.wait(self.pending_cycles * self.cycle_ns)
+        self.pending_cycles = 0
+
+    # -- communication -------------------------------------------------------
+
+    def send(self, chan, values):
+        """Transaction boundary: flush delays, then send over the channel."""
+        self.sync()
+        self.n_transactions += 1
+        if self.comm is None:
+            raise RuntimeError(
+                "process %r has no communication binding" % self.name
+            )
+        self.comm.send(self.sim_process, chan, values)
+
+    def recv(self, chan, count):
+        """Transaction boundary: flush delays, then blocking-receive."""
+        self.sync()
+        self.n_transactions += 1
+        if self.comm is None:
+            raise RuntimeError(
+                "process %r has no communication binding" % self.name
+            )
+        return self.comm.recv(self.sim_process, chan, count)

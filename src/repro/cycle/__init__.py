@@ -1,0 +1,29 @@
+"""Cycle-accurate reference models: caches, branch predictors, the pipeline
+CPU, clock-stepped HW datapaths and the PCAM co-simulation ("the board")."""
+
+from .branch import PREDICTORS, StaticBTFN, StaticNotTaken, TwoBit, make_predictor
+from .caches import Cache, CacheError, NullCache, make_cache
+from .cpu import CPUEvent, CycleCPU, CycleCPUError, run_to_halt
+from .hw import HWUnit
+from .pcam import BoardResult, PCAMError, PEStats, run_pcam
+
+__all__ = [
+    "BoardResult",
+    "CPUEvent",
+    "Cache",
+    "CacheError",
+    "CycleCPU",
+    "CycleCPUError",
+    "HWUnit",
+    "NullCache",
+    "PCAMError",
+    "PEStats",
+    "PREDICTORS",
+    "StaticBTFN",
+    "StaticNotTaken",
+    "TwoBit",
+    "make_cache",
+    "make_predictor",
+    "run_pcam",
+    "run_to_halt",
+]

@@ -1,0 +1,105 @@
+"""Branch predictors for the cycle-accurate reference model.
+
+The PUM's branch model is statistical (policy name, penalty, average miss
+rate); these classes are the real predictors the "board" CPU uses, and the
+calibration pass measures their miss rates to fill in the PUM.
+"""
+
+from __future__ import annotations
+
+
+class PredictorBase:
+    """Common bookkeeping: prediction counts."""
+
+    name = "base"
+
+    def __init__(self):
+        self.predictions = 0
+        self.mispredictions = 0
+
+    @property
+    def miss_rate(self):
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+    def record(self, correct):
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+
+    def reset_stats(self):
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def __repr__(self):
+        return "%s(miss_rate=%.4f over %d)" % (
+            type(self).__name__, self.miss_rate, self.predictions,
+        )
+
+
+class StaticNotTaken(PredictorBase):
+    """Always predicts fall-through."""
+
+    name = "static-not-taken"
+
+    def predict_and_update(self, pc, target, taken):
+        correct = not taken
+        self.record(correct)
+        return correct
+
+
+class StaticBTFN(PredictorBase):
+    """Backward-taken / forward-not-taken (classic static heuristic)."""
+
+    name = "static-btfn"
+
+    def predict_and_update(self, pc, target, taken):
+        predicted_taken = target is not None and target <= pc
+        correct = predicted_taken == taken
+        self.record(correct)
+        return correct
+
+
+class TwoBit(PredictorBase):
+    """Per-PC two-bit saturating counters (a small bimodal predictor)."""
+
+    name = "2bit"
+
+    def __init__(self, table_size=512):
+        super().__init__()
+        if table_size <= 0:
+            raise ValueError("table size must be positive")
+        self.table_size = table_size
+        self.counters = [1] * table_size  # weakly not-taken
+
+    def predict_and_update(self, pc, target, taken):
+        slot = pc % self.table_size
+        counter = self.counters[slot]
+        predicted_taken = counter >= 2
+        correct = predicted_taken == taken
+        if taken:
+            if counter < 3:
+                self.counters[slot] = counter + 1
+        else:
+            if counter > 0:
+                self.counters[slot] = counter - 1
+        self.record(correct)
+        return correct
+
+
+PREDICTORS = {
+    "static-not-taken": StaticNotTaken,
+    "static-btfn": StaticBTFN,
+    "2bit": TwoBit,
+}
+
+
+def make_predictor(policy):
+    try:
+        return PREDICTORS[policy]()
+    except KeyError:
+        raise ValueError(
+            "unknown branch policy %r (choose from %s)"
+            % (policy, sorted(PREDICTORS))
+        )

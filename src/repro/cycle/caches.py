@@ -1,0 +1,131 @@
+"""Set-associative cache simulation (true LRU).
+
+These are the *real* caches of the cycle-accurate reference model — the
+counterpart of the PUM's statistical memory model.  Geometry follows the
+word-addressed R32 memory (4 bytes per word).
+"""
+
+from __future__ import annotations
+
+from ..isa.program import BYTES_PER_WORD
+
+DEFAULT_LINE_WORDS = 8
+DEFAULT_ASSOC = 2
+
+
+class CacheError(Exception):
+    """Raised for invalid cache geometry."""
+
+
+class Cache:
+    """A set-associative cache with LRU replacement.
+
+    Args:
+        size_bytes: total capacity; must be a positive multiple of the line
+            size times associativity (use :func:`make_cache` to get a
+            :class:`NullCache` for size 0).
+        line_words: words per line.
+        assoc: ways per set.
+        name: for reports.
+    """
+
+    def __init__(self, size_bytes, line_words=DEFAULT_LINE_WORDS,
+                 assoc=DEFAULT_ASSOC, name="cache"):
+        line_bytes = line_words * BYTES_PER_WORD
+        if size_bytes <= 0:
+            raise CacheError("cache size must be positive (got %d)" % size_bytes)
+        if size_bytes % (line_bytes * assoc) != 0:
+            raise CacheError(
+                "size %d is not a multiple of line*assoc (%d)"
+                % (size_bytes, line_bytes * assoc)
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_words = line_words
+        self.assoc = assoc
+        self.n_sets = size_bytes // (line_bytes * assoc)
+        # Each set is an MRU-ordered list of tags (front = most recent).
+        self._sets = [[] for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, word_addr):
+        """Touch ``word_addr``; returns True on hit.  Loads the line on miss."""
+        line = word_addr // self.line_words
+        index = line % self.n_sets
+        tag = line // self.n_sets
+        ways = self._sets[index]
+        try:
+            pos = ways.index(tag)
+        except ValueError:
+            self.misses += 1
+            ways.insert(0, tag)
+            if len(ways) > self.assoc:
+                ways.pop()
+            return False
+        if pos:
+            del ways[pos]
+            ways.insert(0, tag)
+        self.hits += 1
+        return True
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self):
+        self.hits = 0
+        self.misses = 0
+
+    def flush(self):
+        """Invalidate all lines (stats preserved)."""
+        self._sets = [[] for _ in range(self.n_sets)]
+
+    def __repr__(self):
+        return "Cache(%s, %dB, %d-way, hit_rate=%.3f)" % (
+            self.name, self.size_bytes, self.assoc, self.hit_rate,
+        )
+
+
+class NullCache:
+    """The "no cache" degenerate case: every access misses."""
+
+    def __init__(self, name="nocache"):
+        self.name = name
+        self.size_bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, word_addr):
+        self.misses += 1
+        return False
+
+    @property
+    def accesses(self):
+        return self.misses
+
+    @property
+    def hit_rate(self):
+        return 0.0
+
+    def reset_stats(self):
+        self.misses = 0
+
+    def flush(self):
+        pass
+
+    def __repr__(self):
+        return "NullCache(%s)" % self.name
+
+
+def make_cache(size_bytes, line_words=DEFAULT_LINE_WORDS,
+               assoc=DEFAULT_ASSOC, name="cache"):
+    """Build a cache; size 0 yields a :class:`NullCache`."""
+    if size_bytes == 0:
+        return NullCache(name)
+    return Cache(size_bytes, line_words, assoc, name)

@@ -1,0 +1,346 @@
+"""Cycle-accurate in-order CPU model — the "board" processor.
+
+Executes R32 images with a 5-stage in-order single-issue timing model whose
+functional-unit latencies match the MicroBlaze PUM, but with *real*
+set-associative caches and a *real* branch predictor in place of the PUM's
+statistical averages.  Together with the clock-stepped HW datapaths and the
+cycle-counted bus (:mod:`repro.cycle.pcam`) this forms the PCAM; its cycle
+counts stand in for the paper's on-board measurements.
+
+Timing model (standard in-order scoreboard):
+
+* one instruction issues per cycle, delayed by operand readiness (full
+  forwarding: ALU results ready next cycle, load results one cycle later),
+  by non-pipelined unit occupancy (MUL/DIV/FPU), by i-cache miss stalls on
+  fetch and d-cache miss stalls on memory access;
+* conditional branches resolve at EX through the branch predictor; a
+  misprediction costs ``branch_penalty`` cycles; indirect jumps (``jr``)
+  always pay the redirect.
+
+The model is resumable: ``run_until_event`` executes until ``halt`` or a
+communication instruction, so the PCAM co-simulation can interleave PEs over
+the simulation kernel at transaction boundaries.
+"""
+
+from __future__ import annotations
+
+from ..cdfg import cnum
+from ..isa.isa import TIMING_CLASS
+from .branch import make_predictor
+from .caches import make_cache
+
+#: Result latency (cycles until a dependent may use the value).
+RESULT_LATENCY = {
+    "alu": 1, "move": 1, "mul": 3, "div": 32,
+    "falu": 4, "fmul": 4, "fdiv": 28,
+    "load": 2, "store": 1, "branch": 1, "call": 1, "comm": 2,
+}
+#: EX occupancy (cycles the instruction blocks the pipeline).
+OCCUPANCY = {
+    "alu": 1, "move": 1, "mul": 3, "div": 32,
+    "falu": 4, "fmul": 4, "fdiv": 28,
+    "load": 1, "store": 1, "branch": 1, "call": 1, "comm": 1,
+}
+
+DEFAULT_EXT_LATENCY = 22
+DEFAULT_BRANCH_PENALTY = 2
+
+
+class CPUEvent:
+    """Why the CPU stopped: ``halt`` or a pending ``send``/``recv``."""
+
+    __slots__ = ("kind", "chan", "addr", "count")
+
+    def __init__(self, kind, chan=None, addr=None, count=None):
+        self.kind = kind
+        self.chan = chan
+        self.addr = addr
+        self.count = count
+
+    def __repr__(self):
+        if self.kind == "halt":
+            return "CPUEvent(halt)"
+        return "CPUEvent(%s chan=%d addr=%d n=%d)" % (
+            self.kind, self.chan, self.addr, self.count,
+        )
+
+
+class CycleCPUError(Exception):
+    """Raised for runtime faults or runaway execution."""
+
+
+class CycleCPU:
+    """The resumable cycle-accurate CPU."""
+
+    def __init__(self, image, icache_size=0, dcache_size=0,
+                 branch_policy="2bit", ext_latency=DEFAULT_EXT_LATENCY,
+                 branch_penalty=DEFAULT_BRANCH_PENALTY,
+                 max_instrs=500_000_000):
+        self.image = image
+        self.memory = image.fresh_memory()
+        self.regs = [0] * 32
+        self.pc = 0
+        self.cycle = 0
+        self.n_instrs = 0
+        self.icache = make_cache(icache_size, name="icache")
+        self.dcache = make_cache(dcache_size, name="dcache")
+        self.predictor = make_predictor(branch_policy)
+        self.ext_latency = ext_latency
+        self.branch_penalty = branch_penalty
+        self.max_instrs = max_instrs
+        self.halted = False
+        self._ready = [0] * 32  # cycle each register's value is available
+        self._unit_free = {"mul": 0, "div": 0, "falu": 0, "fmul": 0, "fdiv": 0}
+        self._pending_recv = None
+        self._last_sync_cycle = 0
+
+    # -- co-simulation interface ---------------------------------------------
+
+    def run_until_event(self):
+        """Execute until ``halt`` or a comm instruction.
+
+        Returns ``(event, cycles_since_last_call)``.  For a ``recv`` event the
+        caller must invoke :meth:`complete_recv` before resuming; for ``send``
+        the payload is ``self.memory[event.addr : event.addr + event.count]``.
+        """
+        event = self._execute()
+        elapsed = self.cycle - self._last_sync_cycle
+        self._last_sync_cycle = self.cycle
+        return event, elapsed
+
+    def complete_recv(self, values):
+        """Deliver data for the pending ``recv`` and charge the d-writes."""
+        event = self._pending_recv
+        if event is None:
+            raise CycleCPUError("no recv pending")
+        if len(values) != event.count:
+            raise CycleCPUError(
+                "recv expected %d words, got %d" % (event.count, len(values))
+            )
+        self.memory[event.addr : event.addr + event.count] = list(values)
+        for offset in range(event.count):
+            self.dcache.access(event.addr + offset)
+        self._pending_recv = None
+
+    @property
+    def return_value(self):
+        return self.regs[1]
+
+    # -- the core loop ---------------------------------------------------------
+
+    def _execute(self):
+        if self.halted:
+            return CPUEvent("halt")
+        image = self.image
+        instrs = image.instrs
+        memory = self.memory
+        regs = self.regs
+        ready = self._ready
+        unit_free = self._unit_free
+        icache = self.icache
+        dcache = self.dcache
+        predictor = self.predictor
+        ext = self.ext_latency
+        penalty = self.branch_penalty
+        timing_class = TIMING_CLASS
+        pc = self.pc
+        cycle = self.cycle
+        n_instrs = self.n_instrs
+        max_instrs = self.max_instrs
+
+        while True:
+            if n_instrs >= max_instrs:
+                raise CycleCPUError("instruction budget exhausted (livelock?)")
+            instr = instrs[pc]
+            op = instr.op
+            n_instrs += 1
+            klass = timing_class[op]
+
+            # Fetch: i-cache (pc is a word address in instruction memory).
+            issue = cycle + 1
+            if not icache.access(pc):
+                issue += ext
+
+            rd = instr.rd
+            ra = instr.ra
+            rb = instr.rb
+            taken = False
+            next_pc = pc + 1
+            mem_addr = None
+
+            # Operand readiness (registers are read at EX; forwarding means
+            # waiting for the producer's result latency only).
+            if ra is not None and ready[ra] > issue:
+                issue = ready[ra]
+            if rb is not None and ready[rb] > issue:
+                issue = ready[rb]
+            if instr.rc is not None and ready[instr.rc] > issue:
+                issue = ready[instr.rc]
+
+            # Structural hazard: non-pipelined multi-cycle units.
+            busy = unit_free.get(klass)
+            if busy is not None and busy > issue:
+                issue = busy
+
+            # --- functional execution (semantics identical to the ISS) ---
+            if op == "li":
+                regs[rd] = instr.imm
+            elif op == "lw":
+                mem_addr = regs[ra] + instr.imm
+                regs[rd] = memory[mem_addr]
+            elif op == "sw":
+                mem_addr = regs[ra] + instr.imm
+                memory[mem_addr] = regs[rd]
+            elif op == "lwx":
+                mem_addr = regs[ra] + regs[rb] + instr.imm
+                regs[rd] = memory[mem_addr]
+            elif op == "swx":
+                mem_addr = regs[ra] + regs[rb] + instr.imm
+                memory[mem_addr] = regs[instr.rc]
+            elif op == "add":
+                regs[rd] = cnum.c_add(regs[ra], regs[rb])
+            elif op == "addi":
+                regs[rd] = cnum.c_add(regs[ra], instr.imm)
+            elif op == "sub":
+                regs[rd] = cnum.c_sub(regs[ra], regs[rb])
+            elif op == "mul":
+                regs[rd] = cnum.c_mul(regs[ra], regs[rb])
+            elif op == "divi":
+                regs[rd] = cnum.c_div(regs[ra], regs[rb])
+            elif op == "rem":
+                regs[rd] = cnum.c_rem(regs[ra], regs[rb])
+            elif op == "andb":
+                regs[rd] = regs[ra] & regs[rb]
+            elif op == "orb":
+                regs[rd] = regs[ra] | regs[rb]
+            elif op == "xorb":
+                regs[rd] = regs[ra] ^ regs[rb]
+            elif op == "shl":
+                regs[rd] = cnum.c_shl(regs[ra], regs[rb])
+            elif op == "shr":
+                regs[rd] = cnum.c_shr(regs[ra], regs[rb])
+            elif op in ("slt", "fslt"):
+                regs[rd] = 1 if regs[ra] < regs[rb] else 0
+            elif op in ("sle", "fsle"):
+                regs[rd] = 1 if regs[ra] <= regs[rb] else 0
+            elif op in ("seq", "fseq"):
+                regs[rd] = 1 if regs[ra] == regs[rb] else 0
+            elif op in ("sne", "fsne"):
+                regs[rd] = 1 if regs[ra] != regs[rb] else 0
+            elif op in ("sgt", "fsgt"):
+                regs[rd] = 1 if regs[ra] > regs[rb] else 0
+            elif op in ("sge", "fsge"):
+                regs[rd] = 1 if regs[ra] >= regs[rb] else 0
+            elif op == "fadd":
+                regs[rd] = regs[ra] + regs[rb]
+            elif op == "fsub":
+                regs[rd] = regs[ra] - regs[rb]
+            elif op == "fmul":
+                regs[rd] = regs[ra] * regs[rb]
+            elif op == "fdiv":
+                if regs[rb] == 0.0:
+                    raise ZeroDivisionError("float division by zero")
+                regs[rd] = regs[ra] / regs[rb]
+            elif op == "mov":
+                regs[rd] = regs[ra]
+            elif op == "neg":
+                regs[rd] = cnum.c_neg(regs[ra])
+            elif op == "fneg":
+                regs[rd] = -regs[ra]
+            elif op == "notb":
+                regs[rd] = cnum.c_not(regs[ra])
+            elif op == "cvtfi":
+                regs[rd] = cnum.c_float_to_int(regs[ra])
+            elif op == "cvtif":
+                regs[rd] = float(regs[ra])
+            elif op == "beqz":
+                taken = regs[ra] == 0
+                if taken:
+                    next_pc = instr.target
+            elif op == "bnez":
+                taken = regs[ra] != 0
+                if taken:
+                    next_pc = instr.target
+            elif op == "j":
+                next_pc = instr.target
+            elif op == "jal":
+                regs[31] = pc + 1
+                next_pc = instr.target
+            elif op == "jr":
+                next_pc = regs[ra]
+            elif op == "halt":
+                self.halted = True
+                cycle = issue + 1
+                break
+            elif op in ("send", "recv"):
+                event = CPUEvent(
+                    op, chan=regs[ra], addr=regs[rb], count=regs[instr.rc]
+                )
+                if op == "send":
+                    for offset in range(event.count):
+                        dcache.access(event.addr + offset)
+                else:
+                    self._pending_recv = event
+                cycle = issue + 1
+                pc = next_pc
+                regs[0] = 0
+                self.pc = pc
+                self.cycle = cycle
+                self.n_instrs = n_instrs
+                return event
+            else:  # pragma: no cover
+                raise CycleCPUError("unknown opcode %r" % op)
+
+            # --- timing update ---
+            occupancy = OCCUPANCY[klass]
+            result_latency = RESULT_LATENCY[klass]
+            if mem_addr is not None:
+                if not dcache.access(mem_addr):
+                    occupancy += ext
+                    result_latency += ext
+            if klass in ("branch",) and op in ("beqz", "bnez"):
+                correct = predictor.predict_and_update(pc, instr.target, taken)
+                if not correct:
+                    occupancy += penalty
+            elif op == "jr":
+                occupancy += penalty  # indirect target: always a redirect
+            if busy is not None:
+                unit_free[klass] = issue + occupancy
+            if rd is not None:
+                ready[rd] = issue + result_latency
+            cycle = issue + occupancy - 1
+            regs[0] = 0
+            ready[0] = 0
+            pc = next_pc
+
+        self.pc = pc
+        self.cycle = cycle
+        self.n_instrs = n_instrs
+        return CPUEvent("halt")
+
+    # -- statistics -------------------------------------------------------------
+
+    def stats(self):
+        return {
+            "cycles": self.cycle,
+            "instrs": self.n_instrs,
+            "icache_hits": self.icache.hits,
+            "icache_misses": self.icache.misses,
+            "icache_hit_rate": self.icache.hit_rate,
+            "dcache_hits": self.dcache.hits,
+            "dcache_misses": self.dcache.misses,
+            "dcache_hit_rate": self.dcache.hit_rate,
+            "branch_predictions": self.predictor.predictions,
+            "branch_miss_rate": self.predictor.miss_rate,
+        }
+
+
+def run_to_halt(image, icache_size=0, dcache_size=0, **kwargs):
+    """Run an image with no communication; returns the finished CPU."""
+    cpu = CycleCPU(image, icache_size, dcache_size, **kwargs)
+    event, _ = cpu.run_until_event()
+    if event.kind != "halt":
+        raise CycleCPUError(
+            "program attempted %s with no platform attached" % event.kind
+        )
+    return cpu

@@ -1,0 +1,36 @@
+"""The estimation engine: Algorithms 1 and 2 plus the timing annotator."""
+
+from .annotator import (
+    AnnotationReport,
+    annotate_function,
+    annotate_ir_program,
+    estimated_total_cycles,
+)
+from .delay import DelayEstimator
+from .levels import (
+    DETAIL_LEVELS,
+    LatencyTableEstimator,
+    OpCountEstimator,
+    annotate_with_detail,
+    make_estimator,
+)
+from .profiler import ProgramProfile, profile_program
+from .scheduler import OptimisticScheduler, ScheduleResult, SchedulingError
+
+__all__ = [
+    "AnnotationReport",
+    "DETAIL_LEVELS",
+    "DelayEstimator",
+    "LatencyTableEstimator",
+    "OpCountEstimator",
+    "OptimisticScheduler",
+    "ProgramProfile",
+    "profile_program",
+    "ScheduleResult",
+    "SchedulingError",
+    "annotate_function",
+    "annotate_ir_program",
+    "annotate_with_detail",
+    "estimated_total_cycles",
+    "make_estimator",
+]

@@ -1,0 +1,91 @@
+"""Timing annotation — attaches estimated delays to every basic block.
+
+This is the "DFG Timing Annotator" of Fig. 3: for each basic block of each
+application process, compute the Algorithm-2 delay on the target PUM and
+store it on the block (``block.delay``).  The timed code generator then
+emits a ``wait(delay)`` at the end of every block (Section 4.3).
+
+Annotation time — the quantity Table 1 reports — is dominated by the
+per-block pipeline simulation, so it is proportional to program size and to
+the complexity of the PE's scheduling policy (the paper notes custom HW's
+List policy costs more than MicroBlaze's).
+"""
+
+from __future__ import annotations
+
+import time
+
+from .delay import DelayEstimator
+
+
+class AnnotationReport:
+    """Summary of one annotation run (sizes and wall time)."""
+
+    __slots__ = ("pe_name", "n_functions", "n_blocks", "n_ops", "seconds")
+
+    def __init__(self, pe_name, n_functions, n_blocks, n_ops, seconds):
+        self.pe_name = pe_name
+        self.n_functions = n_functions
+        self.n_blocks = n_blocks
+        self.n_ops = n_ops
+        self.seconds = seconds
+
+    def __repr__(self):
+        return (
+            "AnnotationReport(%s: %d funcs, %d blocks, %d ops, %.3fs)"
+            % (self.pe_name, self.n_functions, self.n_blocks, self.n_ops,
+               self.seconds)
+        )
+
+
+def annotate_function(func, pum, estimator=None):
+    """Annotate every block of ``func``; returns {label: delay}."""
+    estimator = estimator or DelayEstimator(pum)
+    delays = {}
+    for block in func.blocks:
+        block.delay = estimator.block_delay(block)
+        delays[block.label] = block.delay
+    return delays
+
+
+def annotate_ir_program(ir_program, pum, functions=None):
+    """Annotate (a subset of) a program's functions for one PUM.
+
+    Args:
+        ir_program: the lowered program.
+        pum: target :class:`~repro.pum.model.PUM`.
+        functions: iterable of function names; defaults to all functions.
+
+    Returns:
+        an :class:`AnnotationReport`.
+    """
+    estimator = DelayEstimator(pum)
+    names = list(functions) if functions is not None else list(ir_program.functions)
+    start = time.perf_counter()
+    n_blocks = 0
+    n_ops = 0
+    for name in names:
+        func = ir_program.function(name)
+        annotate_function(func, pum, estimator)
+        n_blocks += len(func.blocks)
+        n_ops += func.n_ops
+    seconds = time.perf_counter() - start
+    return AnnotationReport(pum.name, len(names), n_blocks, n_ops, seconds)
+
+
+def estimated_total_cycles(ir_program, block_counts):
+    """Total estimated cycles for an execution trace.
+
+    ``block_counts`` maps ``(func_name, label)`` to execution count (as
+    produced by the interpreter hook or by the timed TLM's own accounting).
+    Every counted function must have been annotated first.
+    """
+    total = 0
+    for (func_name, label), count in block_counts.items():
+        block = ir_program.function(func_name).blocks[label]
+        if block.delay is None:
+            raise ValueError(
+                "block %s of %s has no annotated delay" % (label, func_name)
+            )
+        total += block.delay * count
+    return total

@@ -1,0 +1,77 @@
+"""Reduced-detail delay estimators — the PE-abstraction trade-off.
+
+The paper (Section 1): "The number and combination of parameters used to
+model the PE determine the accuracy of the estimation. [...] The more
+detailed the PE model, the longer is the delay computation time.  A tradeoff
+is needed to determine the optimal abstraction of PE modeling."
+
+This module provides two cheaper abstractions below the full Algorithm-1
+pipeline simulation, sharing Algorithm 2's statistical terms:
+
+* :class:`LatencyTableEstimator` — ignores the pipeline structure and all
+  parallelism/hazards; a block's schedule delay is the sum of its ops'
+  functional-unit latencies (the "source-level table" approach of several
+  related works the paper compares against, e.g. its refs [2][3]).
+* :class:`OpCountEstimator` — the crudest model: a fixed CPI per operation
+  (retargetable profiling à la the paper's ref [4]).
+
+``make_estimator(pum, detail=...)`` dispatches between the levels.
+"""
+
+from __future__ import annotations
+
+from .delay import DelayEstimator
+
+DETAIL_LEVELS = ("full", "latency", "opcount")
+
+
+class LatencyTableEstimator(DelayEstimator):
+    """Per-op latency accumulation: no pipelining, no structural hazards."""
+
+    def schedule_delay(self, block, dfg=None):
+        if not block.ops:
+            return 0
+        return sum(self.pum.service_latency(op) for op in block.ops)
+
+
+class OpCountEstimator(DelayEstimator):
+    """Fixed cycles-per-operation: the cheapest possible PE abstraction."""
+
+    def __init__(self, pum, cpi=1.0, **kwargs):
+        super().__init__(pum, **kwargs)
+        if cpi <= 0:
+            raise ValueError("cpi must be positive")
+        self.cpi = cpi
+
+    def schedule_delay(self, block, dfg=None):
+        if not block.ops:
+            return 0
+        return max(1, int(round(block.n_ops * self.cpi)))
+
+
+def make_estimator(pum, detail="full", **kwargs):
+    """Build an estimator at the requested abstraction level."""
+    if detail == "full":
+        return DelayEstimator(pum, **kwargs)
+    if detail == "latency":
+        return LatencyTableEstimator(pum, **kwargs)
+    if detail == "opcount":
+        return OpCountEstimator(pum, **kwargs)
+    raise ValueError(
+        "unknown detail level %r (choose from %s)" % (detail, DETAIL_LEVELS)
+    )
+
+
+def annotate_with_detail(ir_program, pum, detail="full", **kwargs):
+    """Annotate a program at the requested abstraction level.
+
+    Returns the wall-clock annotation time in seconds.
+    """
+    import time
+
+    estimator = make_estimator(pum, detail, **kwargs)
+    start = time.perf_counter()
+    for func in ir_program.functions.values():
+        for block in func.blocks:
+            block.delay = estimator.block_delay(block)
+    return time.perf_counter() - start

@@ -1,0 +1,277 @@
+"""Algorithm 1 — Optimistic Scheduling of a basic block's DFG on a PUM.
+
+The scheduler simulates the PE's pipeline behaviour for a single basic
+block's data-flow graph, assuming optimistic cache behaviour (100% hits) and
+no branch misprediction; those statistical corrections are applied afterwards
+by Algorithm 2 (:mod:`repro.estimation.delay`).
+
+Faithful to the paper's pseudocode:
+
+* a *done* set, *current* (in-pipeline) set and *remaining* set;
+* ``advclock`` advances every pipeline by one cycle — operations advance to
+  the next stage when their per-stage cycle counter reaches zero, unless the
+  next stage is their *demand* stage and some data dependency has not yet
+  *committed* (the demand-operand / commit-result flags of the operation
+  mapping table);
+* ``AssignOps`` fills each pipeline's first stage from the remaining set
+  according to the PUM's operation scheduling policy (ASAP / ALAP / List);
+* the loop runs until the done set holds every operation of the block, and
+  terminates because the DFG of a basic block is acyclic.
+
+Structural hazards are honoured through the usage tables: an operation
+occupies one functional unit of the mapped kind while it sits in the mapped
+stage, and units have finite ``quantity``.
+"""
+
+from __future__ import annotations
+
+from ..cdfg.dfg import build_block_dfg
+
+
+class SchedulingError(Exception):
+    """Raised when the pipeline simulation fails to make progress."""
+
+
+class _Slot:
+    """An operation in flight: which op, its stage, and cycles left there."""
+
+    __slots__ = ("index", "stage", "remaining", "fu_kind")
+
+    def __init__(self, index, stage, remaining, fu_kind):
+        self.index = index
+        self.stage = stage
+        self.remaining = remaining
+        self.fu_kind = fu_kind
+
+
+class _PipelineState:
+    """Runtime state of one pipeline: per-stage occupancy lists."""
+
+    __slots__ = ("pipeline", "stages")
+
+    def __init__(self, pipeline):
+        self.pipeline = pipeline
+        self.stages = [[] for _ in pipeline.stages]
+
+    def stage_has_room(self, stage_idx):
+        width = self.pipeline.width
+        return width is None or len(self.stages[stage_idx]) < width
+
+
+class ScheduleResult:
+    """Outcome of scheduling one basic block."""
+
+    __slots__ = ("delay", "issue_cycle", "finish_cycle")
+
+    def __init__(self, delay, issue_cycle, finish_cycle):
+        self.delay = delay
+        self.issue_cycle = issue_cycle
+        self.finish_cycle = finish_cycle
+
+    def __repr__(self):
+        return "ScheduleResult(delay=%d)" % self.delay
+
+
+class OptimisticScheduler:
+    """Schedules basic-block DFGs on a PUM (paper Algorithm 1)."""
+
+    def __init__(self, pum):
+        self.pum = pum
+        self._fu_quantity = {unit.kind: unit.quantity for unit in pum.units}
+
+    # -- public API ----------------------------------------------------------
+
+    def schedule_block(self, block, dfg=None):
+        """Schedule ``block``; returns a :class:`ScheduleResult`.
+
+        ``dfg`` may be supplied to reuse a prebuilt
+        :class:`~repro.cdfg.dfg.BlockDFG`.
+        """
+        if dfg is None:
+            dfg = build_block_dfg(block)
+        return self._simulate(dfg)
+
+    def schedule_dfg(self, dfg):
+        """Schedule a prebuilt block DFG."""
+        return self._simulate(dfg)
+
+    # -- Algorithm 1 ---------------------------------------------------------
+
+    def _simulate(self, dfg):
+        ops = dfg.block.ops
+        n_ops = len(ops)
+        if n_ops == 0:
+            return ScheduleResult(0, [], [])
+
+        pum = self.pum
+        mappings = [pum.execution.mapping_for(op.opclass) for op in ops]
+        priorities = self._priorities(dfg)
+
+        pipelines = [_PipelineState(p) for p in pum.pipelines]
+        done = set()
+        committed = set()
+        assigned = set()  # ops fetched into some pipeline (c_set ∪ done)
+        remaining = list(range(n_ops))  # r_set, kept policy-ordered
+        remaining.sort(key=lambda i: priorities[i])
+        fu_busy = {kind: 0 for kind in self._fu_quantity}
+        issue_cycle = [None] * n_ops
+        finish_cycle = [None] * n_ops
+
+        delay = 0
+        # Generous progress bound: every op can occupy every stage for its
+        # worst-case latency plus full drain; anything beyond is a bug.
+        max_latency = max(
+            (u_delay for unit in pum.units for u_delay in unit.modes.values()),
+            default=1,
+        )
+        max_stages = max(p.n_stages for p in pum.pipelines)
+        budget = (n_ops + 1) * (max_latency + 1) * (max_stages + 1) + 64
+
+        while len(done) != n_ops:
+            if delay > budget:
+                raise SchedulingError(
+                    "no scheduling progress after %d cycles (%d/%d ops done)"
+                    % (delay, len(done), n_ops)
+                )
+            for state in pipelines:
+                retired = self._advclock(
+                    state, ops, mappings, dfg, done, committed, fu_busy,
+                    finish_cycle, delay,
+                )
+                done |= retired
+            for state in pipelines:
+                self._assign_ops(
+                    state, ops, mappings, dfg, remaining, assigned, committed,
+                    fu_busy, issue_cycle, delay,
+                )
+            delay += 1
+        return ScheduleResult(delay, issue_cycle, finish_cycle)
+
+    def _priorities(self, dfg):
+        """Policy-specific sort keys (smaller = scheduled earlier)."""
+        policy = self.pum.execution.policy
+        n_ops = len(dfg.block.ops)
+        if policy == "asap":
+            return list(range(n_ops))
+        latency = self.pum.service_latency
+        depths = dfg.all_depths(latency)
+        if policy == "list":
+            # Deepest remaining path first; ties broken by program order.
+            return [(-depths[i], i) for i in range(n_ops)]
+        # alap: earliest latest-start-time first.
+        critical = max(depths) if depths else 0
+        return [(critical - depths[i], i) for i in range(n_ops)]
+
+    def _advclock(
+        self, state, ops, mappings, dfg, done, committed, fu_busy,
+        finish_cycle, now,
+    ):
+        """Advance one pipeline by one clock; returns ops retiring this cycle.
+
+        Stages are processed back-to-front so an operation moves at most one
+        stage per cycle and freed capacity is visible to the stage behind it
+        (a normal pipeline shift).
+        """
+        retired = set()
+        n_stages = state.pipeline.n_stages
+        for stage_idx in range(n_stages - 1, -1, -1):
+            slots = state.stages[stage_idx]
+            kept = []
+            for slot in slots:
+                if slot.remaining > 0:
+                    slot.remaining -= 1
+                if slot.remaining > 0:
+                    kept.append(slot)
+                    continue
+                mapping = mappings[slot.index]
+                if stage_idx >= mapping.commit_stage:
+                    committed.add(slot.index)
+                if stage_idx == n_stages - 1:
+                    retired.add(slot.index)
+                    finish_cycle[slot.index] = now
+                    self._release_fu(slot, fu_busy)
+                    continue
+                moved = self._try_advance(
+                    state, slot, stage_idx + 1, ops, mappings, dfg,
+                    committed, fu_busy,
+                )
+                if not moved:
+                    kept.append(slot)  # stalls in place, holding its unit
+            state.stages[stage_idx] = kept
+        return retired
+
+    def _try_advance(
+        self, state, slot, next_stage, ops, mappings, dfg, committed, fu_busy,
+    ):
+        op_index = slot.index
+        mapping = mappings[op_index]
+        if not state.stage_has_room(next_stage):
+            return False
+        if next_stage == mapping.demand_stage:
+            if not dfg.deps[op_index] <= committed:
+                return False
+        usage = mapping.usage.get(next_stage)
+        if usage is not None:
+            fu_kind = usage[0]
+            # An op that already holds a unit of this kind keeps it.
+            if (
+                fu_busy[fu_kind] >= self._fu_quantity[fu_kind]
+                and slot.fu_kind != fu_kind
+            ):
+                return False
+        self._release_fu(slot, fu_busy)
+        slot.stage = next_stage
+        slot.remaining = self.pum.stage_latency(ops[op_index], next_stage)
+        slot.fu_kind = usage[0] if usage is not None else None
+        if slot.fu_kind is not None:
+            fu_busy[slot.fu_kind] += 1
+        state.stages[next_stage].append(slot)
+        return True
+
+    @staticmethod
+    def _release_fu(slot, fu_busy):
+        if slot.fu_kind is not None:
+            fu_busy[slot.fu_kind] -= 1
+            slot.fu_kind = None
+
+    def _assign_ops(
+        self, state, ops, mappings, dfg, remaining, assigned, committed,
+        fu_busy, issue_cycle, now,
+    ):
+        """Fill the pipeline's first stage from the remaining set.
+
+        Only operations whose DFG predecessors have all left the remaining
+        set are fetch-eligible; fetching in dependency order keeps in-order
+        pipelines deadlock-free (the front-most op's inputs are always ahead
+        of it or already committed).
+        """
+        if not remaining:
+            return
+        taken = []
+        for op_index in remaining:
+            if not state.stage_has_room(0):
+                break
+            deps = dfg.deps[op_index]
+            if any(d not in assigned for d in deps):
+                continue
+            mapping = mappings[op_index]
+            if mapping.demand_stage == 0 and not deps <= committed:
+                continue
+            usage = mapping.usage.get(0)
+            fu_kind = None
+            if usage is not None:
+                fu_kind = usage[0]
+                if fu_busy[fu_kind] >= self._fu_quantity[fu_kind]:
+                    continue
+            slot = _Slot(
+                op_index, 0, self.pum.stage_latency(ops[op_index], 0), fu_kind
+            )
+            if fu_kind is not None:
+                fu_busy[fu_kind] += 1
+            state.stages[0].append(slot)
+            assigned.add(op_index)
+            issue_cycle[op_index] = now
+            taken.append(op_index)
+        if taken:
+            taken_set = set(taken)
+            remaining[:] = [i for i in remaining if i not in taken_set]

@@ -1,0 +1,156 @@
+"""Design-space exploration on top of timed TLMs.
+
+The point of fast cycle-approximate TLMs (paper Section 1) is early
+exploration: "choosing the optimal platform for a given application and the
+optimal mapping of the application to the platform".  This module gives that
+workflow a small API: declare candidate design points, evaluate each with an
+automatically generated timed TLM, and rank them under an objective and
+optional constraints.
+
+Evaluation cost is seconds per point (Table 1), so exhaustive sweeps of
+dozens of points are practical where ISS/RTL evaluation would take days.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .tlm.generator import generate_tlm
+
+
+class DesignPoint:
+    """One candidate: a named design plus bookkeeping metadata.
+
+    ``build`` is a zero-argument callable returning a fresh
+    :class:`~repro.tlm.platform.Design` (TLMs mutate nothing, but fresh
+    designs keep points independent).  ``area`` is an arbitrary cost proxy
+    (the MP3 study uses the number of custom-HW units).
+    """
+
+    __slots__ = ("name", "build", "area", "meta")
+
+    def __init__(self, name, build, area=0, meta=None):
+        self.name = name
+        self.build = build
+        self.area = area
+        self.meta = dict(meta or {})
+
+    def __repr__(self):
+        return "DesignPoint(%r, area=%r)" % (self.name, self.area)
+
+
+class PointResult:
+    """Evaluation outcome of one design point."""
+
+    __slots__ = ("point", "makespan_cycles", "per_process_cycles",
+                 "wall_seconds", "tlm_result")
+
+    def __init__(self, point, tlm_result, wall_seconds):
+        self.point = point
+        self.makespan_cycles = tlm_result.makespan_cycles
+        self.per_process_cycles = {
+            name: p.cycles for name, p in tlm_result.processes.items()
+        }
+        self.wall_seconds = wall_seconds
+        self.tlm_result = tlm_result
+
+    def __repr__(self):
+        return "PointResult(%r: %d cycles)" % (
+            self.point.name, self.makespan_cycles,
+        )
+
+
+class ExplorationResult:
+    """All evaluated points plus ranking helpers."""
+
+    def __init__(self, results, total_seconds):
+        self.results = list(results)
+        self.total_seconds = total_seconds
+
+    def ranked(self, objective=None):
+        """Points sorted best-first by ``objective(result)`` (default:
+        makespan cycles)."""
+        key = objective or (lambda r: r.makespan_cycles)
+        return sorted(self.results, key=key)
+
+    def best(self, objective=None, constraint=None):
+        """The best point satisfying ``constraint(result)`` (or ``None``)."""
+        for result in self.ranked(objective):
+            if constraint is None or constraint(result):
+                return result
+        return None
+
+    def pareto_front(self):
+        """Points not dominated in (makespan, area) — the classic DSE view."""
+        front = []
+        for candidate in self.results:
+            dominated = False
+            for other in self.results:
+                if other is candidate:
+                    continue
+                if (other.makespan_cycles <= candidate.makespan_cycles
+                        and other.point.area <= candidate.point.area
+                        and (other.makespan_cycles < candidate.makespan_cycles
+                             or other.point.area < candidate.point.area)):
+                    dominated = True
+                    break
+            if not dominated:
+                front.append(candidate)
+        return sorted(front, key=lambda r: (r.point.area, r.makespan_cycles))
+
+    def __len__(self):
+        return len(self.results)
+
+
+def explore(points, granularity="transaction"):
+    """Evaluate every design point with a timed TLM.
+
+    Args:
+        points: iterable of :class:`DesignPoint`.
+        granularity: sc_wait batching granularity for the TLM runs.
+
+    Returns:
+        an :class:`ExplorationResult`.
+    """
+    start = time.perf_counter()
+    results = []
+    for point in points:
+        design = point.build()
+        model = generate_tlm(design, timed=True, granularity=granularity)
+        wall_start = time.perf_counter()
+        tlm_result = model.run()
+        wall = time.perf_counter() - wall_start
+        results.append(PointResult(point, tlm_result, wall))
+    return ExplorationResult(results, time.perf_counter() - start)
+
+
+def mp3_design_points(params=None, n_frames=2, seed=7, cache_configs=None,
+                      memory_model=None, branch_model=None):
+    """The paper's MP3 design space as ready-made points.
+
+    Variants SW/SW+1/SW+2/SW+4 crossed with the given cache configurations;
+    area proxy = number of custom-HW units.
+    """
+    from .apps.mp3 import VARIANTS, build_design
+    from .apps.mp3.source import VARIANT_MAPPINGS
+
+    if cache_configs is None:
+        cache_configs = ((8 * 1024, 4 * 1024),)
+    points = []
+    for variant in VARIANTS:
+        for icache, dcache in cache_configs:
+            def build(variant=variant, icache=icache, dcache=dcache):
+                design, _ = build_design(
+                    variant, params, n_frames=n_frames, seed=seed,
+                    icache_size=icache, dcache_size=dcache,
+                    memory_model=memory_model, branch_model=branch_model,
+                )
+                return design
+
+            points.append(DesignPoint(
+                "%s@%dk/%dk" % (variant, icache // 1024, dcache // 1024),
+                build,
+                area=len(VARIANT_MAPPINGS[variant]),
+                meta={"variant": variant, "icache": icache, "dcache": dcache},
+            ))
+    return points

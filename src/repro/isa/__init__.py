@@ -1,0 +1,35 @@
+"""R32 toy ISA, IR→R32 compiler and linked program images."""
+
+from .compiler import CompileError, compile_program
+from .isa import (
+    ARRAY_PARAM_REGS,
+    Instr,
+    N_REGS,
+    R_FP,
+    R_LINK,
+    R_RET,
+    R_SP,
+    R_ZERO,
+    TIMING_CLASS,
+    format_instr,
+)
+from .program import BYTES_PER_WORD, FrameInfo, Image, LinkError
+
+__all__ = [
+    "ARRAY_PARAM_REGS",
+    "BYTES_PER_WORD",
+    "CompileError",
+    "FrameInfo",
+    "Image",
+    "Instr",
+    "LinkError",
+    "N_REGS",
+    "R_FP",
+    "R_LINK",
+    "R_RET",
+    "R_SP",
+    "R_ZERO",
+    "TIMING_CLASS",
+    "compile_program",
+    "format_instr",
+]

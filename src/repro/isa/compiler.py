@@ -1,0 +1,454 @@
+"""IR → R32 compiler.
+
+Lowers the CDFG to R32 nearly one instruction per IR operation, so that the
+instruction stream the board executes has the same shape the estimation
+engine analysed (the paper's LLVM-based annotator enjoys the same property
+against MicroBlaze code).  Specifics:
+
+* locals and scalar parameters live in the stack frame; every IR ``ld``/``st``
+  is one ``lw``/``sw`` (the IR already makes every variable access explicit);
+* indexed accesses use the base+index+displacement forms ``lwx``/``swx``,
+  so array reads are one instruction like their IR counterparts;
+* expression temps live in registers, allocated per basic block (IR temps
+  never cross blocks) with spilling to frame slots when pressure demands;
+* array parameters are passed in dedicated registers (``r20``–``r27``),
+  caller-saved through a per-frame save area;
+* scalar arguments are stored by the caller directly into the callee frame.
+
+Calling convention overheads (prologue/epilogue, argument stores) are the
+main source of instruction-count difference versus the IR — a part of the
+estimation error the paper's approach also incurs.
+"""
+
+from __future__ import annotations
+
+from ..cfrontend.ctypes_ import FLOAT, INT, VOID, is_array
+from .isa import (
+    ARRAY_PARAM_REGS,
+    Instr,
+    R_FP,
+    R_LINK,
+    R_RET,
+    R_SP,
+    R_ZERO,
+    TEMP_REGS,
+)
+from .program import FrameInfo, Image, LinkError
+
+_SCRATCH = (2, 3, 4)
+_POOL = tuple(r for r in TEMP_REGS if r not in _SCRATCH)
+
+_INT_BINOPS = {
+    "+": "add", "-": "sub", "*": "mul", "/": "divi", "%": "rem",
+    "&": "andb", "|": "orb", "^": "xorb", "<<": "shl", ">>": "shr",
+    "<": "slt", "<=": "sle", "==": "seq", "!=": "sne", ">": "sgt",
+    ">=": "sge",
+}
+_FLOAT_BINOPS = {
+    "+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv",
+    "<": "fslt", "<=": "fsle", "==": "fseq", "!=": "fsne", ">": "fsgt",
+    ">=": "fsge",
+}
+
+
+class CompileError(Exception):
+    """Raised when the IR cannot be compiled (should indicate a builder bug)."""
+
+
+def compile_program(ir_program, entry, entry_args=(), stack_words=None):
+    """Compile ``ir_program`` into a linked :class:`Image`.
+
+    Args:
+        ir_program: the lowered program.
+        entry: name of the entry function (started by the bootstrap).
+        entry_args: scalar arguments the bootstrap passes to the entry.
+        stack_words: optional stack-size override.
+
+    Returns:
+        an :class:`~repro.isa.program.Image`.
+    """
+    if stack_words is None:
+        image = Image(ir_program)
+    else:
+        image = Image(ir_program, stack_words=stack_words)
+    image.entry_name = entry
+    for name, func in ir_program.functions.items():
+        image.frames[name] = FrameInfo(func)
+
+    entry_func = ir_program.function(entry)
+    n_scalar_params = sum(
+        1 for _, ctype in entry_func.params if not is_array(ctype)
+    )
+    if len(entry_args) != n_scalar_params or any(
+        is_array(ctype) for _, ctype in entry_func.params
+    ):
+        raise CompileError(
+            "entry %r must take exactly the provided scalar args" % entry
+        )
+
+    # Bootstrap: set up the stack, store entry args, call, halt.
+    code = image.instrs
+    code.append(Instr("li", rd=R_SP, imm=image.stack_base, comment="boot"))
+    frame = image.frames[entry]
+    for (name, _), value in zip(entry_func.params, entry_args):
+        code.append(Instr("li", rd=2, imm=value))
+        code.append(Instr("sw", rd=2, ra=R_SP, imm=frame.param_offsets[name]))
+    boot_jal = Instr("jal")
+    code.append(boot_jal)
+    code.append(Instr("halt"))
+
+    call_fixups = [(boot_jal, entry)]
+    for name, func in ir_program.functions.items():
+        compiler = _FunctionCompiler(image, func)
+        compiler.compile()
+        call_fixups.extend(compiler.call_fixups)
+
+    for instr, callee in call_fixups:
+        try:
+            instr.target = image.func_entry[callee]
+        except KeyError:
+            raise LinkError("call to unknown function %r" % callee)
+    return image
+
+
+class _FunctionCompiler:
+    def __init__(self, image, func):
+        self.image = image
+        self.func = func
+        self.frame = image.frames[func.name]
+        self.code = image.instrs
+        self.call_fixups = []  # (jal instr, callee name)
+        self.branch_fixups = []  # (instr, block label)
+        self.block_start = {}
+        self._prologue_addi = None
+        self._spill_slots = {}  # temp -> frame offset (per function)
+        self._ap_reg = {
+            name: ARRAY_PARAM_REGS[i]
+            for i, name in enumerate(self.frame.array_params)
+        }
+        if len(self.frame.array_params) > len(ARRAY_PARAM_REGS):
+            raise CompileError(
+                "%s: too many array parameters (max %d)"
+                % (func.name, len(ARRAY_PARAM_REGS))
+            )
+
+    # -- top level -----------------------------------------------------------
+
+    def compile(self):
+        self.image.func_entry[self.func.name] = len(self.code)
+        self._emit_prologue()
+        order = [block.label for block in self.func.blocks]
+        next_of = {
+            label: order[i + 1] if i + 1 < len(order) else None
+            for i, label in enumerate(order)
+        }
+        for block in self.func.blocks:
+            self.block_start[block.label] = len(self.code)
+            self._compile_block(block, next_of[block.label])
+        for instr, label in self.branch_fixups:
+            instr.target = self.block_start[label]
+        # Backpatch final frame size now that spill count is known.
+        self._prologue_addi.imm = self.frame.size
+
+    def _emit(self, op, **kwargs):
+        instr = Instr(op, **kwargs)
+        self.code.append(instr)
+        return instr
+
+    def _emit_prologue(self):
+        frame = self.frame
+        self._emit("sw", rd=R_FP, ra=R_SP, imm=0, comment="save fp")
+        self._emit("sw", rd=R_LINK, ra=R_SP, imm=1, comment="save ra")
+        self._emit("mov", rd=R_FP, ra=R_SP)
+        self._prologue_addi = self._emit(
+            "addi", rd=R_SP, ra=R_SP, imm=0, comment="frame"
+        )
+        # Zero scalar locals (CMini semantics: scalars start at 0).
+        zeroed = False
+        for name, ctype in self.func.locals.items():
+            if is_array(ctype) or name in frame.param_offsets:
+                continue
+            self._emit(
+                "sw", rd=R_ZERO, ra=R_FP, imm=frame.offset_of(name),
+                comment="zero %s" % name,
+            )
+            zeroed = True
+        del zeroed
+        # Materialise local-array initializers (C would memcpy a constant).
+        for name, init in self.func.local_array_inits.items():
+            base = frame.offset_of(name)
+            for i, value in enumerate(init):
+                self._emit("li", rd=2, imm=value)
+                self._emit("sw", rd=2, ra=R_FP, imm=base + i)
+
+    def _emit_epilogue(self):
+        self._emit("mov", rd=R_SP, ra=R_FP)
+        self._emit("lw", rd=R_LINK, ra=R_FP, imm=1)
+        self._emit("lw", rd=R_FP, ra=R_FP, imm=0)
+        self._emit("jr", ra=R_LINK)
+
+    # -- per-block compilation ----------------------------------------------
+
+    def _compile_block(self, block, next_label):
+        alloc = _BlockAlloc(self)
+        ops = block.ops
+        last_use = {}
+        for i, op in enumerate(ops):
+            for arg in op.args:
+                last_use[arg] = i
+            if op.dst is not None:
+                last_use.setdefault(op.dst, i)
+        alloc.last_use = last_use
+
+        for i, op in enumerate(ops):
+            self._compile_op(op, alloc, i, next_label)
+            alloc.release_dead(i)
+
+    def _compile_op(self, op, alloc, index, next_label):
+        opcode = op.opcode
+        if opcode == "const":
+            reg = alloc.write(op.dst)
+            self._emit("li", rd=reg, imm=op.attrs["value"])
+            alloc.finish_write(op.dst, reg)
+        elif opcode == "ld":
+            base, off = self._var_address(op.attrs["scope"], op.attrs["var"])
+            reg = alloc.write(op.dst)
+            self._emit("lw", rd=reg, ra=base, imm=off)
+            alloc.finish_write(op.dst, reg)
+        elif opcode == "st":
+            src = alloc.read(op.args[0], scratch=2)
+            base, off = self._var_address(op.attrs["scope"], op.attrs["var"])
+            self._emit("sw", rd=src, ra=base, imm=off)
+        elif opcode == "ldx":
+            idx = alloc.read(op.args[0], scratch=2)
+            base, off = self._var_address(op.attrs["scope"], op.attrs["var"])
+            reg = alloc.write(op.dst)
+            self._emit("lwx", rd=reg, ra=base, rb=idx, imm=off)
+            alloc.finish_write(op.dst, reg)
+        elif opcode == "stx":
+            idx = alloc.read(op.args[0], scratch=2)
+            src = alloc.read(op.args[1], scratch=3)
+            base, off = self._var_address(op.attrs["scope"], op.attrs["var"])
+            self._emit("swx", rc=src, ra=base, rb=idx, imm=off)
+        elif opcode == "bin":
+            table = _FLOAT_BINOPS if op.attrs["ctype"] == FLOAT else _INT_BINOPS
+            try:
+                machine_op = table[op.attrs["op"]]
+            except KeyError:
+                raise CompileError(
+                    "no %s machine op for %r"
+                    % (op.attrs["ctype"], op.attrs["op"])
+                )
+            a = alloc.read(op.args[0], scratch=2)
+            b = alloc.read(op.args[1], scratch=3)
+            reg = alloc.write(op.dst)
+            self._emit(machine_op, rd=reg, ra=a, rb=b)
+            alloc.finish_write(op.dst, reg)
+        elif opcode == "un":
+            a = alloc.read(op.args[0], scratch=2)
+            reg = alloc.write(op.dst)
+            kind = op.attrs["op"]
+            if kind == "-":
+                mop = "fneg" if op.attrs["ctype"] == FLOAT else "neg"
+                self._emit(mop, rd=reg, ra=a)
+            elif kind == "!":
+                self._emit("seq", rd=reg, ra=a, rb=R_ZERO)
+            elif kind == "~":
+                self._emit("notb", rd=reg, ra=a)
+            else:
+                raise CompileError("cannot compile unary %r" % kind)
+            alloc.finish_write(op.dst, reg)
+        elif opcode == "cast":
+            a = alloc.read(op.args[0], scratch=2)
+            reg = alloc.write(op.dst)
+            mop = "cvtfi" if op.attrs["to_type"] == INT else "cvtif"
+            self._emit(mop, rd=reg, ra=a)
+            alloc.finish_write(op.dst, reg)
+        elif opcode == "call":
+            self._compile_call(op, alloc, index)
+        elif opcode == "comm":
+            self._compile_comm(op, alloc)
+        elif opcode == "br":
+            cond = alloc.read(op.args[0], scratch=2)
+            true_label = op.attrs["true_label"]
+            false_label = op.attrs["false_label"]
+            if true_label == next_label:
+                instr = self._emit("beqz", ra=cond)
+                self.branch_fixups.append((instr, false_label))
+            elif false_label == next_label:
+                instr = self._emit("bnez", ra=cond)
+                self.branch_fixups.append((instr, true_label))
+            else:
+                instr = self._emit("bnez", ra=cond)
+                self.branch_fixups.append((instr, true_label))
+                jump = self._emit("j")
+                self.branch_fixups.append((jump, false_label))
+        elif opcode == "jmp":
+            if op.attrs["label"] != next_label:
+                instr = self._emit("j")
+                self.branch_fixups.append((instr, op.attrs["label"]))
+        elif opcode == "ret":
+            if op.args:
+                src = alloc.read(op.args[0], scratch=2)
+                self._emit("mov", rd=R_RET, ra=src)
+            self._emit_epilogue()
+        else:  # pragma: no cover
+            raise CompileError("cannot compile opcode %r" % opcode)
+
+    # -- memory addressing ----------------------------------------------------
+
+    def _var_address(self, scope, name):
+        """(base register, displacement) addressing a scalar/array variable."""
+        if scope == "global":
+            return R_ZERO, self.image.global_addr(name)
+        if name in self._ap_reg:
+            return self._ap_reg[name], 0
+        return R_FP, self.frame.offset_of(name)
+
+    def _array_base_into(self, reg, scope, name, from_save_area=False):
+        """Emit code putting an array's base address into ``reg``."""
+        if scope == "global":
+            self._emit("li", rd=reg, imm=self.image.global_addr(name))
+        elif name in self._ap_reg:
+            if from_save_area:
+                save_off = (
+                    self.frame.ap_save_base
+                    + self.frame.array_params.index(name)
+                )
+                self._emit("lw", rd=reg, ra=R_FP, imm=save_off)
+            else:
+                self._emit("mov", rd=reg, ra=self._ap_reg[name])
+        else:
+            self._emit("addi", rd=reg, ra=R_FP, imm=self.frame.offset_of(name))
+
+    # -- calls and communication ----------------------------------------------
+
+    def _compile_call(self, op, alloc, index):
+        callee_name = op.attrs["func"]
+        callee_func = self.func.program.function(callee_name)
+        callee_frame = self.image.frames[callee_name]
+
+        # Caller-saved state: live temps and our array-param registers.
+        alloc.spill_live(index)
+        for i, name in enumerate(self.frame.array_params):
+            self._emit(
+                "sw", rd=self._ap_reg[name], ra=R_FP,
+                imm=self.frame.ap_save_base + i, comment="save ap",
+            )
+
+        scalar_idx = 0
+        array_idx = 0
+        for (pname, ptype), spec in zip(callee_func.params, op.attrs["arg_spec"]):
+            if spec[0] == "temp":
+                src = alloc.read(op.args[spec[1]], scratch=2)
+                self._emit(
+                    "sw", rd=src, ra=R_SP,
+                    imm=callee_frame.param_offsets[pname], comment="arg",
+                )
+                scalar_idx += 1
+            else:
+                _, var, scope = spec
+                dest_reg = ARRAY_PARAM_REGS[array_idx]
+                # Own array-param sources are read back from the save area so
+                # that earlier destination writes cannot clobber them.
+                self._array_base_into(dest_reg, scope, var, from_save_area=True)
+                array_idx += 1
+        del scalar_idx
+
+        jal = self._emit("jal", comment="call %s" % callee_name)
+        self.call_fixups.append((jal, callee_name))
+
+        for i, name in enumerate(self.frame.array_params):
+            self._emit(
+                "lw", rd=self._ap_reg[name], ra=R_FP,
+                imm=self.frame.ap_save_base + i, comment="restore ap",
+            )
+        if op.dst is not None:
+            reg = alloc.write(op.dst)
+            self._emit("mov", rd=reg, ra=R_RET)
+            alloc.finish_write(op.dst, reg)
+
+    def _compile_comm(self, op, alloc):
+        chan = alloc.read(op.args[0], scratch=2)
+        count = alloc.read(op.args[1], scratch=3)
+        self._array_base_into(4, op.attrs["scope"], op.attrs["var"])
+        self._emit(op.attrs["kind"], ra=chan, rb=4, rc=count)
+
+
+class _BlockAlloc:
+    """Per-basic-block linear register allocator with spill support."""
+
+    def __init__(self, compiler):
+        self.compiler = compiler
+        self.free = list(reversed(_POOL))
+        self.loc = {}  # temp -> ("reg", r) | ("spill", frame offset)
+        self.owner = {}  # reg -> temp
+        self.last_use = {}
+
+    # -- operand access --------------------------------------------------------
+
+    def read(self, temp, scratch):
+        """Register currently holding ``temp`` (reloading into ``scratch``)."""
+        where = self.loc.get(temp)
+        if where is None:
+            raise CompileError(
+                "temp t%d used before definition (cross-block temp?)" % temp
+            )
+        if where[0] == "reg":
+            return where[1]
+        self.compiler._emit(
+            "lw", rd=scratch, ra=R_FP, imm=where[1], comment="reload t%d" % temp
+        )
+        return scratch
+
+    def write(self, temp):
+        """Register to compute ``temp`` into (scratch 4 if spilling)."""
+        if self.free:
+            return self.free.pop()
+        return 4
+
+    def finish_write(self, temp, reg):
+        if reg == 4:
+            off = self._spill_slot(temp)
+            self.loc[temp] = ("spill", off)
+            self.compiler._emit(
+                "sw", rd=4, ra=R_FP, imm=off, comment="spill t%d" % temp
+            )
+        else:
+            self.loc[temp] = ("reg", reg)
+            self.owner[reg] = temp
+
+    # -- liveness ----------------------------------------------------------------
+
+    def release_dead(self, op_index):
+        for reg, temp in list(self.owner.items()):
+            if self.last_use.get(temp, -1) <= op_index:
+                del self.owner[reg]
+                del self.loc[temp]
+                self.free.append(reg)
+
+    def spill_live(self, call_index):
+        """Move every temp live *past* ``call_index`` out of registers.
+
+        Temps whose last use is the call itself (its arguments) stay in their
+        registers: they are consumed before the ``jal`` and the callee may
+        clobber them freely afterwards.
+        """
+        for reg, temp in list(self.owner.items()):
+            if self.last_use.get(temp, -1) > call_index:
+                off = self._spill_slot(temp)
+                self.compiler._emit(
+                    "sw", rd=reg, ra=R_FP, imm=off,
+                    comment="call-save t%d" % temp,
+                )
+                self.loc[temp] = ("spill", off)
+                del self.owner[reg]
+                self.free.append(reg)
+
+    def _spill_slot(self, temp):
+        slots = self.compiler._spill_slots
+        if temp not in slots:
+            frame = self.compiler.frame
+            slots[temp] = frame.spill_base + frame.n_spills
+            frame.n_spills += 1
+        return slots[temp]

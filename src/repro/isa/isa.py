@@ -1,0 +1,149 @@
+"""R32 — the toy RISC ISA targeted by the compiler.
+
+R32 stands in for the MicroBlaze of the paper's evaluation platform: the
+compiled image is executed by the interpreted ISS baseline
+(:mod:`repro.iss`) and by the cycle-accurate pipeline model
+(:mod:`repro.cycle.cpu`) that plays the role of the FPGA board.
+
+Machine model:
+
+* 32 general registers (``r0`` is hardwired zero; ``r1`` return value;
+  ``r29`` stack pointer; ``r30`` frame pointer; ``r31`` link register).
+  Registers hold CMini values (32-bit-wrapped ints or floats).
+* Word-addressed memory; one CMini value per word, 4 bytes per word for
+  cache-geometry purposes.  Code lives in a separate instruction memory;
+  instruction fetches present ``pc`` as a word address to the i-cache.
+* ``send``/``recv`` instructions expose the platform's bus channels.
+
+Instruction forms (fields unused by a form are ``None``):
+
+========  ==========================================================
+form      instructions
+========  ==========================================================
+R3        ``add sub mul divi rem andb orb xorb shl shr`` and the
+          compare family ``slt sle seq sne sgt sge`` (int);
+          ``fadd fsub fmul fdiv fslt fsle fseq fsne fsgt fsge``
+R2        ``mov neg fneg notb cvtfi cvtif``
+I         ``li rd, imm`` · ``addi rd, ra, imm``
+MEM       ``lw rd, imm(ra)`` · ``sw rs, imm(ra)`` ·
+          ``lwx rd, imm(ra+rb)`` · ``swx rs, imm(ra+rb)``
+CTL       ``beqz ra, target`` · ``bnez ra, target`` · ``j target`` ·
+          ``jal target`` · ``jr ra`` · ``halt``
+COMM      ``send ra_chan, rb_addr, rc_count`` · ``recv`` likewise
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+# Register conventions.
+N_REGS = 32
+R_ZERO = 0
+R_RET = 1
+R_SP = 29
+R_FP = 30
+R_LINK = 31
+#: general-purpose allocatable registers (temps)
+TEMP_REGS = tuple(range(2, 20))
+#: registers carrying array-parameter base addresses (caller-saved)
+ARRAY_PARAM_REGS = tuple(range(20, 28))
+
+INT3_OPS = frozenset(
+    ["add", "sub", "mul", "divi", "rem", "andb", "orb", "xorb", "shl", "shr",
+     "slt", "sle", "seq", "sne", "sgt", "sge"]
+)
+FLOAT3_OPS = frozenset(
+    ["fadd", "fsub", "fmul", "fdiv",
+     "fslt", "fsle", "fseq", "fsne", "fsgt", "fsge"]
+)
+R2_OPS = frozenset(["mov", "neg", "fneg", "notb", "cvtfi", "cvtif"])
+MEM_OPS = frozenset(["lw", "sw", "lwx", "swx"])
+CTL_OPS = frozenset(["beqz", "bnez", "j", "jal", "jr", "halt"])
+COMM_OPS = frozenset(["send", "recv"])
+IMM_OPS = frozenset(["li", "addi"])
+
+ALL_OPS = INT3_OPS | FLOAT3_OPS | R2_OPS | MEM_OPS | CTL_OPS | COMM_OPS | IMM_OPS
+
+
+class Instr:
+    """One R32 instruction.
+
+    ``rc`` is only used by ``swx`` (store source) and ``send``/``recv``
+    (count register).  ``target`` is a resolved instruction index.
+    """
+
+    __slots__ = ("op", "rd", "ra", "rb", "rc", "imm", "target", "comment")
+
+    def __init__(self, op, rd=None, ra=None, rb=None, rc=None, imm=None,
+                 target=None, comment=None):
+        if op not in ALL_OPS:
+            raise ValueError("unknown R32 opcode %r" % op)
+        self.op = op
+        self.rd = rd
+        self.ra = ra
+        self.rb = rb
+        self.rc = rc
+        self.imm = imm
+        self.target = target
+        self.comment = comment
+
+    def __repr__(self):
+        return "<%s>" % format_instr(self)
+
+
+#: opcode -> timing class used by both execution backends
+TIMING_CLASS = {}
+for _op in ["add", "sub", "andb", "orb", "xorb", "shl", "shr",
+            "slt", "sle", "seq", "sne", "sgt", "sge",
+            "addi", "neg", "notb"]:
+    TIMING_CLASS[_op] = "alu"
+TIMING_CLASS["mul"] = "mul"
+TIMING_CLASS["divi"] = "div"
+TIMING_CLASS["rem"] = "div"
+for _op in ["fadd", "fsub", "fslt", "fsle", "fseq", "fsne", "fsgt", "fsge",
+            "fneg"]:
+    TIMING_CLASS[_op] = "falu"
+TIMING_CLASS["fmul"] = "fmul"
+TIMING_CLASS["fdiv"] = "fdiv"
+for _op in ["li", "mov", "cvtfi", "cvtif"]:
+    TIMING_CLASS[_op] = "move"
+for _op in ["lw", "lwx"]:
+    TIMING_CLASS[_op] = "load"
+for _op in ["sw", "swx"]:
+    TIMING_CLASS[_op] = "store"
+for _op in ["beqz", "bnez", "j"]:
+    TIMING_CLASS[_op] = "branch"
+TIMING_CLASS["jal"] = "call"
+TIMING_CLASS["jr"] = "branch"
+TIMING_CLASS["halt"] = "move"
+TIMING_CLASS["send"] = "comm"
+TIMING_CLASS["recv"] = "comm"
+
+
+def format_instr(instr):
+    """Assembly-ish rendering of one instruction."""
+    op = instr.op
+    if op in INT3_OPS or op in FLOAT3_OPS:
+        return "%s r%d, r%d, r%d" % (op, instr.rd, instr.ra, instr.rb)
+    if op in R2_OPS:
+        return "%s r%d, r%d" % (op, instr.rd, instr.ra)
+    if op == "li":
+        return "li r%d, %r" % (instr.rd, instr.imm)
+    if op == "addi":
+        return "addi r%d, r%d, %d" % (instr.rd, instr.ra, instr.imm)
+    if op == "lw":
+        return "lw r%d, %d(r%d)" % (instr.rd, instr.imm, instr.ra)
+    if op == "sw":
+        return "sw r%d, %d(r%d)" % (instr.rd, instr.imm, instr.ra)
+    if op == "lwx":
+        return "lwx r%d, %d(r%d+r%d)" % (instr.rd, instr.imm, instr.ra, instr.rb)
+    if op == "swx":
+        return "swx r%d, %d(r%d+r%d)" % (instr.rc, instr.imm, instr.ra, instr.rb)
+    if op in ("beqz", "bnez"):
+        return "%s r%d, %d" % (op, instr.ra, instr.target)
+    if op in ("j", "jal"):
+        return "%s %d" % (op, instr.target)
+    if op == "jr":
+        return "jr r%d" % instr.ra
+    if op in ("send", "recv"):
+        return "%s chan=r%d addr=r%d n=r%d" % (op, instr.ra, instr.rb, instr.rc)
+    return op

@@ -1,0 +1,144 @@
+"""Linked R32 program images: memory layout, frames and the bootstrap.
+
+An :class:`Image` is the output of the compiler: the instruction stream, the
+global-data layout/initialisation, per-function frame descriptions, and the
+entry bootstrap.  Both execution backends (ISS and cycle-accurate CPU model)
+consume images.
+"""
+
+from __future__ import annotations
+
+from ..cfrontend.ctypes_ import FLOAT, is_array
+
+#: first word address of the global data segment
+GLOBALS_BASE = 16
+#: default stack segment size in words
+DEFAULT_STACK_WORDS = 1 << 16
+#: bytes per memory word, for cache-geometry accounting
+BYTES_PER_WORD = 4
+
+
+class LinkError(Exception):
+    """Raised for layout or linking problems."""
+
+
+class FrameInfo:
+    """Stack-frame layout of one function (offsets are words from fp).
+
+    Layout::
+
+        fp + 0                  saved caller fp
+        fp + 1                  saved link register
+        fp + 2 .. 2+n_ap-1      caller's array-param register save area
+        fp + param_offsets[..]  scalar parameters (stored by the caller)
+        fp + local_offsets[..]  scalar locals and local arrays
+        fp + spill_base ..      temp spill slots
+    """
+
+    def __init__(self, func):
+        self.func_name = func.name
+        self.param_offsets = {}
+        self.local_offsets = {}
+        self.array_params = [
+            name for name, ctype in func.params if is_array(ctype)
+        ]
+        offset = 2
+        self.ap_save_base = offset
+        offset += len(self.array_params)
+        for name, ctype in func.params:
+            if not is_array(ctype):
+                self.param_offsets[name] = offset
+                offset += 1
+        for name, ctype in func.locals.items():
+            if name in self.param_offsets or name in self.array_params:
+                continue
+            if is_array(ctype):
+                self.local_offsets[name] = offset
+                offset += ctype.size
+            else:
+                self.local_offsets[name] = offset
+                offset += 1
+        self.spill_base = offset
+        self.n_spills = 0  # grown during codegen
+
+    @property
+    def size(self):
+        return self.spill_base + self.n_spills
+
+    def offset_of(self, name):
+        if name in self.param_offsets:
+            return self.param_offsets[name]
+        return self.local_offsets[name]
+
+    def __repr__(self):
+        return "FrameInfo(%s, %d words)" % (self.func_name, self.size)
+
+
+class Image:
+    """A linked R32 program."""
+
+    def __init__(self, ir_program, stack_words=DEFAULT_STACK_WORDS):
+        self.ir_program = ir_program
+        self.instrs = []
+        self.func_entry = {}  # function name -> instruction index
+        self.frames = {}  # function name -> FrameInfo
+        self.global_layout = {}  # name -> (addr, words)
+        self.data_init = []  # (addr, value)
+        self.stack_base = None
+        self.memory_words = None
+        self.stack_words = stack_words
+        self.entry_name = None
+        self._layout_globals()
+
+    def _layout_globals(self):
+        addr = GLOBALS_BASE
+        for name, (ctype, init) in self.ir_program.globals.items():
+            if is_array(ctype):
+                self.global_layout[name] = (addr, ctype.size)
+                for i, value in enumerate(init):
+                    if value:
+                        self.data_init.append((addr + i, value))
+                addr += ctype.size
+            else:
+                self.global_layout[name] = (addr, 1)
+                if init:
+                    self.data_init.append((addr, init))
+                addr += 1
+        self.stack_base = addr + 16
+        self.memory_words = self.stack_base + self.stack_words
+
+    def global_addr(self, name):
+        return self.global_layout[name][0]
+
+    def fresh_memory(self):
+        """A zeroed memory with globals initialised."""
+        memory = [0] * self.memory_words
+        for addr, value in self.data_init:
+            memory[addr] = value
+        return memory
+
+    @property
+    def n_instrs(self):
+        return len(self.instrs)
+
+    @property
+    def code_bytes(self):
+        """Instruction-memory footprint, for i-cache geometry."""
+        return self.n_instrs * BYTES_PER_WORD
+
+    def disassemble(self):
+        from .isa import format_instr
+
+        entry_at = {idx: name for name, idx in self.func_entry.items()}
+        lines = []
+        for i, instr in enumerate(self.instrs):
+            if i in entry_at:
+                lines.append("%s:" % entry_at[i])
+            comment = " ; %s" % instr.comment if instr.comment else ""
+            lines.append("  %4d: %s%s" % (i, format_instr(instr), comment))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "Image(%d instrs, %d data words, entry=%r)" % (
+            self.n_instrs, self.memory_words, self.entry_name,
+        )

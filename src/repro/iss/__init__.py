@@ -1,0 +1,19 @@
+"""Interpreted instruction-set simulator baseline."""
+
+from .simulator import (
+    ISS,
+    ISS_CLASS_CYCLES,
+    ISS_MISS_PENALTY,
+    ISSError,
+    ISSResult,
+    assumed_miss_rate,
+)
+
+__all__ = [
+    "ISS",
+    "ISS_CLASS_CYCLES",
+    "ISS_MISS_PENALTY",
+    "ISSError",
+    "ISSResult",
+    "assumed_miss_rate",
+]

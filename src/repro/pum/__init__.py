@@ -1,0 +1,52 @@
+"""Processing Unit Models (paper Section 4.1) and a preset library."""
+
+from .library import (
+    EXT_MEMORY_LATENCY,
+    KB,
+    PAPER_CACHE_CONFIGS,
+    dct_hw,
+    filtercore_hw,
+    imdct_hw,
+    microblaze,
+    superscalar2,
+)
+from .loader import load_pum, pum_from_dict, pum_from_json, pum_to_dict, pum_to_json, save_pum
+from .model import (
+    BranchModel,
+    CachePoint,
+    ExecutionModel,
+    FunctionalUnit,
+    MemoryModel,
+    OpMapping,
+    Pipeline,
+    PUM,
+    PUMError,
+    SCHEDULING_POLICIES,
+)
+
+__all__ = [
+    "BranchModel",
+    "CachePoint",
+    "EXT_MEMORY_LATENCY",
+    "ExecutionModel",
+    "FunctionalUnit",
+    "KB",
+    "MemoryModel",
+    "OpMapping",
+    "PAPER_CACHE_CONFIGS",
+    "PUM",
+    "PUMError",
+    "Pipeline",
+    "SCHEDULING_POLICIES",
+    "dct_hw",
+    "filtercore_hw",
+    "imdct_hw",
+    "load_pum",
+    "microblaze",
+    "pum_from_dict",
+    "pum_from_json",
+    "pum_to_dict",
+    "pum_to_json",
+    "save_pum",
+    "superscalar2",
+]

@@ -1,0 +1,208 @@
+"""Preset Processing Unit Models.
+
+Mirrors the paper's two worked examples — Fig. 5 (a MicroBlaze-like
+single-issue embedded processor with configurable I/D caches) and Fig. 4 (a
+DCT custom-HW unit with a non-pipelined datapath and single-cycle SRAM) —
+plus the FilterCore/IMDCT custom HW units used in the MP3 case study and a
+dual-issue superscalar variant exercising the multi-pipeline support.
+
+Cache-statistics defaults here are placeholders good enough for examples;
+the benchmarks calibrate them from a training run via
+:mod:`repro.calibration` before estimating, as the paper's "average
+hit-rates ... for a set of cache sizes" are measured quantities.
+"""
+
+from __future__ import annotations
+
+from .model import (
+    BranchModel,
+    CachePoint,
+    ExecutionModel,
+    FunctionalUnit,
+    MemoryModel,
+    OpMapping,
+    Pipeline,
+    PUM,
+)
+
+KB = 1024
+
+#: The five I/D cache configurations evaluated in Tables 2 and 3.
+PAPER_CACHE_CONFIGS = (
+    (0, 0),
+    (2 * KB, 2 * KB),
+    (8 * KB, 4 * KB),
+    (16 * KB, 16 * KB),
+    (32 * KB, 16 * KB),
+)
+
+#: External (cache-miss) memory latency in cycles for the evaluation platform.
+EXT_MEMORY_LATENCY = 22
+
+
+def default_icache_stats():
+    """Fallback i-cache hit-rate table (size in bytes -> CachePoint)."""
+    return {
+        2 * KB: CachePoint(0.935, 0),
+        4 * KB: CachePoint(0.965, 0),
+        8 * KB: CachePoint(0.985, 0),
+        16 * KB: CachePoint(0.995, 0),
+        32 * KB: CachePoint(0.998, 0),
+    }
+
+
+def default_dcache_stats():
+    """Fallback d-cache hit-rate table (size in bytes -> CachePoint)."""
+    return {
+        2 * KB: CachePoint(0.88, 0),
+        4 * KB: CachePoint(0.93, 0),
+        8 * KB: CachePoint(0.96, 0),
+        16 * KB: CachePoint(0.975, 0),
+        32 * KB: CachePoint(0.985, 0),
+    }
+
+
+def microblaze(
+    icache_size=8 * KB,
+    dcache_size=4 * KB,
+    memory_model=None,
+    branch_model=None,
+):
+    """The Fig. 5 PUM: MIPS-like single-issue 5-stage embedded processor.
+
+    Stages IF/ID/EX/MEM/WB; integer ops demand operands at EX and commit at
+    EX (full forwarding), loads commit at MEM (one load-use stall),
+    multiplies occupy a 3-cycle multiplier, floats a shared FPU.
+    """
+    units = [
+        FunctionalUnit("alu0", "ALU", 1, {"int": 1}),
+        FunctionalUnit("mul0", "MUL", 1, {"mul": 3}),
+        FunctionalUnit("div0", "DIV", 1, {"div": 32}),
+        FunctionalUnit("fpu0", "FPU", 1, {"add": 4, "mul": 4, "div": 28}),
+        FunctionalUnit("lsu0", "MEM", 1, {"access": 1}),
+        FunctionalUnit("bru0", "BR", 1, {"resolve": 1}),
+    ]
+    pipeline = Pipeline("main", ["IF", "ID", "EX", "MEM", "WB"], width=1)
+    mappings = {
+        "alu": OpMapping(2, 2, {2: ("ALU", "int")}),
+        "move": OpMapping(2, 2, {2: ("ALU", "int")}),
+        "mul": OpMapping(2, 3, {2: ("MUL", "mul")}),
+        "div": OpMapping(2, 3, {2: ("DIV", "div")}),
+        "falu": OpMapping(2, 3, {2: ("FPU", "add")}),
+        "fmul": OpMapping(2, 3, {2: ("FPU", "mul")}),
+        "fdiv": OpMapping(2, 3, {2: ("FPU", "div")}),
+        "load": OpMapping(2, 3, {3: ("MEM", "access")}),
+        "store": OpMapping(2, 3, {3: ("MEM", "access")}),
+        "branch": OpMapping(2, 2, {2: ("BR", "resolve")}),
+        "call": OpMapping(2, 2, {2: ("BR", "resolve")}),
+        "comm": OpMapping(2, 3, {3: ("MEM", "access")}),
+    }
+    execution = ExecutionModel("asap", mappings)
+    if branch_model is None:
+        branch_model = BranchModel("static-not-taken", penalty=2, miss_rate=0.45)
+    if memory_model is None:
+        memory_model = MemoryModel(
+            default_icache_stats(), default_dcache_stats(), EXT_MEMORY_LATENCY
+        )
+    return PUM(
+        "MicroBlaze",
+        execution,
+        units,
+        [pipeline],
+        branch=branch_model,
+        memory=memory_model,
+        icache_size=icache_size,
+        dcache_size=dcache_size,
+        frequency_mhz=100.0,
+    )
+
+
+def _custom_hw(name, n_alus, n_fpus, mul_delay=2, fpu_add=2, fpu_mul=3):
+    """Shared skeleton for Fig.-4-style custom hardware PUMs.
+
+    Non-pipelined datapath → an equivalent single-issue pipeline with one
+    stage; register files / block RAMs have single-cycle delay; no caches and
+    no branch predictor, so Algorithm 2 adds no statistical terms.
+    """
+    units = [
+        FunctionalUnit("alu", "ALU", n_alus, {"int": 1}),
+        FunctionalUnit("mul", "MUL", 1, {"mul": mul_delay}),
+        FunctionalUnit("div", "DIV", 1, {"div": 16}),
+        FunctionalUnit(
+            "fpu", "FPU", n_fpus, {"add": fpu_add, "mul": fpu_mul, "div": 12}
+        ),
+        FunctionalUnit("sram", "MEM", 2, {"access": 1}),
+        FunctionalUnit("ctrl", "BR", 1, {"resolve": 1}),
+    ]
+    pipeline = Pipeline("datapath", ["EXE"], width=None)
+    mappings = {
+        "alu": OpMapping(0, 0, {0: ("ALU", "int")}),
+        "move": OpMapping(0, 0, {0: ("ALU", "int")}),
+        "mul": OpMapping(0, 0, {0: ("MUL", "mul")}),
+        "div": OpMapping(0, 0, {0: ("DIV", "div")}),
+        "falu": OpMapping(0, 0, {0: ("FPU", "add")}),
+        "fmul": OpMapping(0, 0, {0: ("FPU", "mul")}),
+        "fdiv": OpMapping(0, 0, {0: ("FPU", "div")}),
+        "load": OpMapping(0, 0, {0: ("MEM", "access")}),
+        "store": OpMapping(0, 0, {0: ("MEM", "access")}),
+        "branch": OpMapping(0, 0, {0: ("BR", "resolve")}),
+        "call": OpMapping(0, 0, {0: ("BR", "resolve")}),
+        "comm": OpMapping(0, 0, {0: ("MEM", "access")}),
+    }
+    execution = ExecutionModel("list", mappings)
+    return PUM(
+        name,
+        execution,
+        units,
+        [pipeline],
+        branch=None,
+        memory=None,
+        frequency_mhz=100.0,
+    )
+
+
+def dct_hw():
+    """Fig. 4: the DCT custom-HW PUM (2 ALUs, 1 multiplier, 1 FPU)."""
+    return _custom_hw("DCT-HW", n_alus=2, n_fpus=1)
+
+
+def filtercore_hw():
+    """Custom HW for the MP3 polyphase synthesis filter (MAC-heavy: 4 FPUs)."""
+    return _custom_hw("FilterCore-HW", n_alus=2, n_fpus=4)
+
+
+def imdct_hw():
+    """Custom HW for the 36-point IMDCT (2 FPUs)."""
+    return _custom_hw("IMDCT-HW", n_alus=2, n_fpus=2)
+
+
+def superscalar2(icache_size=16 * KB, dcache_size=16 * KB):
+    """A dual-issue variant of the MicroBlaze PUM (two identical pipelines).
+
+    Exercises the paper's "multiple pipelines are allowed for superscalar
+    architectures" clause; not part of the paper's evaluation platform.
+    """
+    base = microblaze(icache_size, dcache_size)
+    units = [
+        FunctionalUnit("alu0", "ALU", 2, {"int": 1}),
+        FunctionalUnit("mul0", "MUL", 1, {"mul": 3}),
+        FunctionalUnit("div0", "DIV", 1, {"div": 32}),
+        FunctionalUnit("fpu0", "FPU", 2, {"add": 4, "mul": 4, "div": 28}),
+        FunctionalUnit("lsu0", "MEM", 1, {"access": 1}),
+        FunctionalUnit("bru0", "BR", 1, {"resolve": 1}),
+    ]
+    pipelines = [
+        Pipeline("pipe0", ["IF", "ID", "EX", "MEM", "WB"], width=1),
+        Pipeline("pipe1", ["IF", "ID", "EX", "MEM", "WB"], width=1),
+    ]
+    return PUM(
+        "SuperScalar2",
+        base.execution,
+        units,
+        pipelines,
+        branch=base.branch,
+        memory=base.memory,
+        icache_size=icache_size,
+        dcache_size=dcache_size,
+        frequency_mhz=100.0,
+    )

@@ -1,0 +1,132 @@
+"""PUM serialisation: dict/JSON round-trip.
+
+Lets platform descriptions live in version-controlled JSON files, like the
+graphical platform capture of the paper's ESE front-end would emit.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .model import (
+    BranchModel,
+    CachePoint,
+    ExecutionModel,
+    FunctionalUnit,
+    MemoryModel,
+    OpMapping,
+    Pipeline,
+    PUM,
+)
+
+
+def pum_to_dict(pum):
+    """Serialise a PUM into plain dicts/lists (JSON-compatible)."""
+    data = {
+        "name": pum.name,
+        "frequency_mhz": pum.frequency_mhz,
+        "execution": {
+            "policy": pum.execution.policy,
+            "op_mappings": {
+                opclass: {
+                    "demand": m.demand_stage,
+                    "commit": m.commit_stage,
+                    "usage": {
+                        str(stage): list(fu) for stage, fu in m.usage.items()
+                    },
+                }
+                for opclass, m in pum.execution.op_mappings.items()
+            },
+        },
+        "units": [
+            {
+                "uid": u.uid,
+                "kind": u.kind,
+                "quantity": u.quantity,
+                "modes": dict(u.modes),
+            }
+            for u in pum.units
+        ],
+        "pipelines": [
+            {"name": p.name, "stages": list(p.stages), "width": p.width}
+            for p in pum.pipelines
+        ],
+        "icache_size": pum.icache_size,
+        "dcache_size": pum.dcache_size,
+    }
+    if pum.branch is not None:
+        data["branch"] = {
+            "policy": pum.branch.policy,
+            "penalty": pum.branch.penalty,
+            "miss_rate": pum.branch.miss_rate,
+        }
+    if pum.memory is not None:
+        data["memory"] = {
+            "ext_latency": pum.memory.ext_latency,
+            "icache": {
+                str(size): [pt.hit_rate, pt.hit_delay]
+                for size, pt in pum.memory.icache.items()
+            },
+            "dcache": {
+                str(size): [pt.hit_rate, pt.hit_delay]
+                for size, pt in pum.memory.dcache.items()
+            },
+        }
+    return data
+
+
+def pum_from_dict(data):
+    """Reconstruct a PUM from :func:`pum_to_dict` output."""
+    mappings = {}
+    for opclass, m in data["execution"]["op_mappings"].items():
+        usage = {int(stage): tuple(fu) for stage, fu in m["usage"].items()}
+        mappings[opclass] = OpMapping(m["demand"], m["commit"], usage)
+    execution = ExecutionModel(data["execution"]["policy"], mappings)
+    units = [
+        FunctionalUnit(u["uid"], u["kind"], u["quantity"], u["modes"])
+        for u in data["units"]
+    ]
+    pipelines = [
+        Pipeline(p["name"], p["stages"], p["width"]) for p in data["pipelines"]
+    ]
+    branch = None
+    if "branch" in data:
+        b = data["branch"]
+        branch = BranchModel(b["policy"], b["penalty"], b["miss_rate"])
+    memory = None
+    if "memory" in data:
+        m = data["memory"]
+        memory = MemoryModel(
+            {int(s): CachePoint(*pt) for s, pt in m["icache"].items()},
+            {int(s): CachePoint(*pt) for s, pt in m["dcache"].items()},
+            m["ext_latency"],
+        )
+    return PUM(
+        data["name"],
+        execution,
+        units,
+        pipelines,
+        branch=branch,
+        memory=memory,
+        icache_size=data.get("icache_size", 0),
+        dcache_size=data.get("dcache_size", 0),
+        frequency_mhz=data.get("frequency_mhz", 100.0),
+    )
+
+
+def pum_to_json(pum, indent=2):
+    return json.dumps(pum_to_dict(pum), indent=indent, sort_keys=True)
+
+
+def pum_from_json(text):
+    return pum_from_dict(json.loads(text))
+
+
+def save_pum(pum, path):
+    with open(path, "w") as handle:
+        handle.write(pum_to_json(pum))
+
+
+def load_pum(path):
+    with open(path) as handle:
+        return pum_from_json(handle.read())

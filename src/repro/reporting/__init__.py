@@ -1,0 +1,5 @@
+"""Table formatting and error metrics for the experiment harness."""
+
+from .tables import Table, fmt_cycles, fmt_seconds, pct_error
+
+__all__ = ["Table", "fmt_cycles", "fmt_seconds", "pct_error"]

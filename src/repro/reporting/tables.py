@@ -1,0 +1,75 @@
+"""Plain-text table rendering and the error metrics the paper reports.
+
+The paper prints cycle counts in millions and *absolute* percentage errors
+("we used absolute error values to compute averages"); these helpers keep
+the benchmark harness consistent with that convention.
+"""
+
+from __future__ import annotations
+
+
+def pct_error(estimate, reference):
+    """Signed percentage error of ``estimate`` against ``reference``."""
+    if reference == 0:
+        raise ValueError("reference must be nonzero")
+    return 100.0 * (estimate - reference) / reference
+
+
+def fmt_cycles(cycles):
+    """Render a cycle count the way the paper does (e.g. ``27.22M``)."""
+    if cycles >= 10_000_000:
+        return "%.2fM" % (cycles / 1e6)
+    if cycles >= 1_000_000:
+        return "%.3fM" % (cycles / 1e6)
+    if cycles >= 10_000:
+        return "%.1fk" % (cycles / 1e3)
+    return str(int(cycles))
+
+
+def fmt_seconds(seconds):
+    """Render a wall-clock duration compactly."""
+    if seconds < 1e-3:
+        return "%.0fus" % (seconds * 1e6)
+    if seconds < 1.0:
+        return "%.1fms" % (seconds * 1e3)
+    if seconds < 120.0:
+        return "%.2fs" % seconds
+    return "%.1fmin" % (seconds / 60.0)
+
+
+class Table:
+    """A small aligned-text table builder."""
+
+    def __init__(self, headers, title=None):
+        self.title = title
+        self.headers = list(headers)
+        self.rows = []
+
+    def add_row(self, *cells):
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                "expected %d cells, got %d" % (len(self.headers), len(cells))
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self):
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        sep = "-+-".join("-" * w for w in widths)
+        lines.append(
+            " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(
+                " | ".join(c.rjust(w) for c, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.render()

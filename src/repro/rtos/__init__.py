@@ -1,0 +1,7 @@
+"""Timed RTOS modelling — the paper's stated future work ("we plan to
+improve our PE data models by adding RTOS parameters"), realised along the
+lines of the authors' follow-on work on RTOS-aware timed TLMs."""
+
+from .model import CPUShare, RTOSModel
+
+__all__ = ["CPUShare", "RTOSModel"]

@@ -1,0 +1,14 @@
+"""Discrete-event simulation kernel and abstract bus channels."""
+
+from .channel import Bus, BusChannel, ChannelMap
+from .kernel import DeadlockError, Kernel, SimProcess, SimulationError
+
+__all__ = [
+    "Bus",
+    "BusChannel",
+    "ChannelMap",
+    "DeadlockError",
+    "Kernel",
+    "SimProcess",
+    "SimulationError",
+]

@@ -1,0 +1,166 @@
+"""A small discrete-event simulation kernel — the SystemC substitute.
+
+The paper links annotated C processes with a SystemC wrapper; here the
+generated Python processes are linked with this kernel.  Semantics follow
+SystemC's cooperative model: exactly one process runs at a time, processes
+suspend via ``wait`` (time) or by blocking on a channel, and simulated time
+advances only between process activations.
+
+Processes run on worker threads (like SystemC's QuickThreads) so that a
+blocking channel access may occur at any call depth inside generated code,
+but execution is strictly sequential: the kernel hands control to one
+process and regains it before doing anything else, so simulation results are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+
+
+class SimulationError(Exception):
+    """Raised for kernel-level failures (deadlock, process error)."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when processes remain blocked but no timed event is pending."""
+
+
+class _ProcessExit(Exception):
+    """Internal: unwinds a process thread when the simulation stops early."""
+
+
+class SimProcess:
+    """One simulation process (SC_THREAD equivalent).
+
+    ``target`` is called with the process as its single argument; it runs on
+    a dedicated thread and must use :meth:`wait` / channel operations for all
+    synchronisation.
+    """
+
+    def __init__(self, kernel, name, target):
+        self.kernel = kernel
+        self.name = name
+        self.target = target
+        self.finished = False
+        self.error = None
+        self.blocked_on = None  # description while blocked on a channel
+        self._go = threading.Semaphore(0)
+        self._yielded = threading.Semaphore(0)
+        self._thread = threading.Thread(
+            target=self._run, name="sim-%s" % name, daemon=True
+        )
+        self._started = False
+
+    # -- called from the kernel thread --------------------------------------
+
+    def _start(self):
+        self._started = True
+        self._thread.start()
+
+    def _resume(self):
+        """Hand control to the process and wait until it yields back."""
+        if not self._started:
+            self._start()
+        self._go.release()
+        self._yielded.acquire()
+        if self.error is not None:
+            raise SimulationError(
+                "process %r failed: %r" % (self.name, self.error)
+            ) from self.error
+
+    # -- called from the process thread --------------------------------------
+
+    def _run(self):
+        self._go.acquire()
+        try:
+            self.target(self)
+        except _ProcessExit:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported to the kernel
+            self.error = exc
+        finally:
+            self.finished = True
+            self._yielded.release()
+
+    def wait(self, duration):
+        """Suspend this process for ``duration`` time units."""
+        if duration < 0:
+            raise SimulationError("cannot wait a negative duration")
+        self.kernel._schedule(self.kernel.now + duration, self)
+        self._suspend()
+
+    def _suspend(self):
+        """Yield to the kernel; returns when the kernel resumes us."""
+        self._yielded.release()
+        self._go.acquire()
+        if self.kernel._stopping:
+            raise _ProcessExit()
+
+    def __repr__(self):
+        state = "finished" if self.finished else (self.blocked_on or "ready")
+        return "SimProcess(%r, %s)" % (self.name, state)
+
+
+class Kernel:
+    """The simulation scheduler."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.processes = []
+        self._queue = []  # heap of (time, seq, process)
+        self._seq = 0
+        self._stopping = False
+        self.trace = None  # optional callable(time, process_name)
+
+    def add_process(self, name, target):
+        """Register a process; ``target(process)`` runs when simulation starts."""
+        process = SimProcess(self, name, target)
+        self.processes.append(process)
+        self._schedule(0.0, process)
+        return process
+
+    def _schedule(self, when, process):
+        heapq.heappush(self._queue, (when, self._seq, process))
+        self._seq += 1
+
+    def _wake(self, process):
+        """Make a channel-blocked process runnable at the current time."""
+        process.blocked_on = None
+        self._schedule(self.now, process)
+
+    def run(self, until=None):
+        """Run until no events remain (or simulated time exceeds ``until``).
+
+        Returns the final simulation time.  Raises :class:`DeadlockError` if
+        unfinished processes remain blocked with no pending event.
+        """
+        while self._queue:
+            when, _, process = heapq.heappop(self._queue)
+            if until is not None and when > until:
+                self.now = until
+                self._shutdown()
+                return self.now
+            self.now = when
+            if process.finished:
+                continue
+            if self.trace is not None:
+                self.trace(self.now, process.name)
+            process._resume()
+        blocked = [p for p in self.processes if not p.finished]
+        if blocked:
+            self._shutdown()
+            raise DeadlockError(
+                "deadlock: processes blocked forever: %s"
+                % ", ".join("%s (%s)" % (p.name, p.blocked_on) for p in blocked)
+            )
+        return self.now
+
+    def _shutdown(self):
+        """Unwind any still-running process threads."""
+        self._stopping = True
+        for process in self.processes:
+            if process._started and not process.finished:
+                process._go.release()
+                process._yielded.acquire()

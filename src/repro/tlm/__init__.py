@@ -1,0 +1,36 @@
+"""Transaction-level platform modelling: designs, the TLM generator and the
+executable model."""
+
+from .generator import GenerationReport, compile_process, generate_tlm
+from .model import ChannelBinding, ProcessResult, TLModel, TLMResult
+from .platform import BusDecl, ChannelDecl, Design, PEDecl, PlatformError, ProcessDecl
+from .serialize import (
+    design_from_dict,
+    design_from_json,
+    design_to_dict,
+    design_to_json,
+    load_design,
+    save_design,
+)
+
+__all__ = [
+    "BusDecl",
+    "ChannelBinding",
+    "ChannelDecl",
+    "Design",
+    "GenerationReport",
+    "PEDecl",
+    "PlatformError",
+    "ProcessDecl",
+    "ProcessResult",
+    "TLModel",
+    "TLMResult",
+    "compile_process",
+    "design_from_dict",
+    "design_from_json",
+    "design_to_dict",
+    "design_to_json",
+    "generate_tlm",
+    "load_design",
+    "save_design",
+]

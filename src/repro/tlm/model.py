@@ -1,0 +1,197 @@
+"""Executable transaction-level model.
+
+A :class:`TLModel` is what the TLM generator produces: kernel + buses +
+channels + one simulation process per application process, each running its
+generated (timed or functional) native code.  ``run()`` executes the whole
+system and returns a :class:`TLMResult` with the performance estimates.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..simkernel import Bus, BusChannel, ChannelMap, Kernel
+from ..codegen.runtime import ProcessContext
+
+
+class ChannelBinding:
+    """Adapts the :class:`~repro.simkernel.channel.ChannelMap` to the
+    interface generated code expects on its :class:`ProcessContext`."""
+
+    __slots__ = ("channel_map",)
+
+    def __init__(self, channel_map):
+        self.channel_map = channel_map
+
+    def send(self, sim_process, chan_id, values):
+        self.channel_map.get(chan_id).send(sim_process, values)
+
+    def recv(self, sim_process, chan_id, count):
+        return self.channel_map.get(chan_id).recv(sim_process, count)
+
+
+class ProcessResult:
+    """Per-process outcome of a TLM run."""
+
+    __slots__ = ("name", "pe_name", "cycles", "transactions", "return_value")
+
+    def __init__(self, name, pe_name, cycles, transactions, return_value):
+        self.name = name
+        self.pe_name = pe_name
+        self.cycles = cycles
+        self.transactions = transactions
+        self.return_value = return_value
+
+    def __repr__(self):
+        return "ProcessResult(%r: %d cycles, %d transactions)" % (
+            self.name, self.cycles, self.transactions,
+        )
+
+
+class TLMResult:
+    """Outcome of one TLM simulation."""
+
+    def __init__(self, design_name, timed, end_time_ns, wall_seconds,
+                 processes, cycle_ns):
+        self.design_name = design_name
+        self.timed = timed
+        self.end_time_ns = end_time_ns
+        self.wall_seconds = wall_seconds
+        self.processes = processes  # name -> ProcessResult
+        self.cycle_ns = cycle_ns
+
+    @property
+    def makespan_cycles(self):
+        """End-to-end execution time in (reference) cycles — the quantity
+        compared against board measurements in Tables 2 and 3."""
+        return int(round(self.end_time_ns / self.cycle_ns))
+
+    def process(self, name):
+        return self.processes[name]
+
+    def total_computation_cycles(self):
+        return sum(p.cycles for p in self.processes.values())
+
+    def utilization(self):
+        """Per-process PE utilization: computation cycles / makespan.
+
+        Low CPU utilization with HW offload indicates the CPU is blocked on
+        transactions — the load-balance view a designer reads off a timed
+        TLM when picking a partitioning.
+        """
+        span = self.makespan_cycles
+        if span == 0:
+            return {name: 0.0 for name in self.processes}
+        return {
+            name: process.cycles / span
+            for name, process in self.processes.items()
+        }
+
+    def __repr__(self):
+        return "TLMResult(%r, makespan=%d cycles, wall=%.3fs)" % (
+            self.design_name, self.makespan_cycles, self.wall_seconds,
+        )
+
+
+class TLModel:
+    """A generated, simulatable transaction-level model."""
+
+    def __init__(self, design, timed, granularity="transaction",
+                 reference_cycle_ns=10.0):
+        self.design = design
+        self.timed = timed
+        self.granularity = granularity
+        self.reference_cycle_ns = reference_cycle_ns
+        #: name -> (GeneratedProgram, ProcessDecl); filled by the generator.
+        self.programs = {}
+        self._final_values = {}
+
+    def add_generated_process(self, decl, generated):
+        self.programs[decl.name] = (generated, decl)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, until=None):
+        """Simulate the model once; returns a :class:`TLMResult`.
+
+        Each call builds a fresh kernel and fresh per-process global stores,
+        so ``run`` is repeatable.
+        """
+        kernel = Kernel()
+        channel_map = ChannelMap()
+        buses = {}
+        for name, bus_decl in self.design.buses.items():
+            buses[name] = Bus(
+                kernel, name,
+                cycle_ns=bus_decl.cycle_ns,
+                words_per_cycle=bus_decl.words_per_cycle,
+                arbitration_cycles=bus_decl.arbitration_cycles,
+            )
+        for chan_id, chan_decl in self.design.channels.items():
+            channel_map.add(
+                chan_id,
+                BusChannel(kernel, chan_decl.name, buses[chan_decl.bus_name]),
+            )
+        binding = ChannelBinding(channel_map)
+
+        shares = {}
+        for pe_name, pe in self.design.pes.items():
+            if pe.rtos is not None:
+                from ..rtos.model import CPUShare
+
+                shares[pe_name] = CPUShare(
+                    kernel, pe_name, pe.cycle_ns, pe.rtos
+                )
+        self.cpu_shares = shares
+
+        contexts = {}
+        returns = {}
+        for name, (generated, decl) in self.programs.items():
+            pe = self.design.pes[decl.pe_name]
+            ctx = ProcessContext(
+                name=name,
+                cycle_ns=pe.cycle_ns,
+                comm=binding,
+                sim_process=None,  # bound below
+                granularity=self.granularity,
+                cpu_share=shares.get(decl.pe_name),
+            )
+            contexts[name] = ctx
+            target = self._make_target(generated, decl, ctx, returns)
+            sim_process = kernel.add_process(name, target)
+            ctx.sim_process = sim_process
+
+        wall_start = time.perf_counter()
+        end_time = kernel.run(until=until)
+        wall_seconds = time.perf_counter() - wall_start
+
+        processes = {}
+        for name, ctx in contexts.items():
+            decl = self.programs[name][1]
+            processes[name] = ProcessResult(
+                name,
+                decl.pe_name,
+                ctx.total_cycles,
+                ctx.n_transactions,
+                returns.get(name),
+            )
+        return TLMResult(
+            self.design.name,
+            self.timed,
+            end_time,
+            wall_seconds,
+            processes,
+            self.reference_cycle_ns,
+        )
+
+    @staticmethod
+    def _make_target(generated, decl, ctx, returns):
+        entry = generated.entry(decl.entry)
+        args = decl.args
+
+        def target(sim_process):
+            glob = generated.fresh_globals()
+            returns[decl.name] = entry(ctx, glob, *args)
+            ctx.sync()  # apply any trailing accumulated delay
+
+        return target

@@ -1,0 +1,105 @@
+"""Design serialisation: platform + mapping + sources as JSON.
+
+The paper's ESE front-end captures platforms and mappings graphically and
+stores them as project files; this module provides the equivalent textual
+capture so designs can be version-controlled and fed to the CLI
+(``python -m repro tlm design.json``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..pum.loader import pum_from_dict, pum_to_dict
+from ..rtos.model import RTOSModel
+from .platform import Design
+
+
+def design_to_dict(design):
+    """Serialise a :class:`Design` into JSON-compatible structures."""
+    data = {
+        "name": design.name,
+        "pes": [],
+        "buses": [],
+        "channels": [],
+        "processes": [],
+    }
+    for pe in design.pes.values():
+        entry = {"name": pe.name, "pum": pum_to_dict(pe.pum)}
+        if pe.rtos is not None:
+            entry["rtos"] = {
+                "context_switch_cycles": pe.rtos.context_switch_cycles,
+                "policy": pe.rtos.policy,
+                "priorities": dict(pe.rtos.priorities),
+            }
+        data["pes"].append(entry)
+    for bus in design.buses.values():
+        data["buses"].append({
+            "name": bus.name,
+            "words_per_cycle": bus.words_per_cycle,
+            "arbitration_cycles": bus.arbitration_cycles,
+            "cycle_ns": bus.cycle_ns,
+        })
+    for chan in design.channels.values():
+        data["channels"].append({
+            "id": chan.chan_id,
+            "name": chan.name,
+            "bus": chan.bus_name,
+        })
+    for proc in design.processes.values():
+        data["processes"].append({
+            "name": proc.name,
+            "source": proc.source,
+            "entry": proc.entry,
+            "pe": proc.pe_name,
+            "args": list(proc.args),
+        })
+    return data
+
+
+def design_from_dict(data):
+    """Rebuild a :class:`Design` from :func:`design_to_dict` output."""
+    design = Design(data["name"])
+    for pe in data["pes"]:
+        rtos = None
+        if "rtos" in pe:
+            r = pe["rtos"]
+            rtos = RTOSModel(
+                context_switch_cycles=r.get("context_switch_cycles", 120),
+                policy=r.get("policy", "fifo"),
+                priorities=r.get("priorities"),
+            )
+        design.add_pe(pe["name"], pum_from_dict(pe["pum"]), rtos=rtos)
+    for bus in data.get("buses", []):
+        design.add_bus(
+            bus["name"],
+            words_per_cycle=bus.get("words_per_cycle", 1),
+            arbitration_cycles=bus.get("arbitration_cycles", 2),
+            cycle_ns=bus.get("cycle_ns", 10.0),
+        )
+    for chan in data.get("channels", []):
+        design.add_channel(chan["id"], chan["name"], chan["bus"])
+    for proc in data["processes"]:
+        design.add_process(
+            proc["name"], proc["source"], proc["entry"], proc["pe"],
+            tuple(proc.get("args", ())),
+        )
+    return design
+
+
+def design_to_json(design, indent=2):
+    return json.dumps(design_to_dict(design), indent=indent, sort_keys=True)
+
+
+def design_from_json(text):
+    return design_from_dict(json.loads(text))
+
+
+def save_design(design, path):
+    with open(path, "w") as handle:
+        handle.write(design_to_json(design))
+
+
+def load_design(path):
+    with open(path) as handle:
+        return design_from_json(handle.read())

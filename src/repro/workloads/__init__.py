@@ -1,0 +1,5 @@
+"""Deterministic synthetic workload generators."""
+
+from .mp3frames import FrameSet, make_frames
+
+__all__ = ["FrameSet", "make_frames"]

@@ -1,0 +1,104 @@
+"""Deterministic synthetic MP3 frame data.
+
+The paper decodes real MP3 frames; those bitstreams are not available here,
+so this generator synthesises the post-Huffman content of frames — quantised
+frequency samples, per-subband scalefactor indices and per-frame stereo-mode
+flags — with a seeded LCG.  The value distribution mimics decoded spectra:
+large values in low subbands decaying towards the high end, runs of zeros in
+the upper spectrum, occasional sign flips; this drives the decoder's
+data-dependent branches (zero skipping, mid/side selection, clipping) the
+way real content would.
+"""
+
+from __future__ import annotations
+
+
+class _LCG:
+    """A tiny deterministic generator (so workloads never depend on
+    Python's global RNG state)."""
+
+    def __init__(self, seed):
+        self.state = (seed * 2654435761 + 1) & 0xFFFFFFFF
+
+    def next_u32(self):
+        self.state = (self.state * 1664525 + 1013904223) & 0xFFFFFFFF
+        return self.state
+
+    def randint(self, low, high):
+        """Uniform integer in [low, high]."""
+        span = high - low + 1
+        return low + self.next_u32() % span
+
+    def chance(self, percent):
+        return self.next_u32() % 100 < percent
+
+
+class FrameSet:
+    """Synthesised frame data ready for baking into CMini sources."""
+
+    def __init__(self, params, n_frames, samples, scalefactors, modes):
+        self.params = params
+        self.n_frames = n_frames
+        self.samples = samples  # flat ints, frame-major
+        self.scalefactors = scalefactors  # flat ints
+        self.modes = modes  # one int per frame
+
+    @property
+    def n_sample_words(self):
+        return len(self.samples)
+
+    def granule_offset(self, frame, granule, channel):
+        """Word offset of one granule's samples in the flat array."""
+        p = self.params
+        per_channel = p.granule_samples
+        per_granule = p.n_channels * per_channel
+        per_frame = p.n_granules * per_granule
+        return frame * per_frame + granule * per_granule + channel * per_channel
+
+    def __repr__(self):
+        return "FrameSet(%d frames, %d sample words)" % (
+            self.n_frames, self.n_sample_words,
+        )
+
+
+def make_frames(params, n_frames, seed=1):
+    """Generate a deterministic :class:`FrameSet`.
+
+    Args:
+        params: :class:`~repro.apps.mp3.params.Mp3Params`.
+        n_frames: number of frames.
+        seed: RNG seed; different seeds give training vs evaluation inputs.
+    """
+    rng = _LCG(seed)
+    p = params
+    samples = []
+    scalefactors = []
+    modes = []
+    for _ in range(n_frames):
+        # Mode bits: 1 = mid/side, 2 = short blocks, 4 = intensity stereo.
+        mode = 0
+        if rng.chance(40):
+            mode |= 1
+        if rng.chance(30):
+            mode |= 2
+        if rng.chance(25):
+            mode |= 4
+        modes.append(mode)
+        for _granule in range(p.n_granules):
+            for _channel in range(p.n_channels):
+                for sb in range(p.n_subbands):
+                    # Scalefactor index grows (quieter) with frequency.
+                    base = min(60, 4 * sb + rng.randint(0, 6))
+                    scalefactors.append(base)
+                    # Low subbands carry energy; high ones are mostly zero.
+                    zero_percent = min(90, 10 + 12 * sb)
+                    amplitude = max(2, 96 >> (sb // 2))
+                    for _slot in range(p.n_slots):
+                        if rng.chance(zero_percent):
+                            samples.append(0)
+                        else:
+                            value = rng.randint(1, amplitude)
+                            if rng.chance(50):
+                                value = -value
+                            samples.append(value)
+    return FrameSet(params, n_frames, samples, scalefactors, modes)

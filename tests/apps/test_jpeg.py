@@ -1,0 +1,83 @@
+"""Tests for the JPEG-style encoder case study."""
+
+from repro.apps.jpeg import build_jpeg_design, cpu_source
+from repro.cdfg.interp import Interpreter
+from repro.cfrontend.semantic import parse_and_analyze
+from repro.cycle import run_pcam
+from repro.tlm import generate_tlm
+from repro.api import compile_cmini
+
+
+class TestSources:
+    def test_both_variants_analyze(self):
+        parse_and_analyze(cpu_source(offload_dct=False))
+        parse_and_analyze(cpu_source(offload_dct=True))
+
+    def test_offloaded_cpu_has_no_dct(self):
+        src = cpu_source(offload_dct=True)
+        assert "dct2d" not in src
+        assert "send(30," in src
+
+    def test_deterministic(self):
+        assert cpu_source(seed=3) == cpu_source(seed=3)
+        assert cpu_source(seed=3) != cpu_source(seed=4)
+
+
+class TestFunctional:
+    def test_sw_encoder_runs(self):
+        ir = compile_cmini(cpu_source(n_blocks=2))
+        value = Interpreter(ir).call("main")
+        assert value > 0
+
+    def test_sw_and_hw_mappings_agree_on_tlm(self):
+        sw = generate_tlm(build_jpeg_design(False, n_blocks=2),
+                          timed=False).run()
+        hw = generate_tlm(build_jpeg_design(True, n_blocks=2),
+                          timed=False).run()
+        assert (sw.process("encoder").return_value
+                == hw.process("encoder").return_value)
+
+    def test_mappings_agree_on_pcam(self):
+        sw = run_pcam(build_jpeg_design(False, n_blocks=2))
+        hw = run_pcam(build_jpeg_design(True, n_blocks=2))
+        assert (sw.pe("encoder").return_value
+                == hw.pe("encoder").return_value)
+
+    def test_hw_offload_speeds_up_board(self):
+        sw = run_pcam(build_jpeg_design(False, n_blocks=3))
+        hw = run_pcam(build_jpeg_design(True, n_blocks=3))
+        assert hw.makespan_cycles < sw.makespan_cycles
+
+    def test_tlm_predicts_the_speedup(self):
+        sw = generate_tlm(build_jpeg_design(False, n_blocks=3),
+                          timed=True).run()
+        hw = generate_tlm(build_jpeg_design(True, n_blocks=3),
+                          timed=True).run()
+        assert hw.makespan_cycles < sw.makespan_cycles
+
+    def test_tlm_estimate_tracks_board_after_calibration(self):
+        from repro.calibration import calibrate_pum
+        from repro.pum import microblaze
+
+        config = (8 * 1024, 4 * 1024)
+        # Calibrate on a different image (seed) — the paper's methodology.
+        cal = calibrate_pum(
+            microblaze(),
+            lambda i, d: build_jpeg_design(
+                False, n_blocks=2, seed=77, icache_size=i, dcache_size=d
+            ),
+            [config],
+        )
+        for offload in (False, True):
+            board = run_pcam(
+                build_jpeg_design(offload, n_blocks=2)
+            ).makespan_cycles
+            estimate = generate_tlm(
+                build_jpeg_design(
+                    offload, n_blocks=2,
+                    memory_model=cal.memory_model,
+                    branch_model=cal.branch_model,
+                ),
+                timed=True,
+            ).run().makespan_cycles
+            assert abs(estimate - board) / board < 0.25

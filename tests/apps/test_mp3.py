@@ -1,0 +1,139 @@
+"""Tests for the MP3-style decoder application and its design variants."""
+
+import pytest
+
+from repro.apps.mp3 import (
+    CHANNEL_IDS,
+    HW_UNITS,
+    Mp3Params,
+    VARIANT_MAPPINGS,
+    build_design,
+    build_sources,
+    compile_sw_image,
+    cpu_source,
+    hw_source,
+)
+from repro.cdfg.interp import Interpreter
+from repro.cfrontend.semantic import parse_and_analyze
+from repro.tlm import generate_tlm
+from repro.workloads import make_frames
+
+SMALL = Mp3Params(n_subbands=4, n_slots=4, n_phases=4, n_alias=2)
+
+
+class TestParams:
+    def test_derived_sizes(self):
+        p = Mp3Params(n_subbands=8, n_slots=8, n_phases=8)
+        assert p.granule_samples == 64
+        assert p.v_size == 16
+        assert p.fifo_size == 128
+        assert p.imdct_out == 16
+        assert p.frame_words() == 2 * 2 * 64
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Mp3Params(n_subbands=1)
+        with pytest.raises(ValueError):
+            Mp3Params(n_slots=4, n_alias=4)
+
+
+class TestSourceGeneration:
+    def test_all_variants_parse_and_analyze(self):
+        for variant in VARIANT_MAPPINGS:
+            cpu_src, hw_srcs, _ = build_sources(variant, SMALL, n_frames=1)
+            parse_and_analyze(cpu_src)
+            for src in hw_srcs.values():
+                parse_and_analyze(src)
+
+    def test_sw_variant_has_no_channels(self):
+        cpu_src, hw_srcs, _ = build_sources("SW", SMALL, n_frames=1)
+        assert "send(" not in cpu_src
+        assert hw_srcs == {}
+
+    def test_sw4_offloads_everything(self):
+        cpu_src, hw_srcs, _ = build_sources("SW+4", SMALL, n_frames=1)
+        assert set(hw_srcs) == set(HW_UNITS)
+        assert "imdct_granule" not in cpu_src
+        assert "filter_granule" not in cpu_src
+        for unit in HW_UNITS:
+            req, rsp = CHANNEL_IDS[unit]
+            assert "send(%d," % req in cpu_src
+            assert "recv(%d," % rsp in cpu_src
+
+    def test_sw1_keeps_right_channel_filter_on_cpu(self):
+        cpu_src, hw_srcs, _ = build_sources("SW+1", SMALL, n_frames=1)
+        assert "filter_granule(tr, fifo_r, pcm);" in cpu_src
+        assert set(hw_srcs) == {"filter_l"}
+
+    def test_hw_source_server_loop_length(self):
+        src = hw_source(SMALL, "imdct_l", n_frames=3)
+        assert "it < %d" % (3 * SMALL.n_granules) in src
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ValueError):
+            hw_source(SMALL, "fft_l", 1)
+        frames = make_frames(SMALL, 1)
+        with pytest.raises(ValueError):
+            cpu_source(SMALL, frames, {"bogus"})
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            build_sources("SW+8", SMALL, 1)
+
+
+class TestFunctionalPipeline:
+    def test_decoder_output_deterministic(self):
+        image, ir, _ = compile_sw_image(SMALL, n_frames=1, seed=5)
+        a = Interpreter(ir).call("main")
+        b = Interpreter(ir).call("main")
+        assert a == b
+
+    def test_different_seeds_decode_differently(self):
+        _, ir_a, _ = compile_sw_image(SMALL, n_frames=1, seed=5)
+        _, ir_b, _ = compile_sw_image(SMALL, n_frames=1, seed=6)
+        assert Interpreter(ir_a).call("main") != Interpreter(ir_b).call("main")
+
+    def test_all_variants_compute_identical_output(self):
+        reference = None
+        for variant in ("SW", "SW+1", "SW+2", "SW+4"):
+            design, _ = build_design(variant, SMALL, n_frames=1, seed=5)
+            result = generate_tlm(design, timed=False).run()
+            value = result.process("decoder").return_value
+            if reference is None:
+                reference = value
+            assert value == reference, variant
+
+    def test_output_consumes_every_sample(self):
+        # out_samples counts GS per channel per granule; encoded in return.
+        image, ir, frames = compile_sw_image(SMALL, n_frames=2, seed=5)
+        interp = Interpreter(ir)
+        interp.call("main")
+        expected_samples = (
+            2 * SMALL.n_granules * SMALL.n_channels * SMALL.granule_samples
+        )
+        assert interp.globals["out_samples"] == expected_samples
+
+
+class TestDesignConstruction:
+    def test_design_shapes(self):
+        design, _ = build_design("SW+2", SMALL, n_frames=1)
+        assert set(design.pes) == {"cpu", "hw_filter_l", "hw_imdct_l"}
+        assert len(design.channels) == 4
+        design.validate()
+
+    def test_sw_design_single_pe(self):
+        design, _ = build_design("SW", SMALL, n_frames=1)
+        assert set(design.pes) == {"cpu"}
+        assert design.channels == {}
+
+    def test_cache_sizes_applied(self):
+        design, _ = build_design(
+            "SW", SMALL, n_frames=1, icache_size=2048, dcache_size=2048
+        )
+        assert design.pes["cpu"].pum.icache_size == 2048
+
+    def test_frames_returned_match_workload(self):
+        _, frames = build_design("SW", SMALL, n_frames=3, seed=9)
+        again = make_frames(SMALL, 3, seed=9)
+        assert frames.samples == again.samples
+        assert frames.modes == again.modes

@@ -1,0 +1,49 @@
+"""The decoder generator also handles *real* MP3 dimensions.
+
+The evaluation uses scaled dimensions for simulation speed; these tests make
+sure nothing in the source generator, front-end or estimator breaks at the
+standard's true sizes (32 subbands × 18 slots, 16-phase/1024-FIFO synthesis)
+— only simulation time, not correctness, motivated the scaling.
+"""
+
+import pytest
+
+from repro.apps.mp3 import Mp3Params, build_sources
+from repro.cfrontend.semantic import parse_and_analyze
+from repro.cdfg.builder import build_program
+from repro.estimation import annotate_ir_program
+from repro.pum import microblaze
+
+FULL = Mp3Params(n_subbands=32, n_slots=18, n_phases=16, n_alias=8)
+
+
+@pytest.fixture(scope="module")
+def full_ir():
+    cpu_src, _, _ = build_sources("SW", FULL, n_frames=1, seed=1)
+    program, info = parse_and_analyze(cpu_src)
+    return build_program(program, info)
+
+
+class TestFullSizeDecoder:
+    def test_dimensions(self):
+        assert FULL.granule_samples == 576  # the real MP3 granule size
+        assert FULL.v_size == 64
+        assert FULL.fifo_size == 1024
+
+    def test_source_parses_and_lowers(self, full_ir):
+        assert "filter_granule" in full_ir.functions
+        assert "imdct_granule" in full_ir.functions
+        assert full_ir.n_ops > 500
+
+    def test_full_size_annotation(self, full_ir):
+        report = annotate_ir_program(full_ir, microblaze())
+        assert report.n_blocks == full_ir.n_blocks
+        # Annotation stays interactive even at full size (paper: ~1 min for
+        # the full toolchain on 2007 hardware; well under that here).
+        assert report.seconds < 10.0
+
+    def test_hw_variant_sources_generate(self):
+        cpu_src, hw_srcs, _ = build_sources("SW+4", FULL, n_frames=1, seed=1)
+        assert len(hw_srcs) == 4
+        for src in hw_srcs.values():
+            parse_and_analyze(src)

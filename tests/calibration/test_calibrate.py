@@ -1,0 +1,126 @@
+"""Tests for PUM calibration from reference runs."""
+
+from repro.calibration import (
+    build_branch_model,
+    build_memory_model,
+    calibrate_pum,
+    measure_design,
+)
+from repro.pum import microblaze
+from repro.tlm import Design
+
+SRC = """
+int data[256];
+int main(void) {
+  int s = 0;
+  for (int r = 0; r < 4; r++) {
+    for (int i = 0; i < 256; i++) data[i] = i * r;
+    for (int i = 0; i < 256; i++) {
+      if ((data[i] & 3) == 0) s += data[i];
+    }
+  }
+  return s;
+}
+"""
+
+
+def make_design(icache, dcache):
+    design = Design("cal-%d-%d" % (icache, dcache))
+    design.add_pe("cpu", microblaze(icache, dcache))
+    design.add_process("p", SRC, "main", "cpu")
+    return design
+
+
+class TestBuilders:
+    def test_memory_model_from_measurements(self):
+        measurements = {
+            (2048, 2048): {
+                "icache_hits": 90, "icache_misses": 10,
+                "dcache_hits": 80, "dcache_misses": 20,
+            },
+            (8192, 4096): {
+                "icache_hits": 99, "icache_misses": 1,
+                "dcache_hits": 95, "dcache_misses": 5,
+            },
+        }
+        model = build_memory_model(measurements, ext_latency=22)
+        assert abs(model.point("i", 2048).hit_rate - 0.9) < 1e-9
+        assert abs(model.point("d", 4096).hit_rate - 0.95) < 1e-9
+        assert model.ext_latency == 22
+
+    def test_memory_model_merges_same_size(self):
+        measurements = {
+            (2048, 0): {"icache_hits": 50, "icache_misses": 50},
+            (2048, 2048): {
+                "icache_hits": 100, "icache_misses": 0,
+                "dcache_hits": 10, "dcache_misses": 0,
+            },
+        }
+        model = build_memory_model(measurements, ext_latency=22)
+        assert abs(model.point("i", 2048).hit_rate - 0.75) < 1e-9
+
+    def test_zero_sizes_skipped(self):
+        model = build_memory_model(
+            {(0, 0): {"icache_hits": 0, "icache_misses": 10,
+                      "dcache_hits": 0, "dcache_misses": 10}},
+            ext_latency=22,
+        )
+        assert model.icache == {}
+        assert model.point("i", 0).hit_rate == 0.0
+
+    def test_branch_model_weighted_average(self):
+        measurements = {
+            "a": {"branch_predictions": 100, "branch_miss_rate": 0.10},
+            "b": {"branch_predictions": 300, "branch_miss_rate": 0.20},
+        }
+        model = build_branch_model(measurements, "2bit", penalty=2)
+        assert abs(model.miss_rate - 0.175) < 1e-9
+        assert model.policy == "2bit"
+
+
+class TestEndToEnd:
+    def test_measure_design_returns_cpu_stats(self):
+        stats = measure_design(make_design(2048, 2048))
+        assert stats["instrs"] > 0
+        assert stats["icache_hits"] + stats["icache_misses"] > 0
+
+    def test_calibrate_pum_covers_configs(self):
+        configs = [(0, 0), (2048, 2048), (8192, 4096)]
+        result = calibrate_pum(microblaze(), make_design, configs)
+        assert set(result.measurements) == set(configs)
+        assert result.memory_model.point("i", 2048).hit_rate > 0.9
+        assert result.memory_model.point("d", 4096).hit_rate > 0.5
+        assert 0.0 <= result.branch_model.miss_rate <= 1.0
+
+    def test_calibrated_model_plugs_into_pum(self):
+        configs = [(2048, 2048)]
+        result = calibrate_pum(microblaze(), make_design, configs)
+        pum = microblaze(
+            2048, 2048,
+            memory_model=result.memory_model,
+            branch_model=result.branch_model,
+        )
+        assert pum.memory is result.memory_model
+
+    def test_calibration_improves_estimate(self):
+        """Calibrated statistics beat library defaults on this workload."""
+        from repro.cycle import run_pcam
+        from repro.tlm import generate_tlm
+
+        isz, dsz = 2048, 2048
+        board = run_pcam(make_design(isz, dsz)).makespan_cycles
+
+        def tlm_cycles(pum):
+            design = Design("est")
+            design.add_pe("cpu", pum)
+            design.add_process("p", SRC, "main", "cpu")
+            return generate_tlm(design, timed=True).run().makespan_cycles
+
+        default_est = tlm_cycles(microblaze(isz, dsz))
+        cal = calibrate_pum(microblaze(), make_design, [(isz, dsz)])
+        calibrated_est = tlm_cycles(microblaze(
+            isz, dsz,
+            memory_model=cal.memory_model, branch_model=cal.branch_model,
+        ))
+        assert abs(calibrated_est - board) < abs(default_est - board)
+        assert abs(calibrated_est - board) / board < 0.15

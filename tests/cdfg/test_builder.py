@@ -1,0 +1,208 @@
+"""Unit tests for AST → IR lowering."""
+
+import pytest
+
+from repro.api import compile_cmini
+from repro.cdfg.ir import TERMINATORS
+
+
+def function_ir(source, name="f"):
+    return compile_cmini(source).function(name)
+
+
+class TestCFGShape:
+    def test_straightline_single_block(self):
+        func = function_ir("int f(int a) { int b = a + 1; return b * 2; }")
+        assert len(func.blocks) == 1
+
+    def test_every_block_has_terminator(self):
+        func = function_ir("""
+        int f(int n) {
+          int s = 0;
+          for (int i = 0; i < n; i++) {
+            if (i % 2 == 0) s += i;
+            else s -= i;
+          }
+          return s;
+        }""")
+        for block in func.blocks:
+            assert block.terminator is not None
+            assert block.terminator.opcode in TERMINATORS
+
+    def test_terminator_is_last_op_only(self):
+        func = function_ir("int f(int n) { while (n > 0) n--; return n; }")
+        for block in func.blocks:
+            for op in block.body:
+                assert not op.is_terminator
+
+    def test_if_produces_diamond(self):
+        func = function_ir("int f(int a) { if (a) a = 1; else a = 2; return a; }")
+        func.compute_edges()
+        entry = func.blocks[0]
+        assert len(entry.succs) == 2
+
+    def test_unreachable_code_removed(self):
+        func = function_ir("int f(void) { return 1; int x = 2; return x; }")
+        assert len(func.blocks) == 1
+
+    def test_edges_are_consistent(self):
+        func = function_ir("""
+        int f(int n) {
+          int s = 0;
+          while (n) { if (n & 1) s++; n >>= 1; }
+          return s;
+        }""")
+        for block in func.blocks:
+            for succ in block.succs:
+                assert block.label in func.blocks[succ].preds
+
+    def test_implicit_void_return(self):
+        func = function_ir("void f(int a) { a = a + 1; }")
+        assert func.blocks[-1].terminator.opcode == "ret"
+
+    def test_implicit_value_return_returns_zero(self):
+        func = function_ir("int f(int a) { a = a + 1; }")
+        term = func.blocks[-1].terminator
+        assert term.opcode == "ret"
+        assert len(term.args) == 1
+
+
+class TestTempDiscipline:
+    def _all_blocks(self, source):
+        program = compile_cmini(source)
+        for func in program.functions.values():
+            for block in func.blocks:
+                yield func, block
+
+    def test_temps_defined_before_use_within_block(self):
+        source = """
+        int g(int a) { return a * 3; }
+        int f(int n) {
+          int s = 0;
+          for (int i = 0; i < n; i++) s += g(i) > 2 ? i : -i;
+          return s && n || s > 1;
+        }"""
+        for func, block in self._all_blocks(source):
+            defined = set()
+            for op in block.ops:
+                for arg in op.args:
+                    assert arg in defined, (
+                        "t%d used before def in %s bb%d"
+                        % (arg, func.name, block.label)
+                    )
+                if op.dst is not None:
+                    defined.add(op.dst)
+
+    def test_temps_never_cross_blocks(self):
+        source = """
+        int f(int n) {
+          int s = 0;
+          while (n > 0) { s += n; n = n - (s > 10 ? 2 : 1); }
+          return s;
+        }"""
+        seen_in = {}
+        for func, block in self._all_blocks(source):
+            for op in block.ops:
+                temps = set(op.args)
+                if op.dst is not None:
+                    temps.add(op.dst)
+                for temp in temps:
+                    owner = seen_in.setdefault((func.name, temp), block.label)
+                    assert owner == block.label
+
+
+class TestLoweringSemantics:
+    def test_compound_assignment_expands(self):
+        func = function_ir("void f(int a[]) { a[2] += 5; }")
+        opcodes = [op.opcode for op in func.blocks[0].ops]
+        assert "ldx" in opcodes and "stx" in opcodes and "bin" in opcodes
+
+    def test_short_circuit_creates_blocks(self):
+        func = function_ir("int f(int a, int b) { return a && b; }")
+        assert len(func.blocks) >= 3
+
+    def test_ternary_creates_blocks(self):
+        func = function_ir("int f(int a) { return a ? 1 : 2; }")
+        assert len(func.blocks) >= 4
+
+    def test_local_shadowing_renames(self):
+        func = function_ir("""
+        int f(int x) {
+          int y = x;
+          { int y__inner = 0; }
+          for (int i = 0; i < 2; i++) { int y2 = i; y += y2; }
+          { int y = 99; x = y; }
+          return y + x;
+        }""")
+        # Two distinct storage slots for the two `y` declarations (the
+        # renamed inner one gets a numeric suffix; `y__inner` is the user's).
+        y_names = [
+            n for n in func.locals
+            if n == "y" or (n.startswith("y__") and n[3:].isdigit())
+        ]
+        assert len(y_names) == 2
+
+    def test_call_arg_spec_shapes(self):
+        program = compile_cmini("""
+        int g(int s, float v[]) { return s + (int)v[0]; }
+        float buf[4];
+        int f(int k) { return g(k * 2, buf); }
+        """)
+        func = program.function("f")
+        call = next(
+            op for b in func.blocks for op in b.ops if op.opcode == "call"
+        )
+        spec = call.attrs["arg_spec"]
+        assert spec[0][0] == "temp"
+        assert spec[1] == ("array", "buf", "global")
+
+    def test_comm_lowering(self):
+        func = function_ir("int b[4]; void f(void) { send(3, b, 4); }")
+        comm = next(
+            op for blk in func.blocks for op in blk.ops if op.opcode == "comm"
+        )
+        assert comm.attrs["kind"] == "send"
+        assert comm.attrs["var"] == "b"
+
+    def test_break_targets_loop_exit(self):
+        func = function_ir("""
+        int f(int n) {
+          int i = 0;
+          while (1) { if (i >= n) break; i++; }
+          return i;
+        }""")
+        func.compute_edges()
+        # The exit block (containing ret) must be reachable.
+        ret_blocks = [
+            b for b in func.blocks
+            if b.terminator is not None and b.terminator.opcode == "ret"
+        ]
+        assert ret_blocks
+
+    def test_opclass_assignment(self):
+        func = function_ir("""
+        float f(float a[], int i) {
+          float x = a[i] * 2.0;
+          int y = i / 3;
+          return x + (float)y;
+        }""")
+        classes = {op.opclass for b in func.blocks for op in b.ops}
+        assert {"load", "fmul", "div", "move", "branch"} <= classes
+
+
+class TestProgramLevel:
+    def test_globals_materialized(self):
+        program = compile_cmini("const int N = 2; float a[N] = {1.0, 2.0}; int b = 7;")
+        assert program.globals["a"][1] == [1.0, 2.0]
+        assert program.globals["b"][1] == 7
+
+    def test_op_counts_positive(self):
+        program = compile_cmini("int f(void) { return 1; }")
+        assert program.n_ops >= 2
+        assert program.n_blocks == 1
+
+    def test_function_lookup(self):
+        program = compile_cmini("int f(void) { return 1; }")
+        assert program.function("f").name == "f"
+        with pytest.raises(KeyError):
+            program.function("missing")

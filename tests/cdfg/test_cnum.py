@@ -1,0 +1,126 @@
+"""Unit + property tests for the shared 32-bit C arithmetic semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cdfg import cnum
+
+int32 = st.integers(min_value=cnum.INT_MIN, max_value=cnum.INT_MAX)
+nonzero32 = int32.filter(lambda v: v != 0)
+
+
+class TestWrap32:
+    def test_identity_in_range(self):
+        assert cnum.wrap32(123) == 123
+        assert cnum.wrap32(-123) == -123
+
+    def test_boundaries(self):
+        assert cnum.wrap32(cnum.INT_MAX) == cnum.INT_MAX
+        assert cnum.wrap32(cnum.INT_MIN) == cnum.INT_MIN
+
+    def test_overflow_wraps(self):
+        assert cnum.wrap32(cnum.INT_MAX + 1) == cnum.INT_MIN
+        assert cnum.wrap32(cnum.INT_MIN - 1) == cnum.INT_MAX
+
+    @given(st.integers(min_value=-2**70, max_value=2**70))
+    def test_always_in_range(self, value):
+        wrapped = cnum.wrap32(value)
+        assert cnum.INT_MIN <= wrapped <= cnum.INT_MAX
+
+    @given(st.integers(min_value=-2**70, max_value=2**70))
+    def test_idempotent(self, value):
+        assert cnum.wrap32(cnum.wrap32(value)) == cnum.wrap32(value)
+
+    @given(int32)
+    def test_unsigned_reinterpretation_round_trips(self, value):
+        assert cnum.wrap32(cnum.to_unsigned32(value)) == value
+
+
+class TestDivision:
+    def test_truncates_toward_zero(self):
+        assert cnum.c_div(7, 2) == 3
+        assert cnum.c_div(-7, 2) == -3
+        assert cnum.c_div(7, -2) == -3
+        assert cnum.c_div(-7, -2) == 3
+
+    def test_remainder_sign_follows_dividend(self):
+        assert cnum.c_rem(7, 2) == 1
+        assert cnum.c_rem(-7, 2) == -1
+        assert cnum.c_rem(7, -2) == 1
+        assert cnum.c_rem(-7, -2) == -1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            cnum.c_div(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            cnum.c_rem(1, 0)
+
+    @given(int32, nonzero32)
+    def test_div_rem_identity(self, a, b):
+        q = cnum.c_div(a, b)
+        r = cnum.c_rem(a, b)
+        # Avoid the single overflow case INT_MIN / -1 in the identity check.
+        if not (a == cnum.INT_MIN and b == -1):
+            assert q * b + r == a
+            assert abs(r) < abs(b)
+
+    def test_int_min_div_minus_one_wraps(self):
+        # C UB; this implementation defines it as wrapping.
+        assert cnum.c_div(cnum.INT_MIN, -1) == cnum.INT_MIN
+
+
+class TestShifts:
+    def test_shift_amount_mod_32(self):
+        assert cnum.c_shl(1, 32) == 1
+        assert cnum.c_shl(1, 33) == 2
+        assert cnum.c_shr(8, 35) == 1
+
+    def test_arithmetic_right_shift(self):
+        assert cnum.c_shr(-8, 1) == -4
+        assert cnum.c_shr(-1, 31) == -1
+
+    def test_left_shift_overflow_wraps(self):
+        assert cnum.c_shl(1, 31) == cnum.INT_MIN
+
+    @given(int32, st.integers(min_value=0, max_value=31))
+    def test_shr_matches_floor_division_for_positive(self, a, s):
+        if a >= 0:
+            assert cnum.c_shr(a, s) == a >> s
+
+
+class TestArithmetic:
+    @given(int32, int32)
+    def test_add_commutes(self, a, b):
+        assert cnum.c_add(a, b) == cnum.c_add(b, a)
+
+    @given(int32, int32)
+    def test_sub_is_add_of_negation(self, a, b):
+        assert cnum.c_sub(a, b) == cnum.c_add(a, cnum.c_neg(b))
+
+    @given(int32)
+    def test_not_is_minus_one_minus(self, a):
+        assert cnum.c_not(a) == cnum.c_sub(-1, a)
+
+    @given(int32, int32, int32)
+    def test_mul_associates_mod_2_32(self, a, b, c):
+        left = cnum.c_mul(cnum.c_mul(a, b), c)
+        right = cnum.c_mul(a, cnum.c_mul(b, c))
+        assert left == right
+
+
+class TestConversions:
+    def test_float_to_int_truncates_toward_zero(self):
+        assert cnum.c_float_to_int(2.9) == 2
+        assert cnum.c_float_to_int(-2.9) == -2
+
+    def test_float_to_int_wraps(self):
+        assert cnum.c_float_to_int(2.0**31) == cnum.INT_MIN
+
+    @given(int32)
+    def test_int_float_round_trip_small(self, value):
+        # ints up to 2^31 are exactly representable in doubles
+        assert cnum.c_float_to_int(cnum.c_int_to_float(value)) == value
+
+    def test_as_bool(self):
+        assert cnum.as_bool(1) and cnum.as_bool(-1) and cnum.as_bool(0.5)
+        assert not cnum.as_bool(0) and not cnum.as_bool(0.0)

@@ -1,0 +1,143 @@
+"""Unit + property tests for per-block DFG extraction."""
+
+from hypothesis import given, strategies as st
+
+from repro.api import compile_cmini
+from repro.cdfg.dfg import build_block_dfg, build_function_dfgs
+
+
+def biggest_block(source, func="f"):
+    ir_func = compile_cmini(source).function(func)
+    return max(ir_func.blocks, key=lambda b: len(b.ops))
+
+
+class TestDependencies:
+    def test_true_dependency_through_temps(self):
+        block = biggest_block("int f(int a) { return (a + 1) * 2; }")
+        dfg = build_block_dfg(block)
+        # The mul depends on the add; the ret depends on the mul.
+        mul_idx = next(
+            i for i, op in enumerate(block.ops)
+            if op.opcode == "bin" and op.attrs["op"] == "*"
+        )
+        add_idx = next(
+            i for i, op in enumerate(block.ops)
+            if op.opcode == "bin" and op.attrs["op"] == "+"
+        )
+        assert add_idx in dfg.deps[mul_idx]
+
+    def test_store_load_dependency_same_scalar(self):
+        block = biggest_block("int f(int a) { int x; x = a; return x; }")
+        dfg = build_block_dfg(block)
+        store = next(i for i, op in enumerate(block.ops) if op.opcode == "st")
+        load = next(
+            i for i, op in enumerate(block.ops)
+            if op.opcode == "ld" and op.attrs["var"] == "x"
+        )
+        assert store in dfg.deps[load]
+
+    def test_array_store_orders_with_later_load(self):
+        block = biggest_block("""
+        int f(int a[]) { a[0] = 5; return a[1]; }
+        """)
+        dfg = build_block_dfg(block)
+        stx = next(i for i, op in enumerate(block.ops) if op.opcode == "stx")
+        ldx = max(i for i, op in enumerate(block.ops) if op.opcode == "ldx")
+        assert stx in dfg.deps[ldx]  # no index disambiguation (conservative)
+
+    def test_independent_loads_have_no_mutual_deps(self):
+        block = biggest_block("int f(int a, int b) { return a + b; }")
+        dfg = build_block_dfg(block)
+        loads = [i for i, op in enumerate(block.ops) if op.opcode == "ld"]
+        for i in loads:
+            for j in loads:
+                assert j not in dfg.deps[i]
+
+    def test_call_is_barrier_for_memory(self):
+        block = biggest_block("""
+        int g;
+        int side(void) { g++; return g; }
+        int f(void) { g = 1; int x = side(); return g + x; }
+        """)
+        dfg = build_block_dfg(block)
+        call = next(i for i, op in enumerate(block.ops) if op.opcode == "call")
+        st_before = [
+            i for i, op in enumerate(block.ops)
+            if op.opcode == "st" and i < call and op.attrs["var"] == "g"
+        ]
+        ld_after = [
+            i for i, op in enumerate(block.ops)
+            if op.opcode == "ld" and i > call and op.attrs["var"] == "g"
+        ]
+        assert st_before and ld_after
+        assert all(call in dfg.deps[i] for i in ld_after)
+        assert any(s in dfg.deps[call] for s in st_before)
+
+
+class TestDAGProperties:
+    SOURCES = [
+        "int f(int a) { return a * a + a; }",
+        """
+        float f(float v[], int n) {
+          float s = 0.0;
+          for (int i = 0; i < n; i++) s += v[i] * v[i];
+          return s;
+        }""",
+        """
+        int f(int n) {
+          int a = n + 1; int b = a * 2; int c = b - n;
+          return a + b + c;
+        }""",
+    ]
+
+    def test_deps_point_backwards(self):
+        for source in self.SOURCES:
+            for func in compile_cmini(source).functions.values():
+                for dfg in build_function_dfgs(func).values():
+                    for i, deps in enumerate(dfg.deps):
+                        assert all(j < i for j in deps)
+
+    def test_succs_is_inverse_of_deps(self):
+        for source in self.SOURCES:
+            for func in compile_cmini(source).functions.values():
+                for dfg in build_function_dfgs(func).values():
+                    for i, deps in enumerate(dfg.deps):
+                        for j in deps:
+                            assert i in dfg.succs[j]
+
+    def test_critical_path_bounds(self):
+        source = self.SOURCES[1]
+        func = compile_cmini(source).function("f")
+        for dfg in build_function_dfgs(func).values():
+            n = len(dfg)
+            if n == 0:
+                continue
+            cp = dfg.critical_path_length(lambda op: 1)
+            assert 1 <= cp <= n
+
+    def test_depths_consistent_with_critical_path(self):
+        func = compile_cmini(self.SOURCES[2]).function("f")
+        for dfg in build_function_dfgs(func).values():
+            if len(dfg) == 0:
+                continue
+            latency = lambda op: 1  # noqa: E731
+            depths = dfg.all_depths(latency)
+            assert max(depths) == dfg.critical_path_length(latency)
+            for i in range(len(dfg)):
+                assert depths[i] == dfg.depth(i, latency)
+
+
+@given(st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=3))
+def test_chain_critical_path_scales_with_length(chain_len, pad):
+    """A chained expression produces a critical path that grows with the
+    chain; padding with independent statements never shrinks it."""
+    expr = "a"
+    for _ in range(chain_len):
+        expr = "(%s + 1)" % expr
+    pad_stmts = "".join("int p%d = %d;" % (i, i) for i in range(pad))
+    source = "int f(int a) { %s return %s; }" % (pad_stmts, expr)
+    func = compile_cmini(source).function("f")
+    dfg = build_block_dfg(func.blocks[0])
+    cp = dfg.critical_path_length(lambda op: 1)
+    # ld a -> chain of adds -> ret
+    assert cp >= chain_len + 1

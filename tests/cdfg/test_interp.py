@@ -1,0 +1,228 @@
+"""Unit tests for the reference IR interpreter."""
+
+import pytest
+
+from repro.api import compile_cmini
+from repro.cdfg.interp import (
+    Interpreter,
+    InterpreterError,
+    QueueComm,
+    run_function,
+)
+
+
+def run(source, func="main", *args, **kwargs):
+    return run_function(compile_cmini(source), func, *args, **kwargs)
+
+
+class TestArithmetic:
+    def test_int_expression(self):
+        assert run("int main(void) { return (3 + 4) * 2 - 5; }") == 9
+
+    def test_c_division_semantics(self):
+        assert run("int main(void) { return -7 / 2; }") == -3
+        assert run("int main(void) { return -7 % 2; }") == -1
+
+    def test_int_overflow_wraps(self):
+        assert run(
+            "int main(void) { int x = 2147483647; return x + 1; }"
+        ) == -2147483648
+
+    def test_float_arithmetic(self):
+        assert run("float main(void) { return 0.5 * 8.0 + 1.0; }") == 5.0
+
+    def test_mixed_promotion(self):
+        assert run("float main(void) { return 3 / 2 + 0.5; }") == 1.5
+
+    def test_cast_truncation(self):
+        assert run("int main(void) { return (int)-2.75; }") == -2
+
+    def test_shift_ops(self):
+        assert run("int main(void) { return (1 << 10) >> 3; }") == 128
+
+    def test_bitwise_ops(self):
+        assert run("int main(void) { return (12 & 10) | (1 ^ 3); }") == 10
+
+    def test_unary_ops(self):
+        assert run("int main(void) { return ~5 + !0 + !7; }") == -5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            run("int main(void) { int z = 0; return 1 / z; }")
+
+    def test_comparison_chain(self):
+        assert run("int main(void) { return (2 < 3) + (3 <= 3) + (4 > 5); }") == 2
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = "int main(int x) { if (x > 0) return 1; else return -1; }"
+        assert run(src, "main", 5) == 1
+        assert run(src, "main", -5) == -1
+
+    def test_while_loop(self):
+        assert run("""
+        int main(void) {
+          int i = 0; int s = 0;
+          while (i < 10) { s += i; i++; }
+          return s;
+        }""") == 45
+
+    def test_do_while_runs_once(self):
+        assert run("""
+        int main(void) {
+          int n = 0;
+          do { n++; } while (0);
+          return n;
+        }""") == 1
+
+    def test_for_with_break_continue(self):
+        assert run("""
+        int main(void) {
+          int s = 0;
+          for (int i = 0; i < 100; i++) {
+            if (i == 7) break;
+            if (i % 2 == 1) continue;
+            s += i;
+          }
+          return s;
+        }""") == 12
+
+    def test_short_circuit_and_skips_rhs(self):
+        assert run("""
+        int g;
+        int bump(void) { g++; return 1; }
+        int main(void) {
+          int r = 0 && bump();
+          return g * 10 + r;
+        }""") == 0
+
+    def test_short_circuit_or_skips_rhs(self):
+        assert run("""
+        int g;
+        int bump(void) { g++; return 0; }
+        int main(void) {
+          int r = 1 || bump();
+          return g * 10 + r;
+        }""") == 1
+
+    def test_ternary(self):
+        assert run("int main(int x) { return x > 0 ? x : -x; }", "main", -9) == 9
+
+    def test_nested_loops(self):
+        assert run("""
+        int main(void) {
+          int s = 0;
+          for (int i = 0; i < 4; i++)
+            for (int j = 0; j < 4; j++)
+              if (i != j) s++;
+          return s;
+        }""") == 12
+
+
+class TestFunctionsAndData:
+    def test_recursion(self):
+        assert run("""
+        int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+        int main(void) { return fact(6); }
+        """) == 720
+
+    def test_array_passed_by_reference(self):
+        assert run("""
+        void fill(int a[], int n) { for (int i = 0; i < n; i++) a[i] = i * i; }
+        int main(void) {
+          int b[5];
+          fill(b, 5);
+          return b[4] + b[3];
+        }""") == 25
+
+    def test_global_array_state(self):
+        assert run("""
+        int hist[4];
+        void record(int v) { hist[v % 4]++; }
+        int main(void) {
+          for (int i = 0; i < 10; i++) record(i);
+          return hist[0] * 1000 + hist[1] * 100 + hist[2] * 10 + hist[3];
+        }""") == 3322
+
+    def test_local_array_initializer(self):
+        assert run("""
+        int main(void) {
+          float w[4] = {0.5, 1.5, 2.5};
+          return (int)(w[0] + w[1] + w[2] + w[3]);
+        }""") == 4
+
+    def test_scalars_default_to_zero(self):
+        assert run("int main(void) { int x; return x; }") == 0
+
+    def test_out_of_bounds_read_raises(self):
+        with pytest.raises(InterpreterError):
+            run("int main(void) { int a[2]; int i = 5; return a[i]; }")
+
+    def test_negative_index_raises(self):
+        with pytest.raises(InterpreterError):
+            run("int main(void) { int a[2]; int i = -1; return a[i]; }")
+
+    def test_runaway_recursion_guarded(self):
+        with pytest.raises(InterpreterError):
+            run("int main(void) { return main(); }")
+
+    def test_wrong_arity_call_from_host(self):
+        ir = compile_cmini("int f(int a) { return a; }")
+        with pytest.raises(InterpreterError):
+            Interpreter(ir).call("f")
+
+
+class TestInstrumentation:
+    def test_block_counts_recorded(self):
+        ir = compile_cmini("""
+        int main(void) {
+          int s = 0;
+          for (int i = 0; i < 5; i++) s += i;
+          return s;
+        }""")
+        interp = Interpreter(ir)
+        interp.call("main")
+        body_counts = [
+            count for (_, _), count in interp.block_counts.items()
+        ]
+        assert 5 in body_counts  # the loop body ran 5 times
+
+    def test_on_block_hook_fires(self):
+        ir = compile_cmini("int main(void) { return 3; }")
+        events = []
+        interp = Interpreter(ir, on_block=lambda f, l: events.append((f, l)))
+        interp.call("main")
+        assert events == [("main", 0)]
+
+    def test_reset_clears_state(self):
+        ir = compile_cmini("int g; int main(void) { g++; return g; }")
+        interp = Interpreter(ir)
+        assert interp.call("main") == 1
+        assert interp.call("main") == 2
+        interp.reset()
+        assert interp.call("main") == 1
+
+
+class TestCommunication:
+    def test_queue_comm_round_trip(self):
+        ir = compile_cmini("""
+        int buf[4];
+        int main(void) {
+          for (int i = 0; i < 4; i++) buf[i] = i + 1;
+          send(1, buf, 4);
+          recv(1, buf, 2);
+          return buf[0] * 10 + buf[1];
+        }""")
+        comm = QueueComm()
+        assert Interpreter(ir, comm=comm).call("main") == 12
+        assert comm.queues[1] == [3, 4]
+
+    def test_comm_without_handler_raises(self):
+        with pytest.raises(InterpreterError):
+            run("int b[2]; int main(void) { send(1, b, 2); return 0; }")
+
+    def test_recv_underflow_raises(self):
+        ir = compile_cmini("int b[2]; int main(void) { recv(1, b, 2); return 0; }")
+        with pytest.raises(InterpreterError):
+            Interpreter(ir, comm=QueueComm()).call("main")

@@ -1,0 +1,53 @@
+"""Tests for the IR pretty-printer."""
+
+from repro.api import annotate_program, compile_cmini
+from repro.cdfg.printer import format_function, format_op, format_program
+from repro.pum import microblaze
+
+SRC = """
+int g[4];
+float h;
+int f(int a, float w[]) {
+  if (a > 0) {
+    g[a & 3] = a;
+    h = h + w[0];
+    send(1, g, 4);
+  }
+  return helper(a);
+}
+int helper(int x) { return x ? -x : ~x; }
+"""
+
+
+class TestFormatting:
+    def test_every_op_formats(self):
+        program = compile_cmini(SRC)
+        for func in program.functions.values():
+            for block in func.blocks:
+                for op in block.ops:
+                    text = format_op(op)
+                    assert isinstance(text, str) and text
+
+    def test_function_dump_contains_blocks(self):
+        func = compile_cmini(SRC).function("f")
+        text = format_function(func)
+        assert text.startswith("func f(a, w):")
+        assert "bb0:" in text
+        assert "send(" in text
+        assert "call helper" in text
+
+    def test_annotated_delays_shown(self):
+        program = compile_cmini(SRC)
+        annotate_program(program, microblaze())
+        text = format_function(program.function("f"))
+        assert "delay=" in text
+
+    def test_program_dump_sorted(self):
+        text = format_program(compile_cmini(SRC))
+        assert text.index("func f") < text.index("func helper")
+
+    def test_memory_ops_show_scope(self):
+        func = compile_cmini(SRC).function("f")
+        text = format_function(func)
+        assert "g:g[" in text or "g:g " in text or "g:g =" in text  # global
+        assert "l:a" in text  # local

@@ -1,0 +1,228 @@
+"""Unit tests for the CMini parser."""
+
+import pytest
+
+from repro.cfrontend import cast
+from repro.cfrontend.errors import ParseError
+from repro.cfrontend.parser import parse
+
+
+def parse_expr(text):
+    """Parse a single expression via a wrapper function."""
+    program = parse("void f(void) { x = %s; }" % text)
+    stmt = program.functions[0].body.stmts[0]
+    return stmt.expr.value
+
+
+class TestTopLevel:
+    def test_empty_program(self):
+        assert parse("").decls == []
+
+    def test_global_scalar(self):
+        program = parse("int g;")
+        decl = program.globals[0]
+        assert decl.name == "g"
+        assert decl.ctype == "int"
+
+    def test_global_with_initializer(self):
+        decl = parse("int g = 42;").globals[0]
+        assert isinstance(decl.init, cast.IntLit)
+
+    def test_const_global(self):
+        assert parse("const int N = 4;").globals[0].is_const
+
+    def test_global_array(self):
+        decl = parse("float a[8];").globals[0]
+        assert decl.ctype == ("array", "float", decl.ctype[2])
+
+    def test_array_brace_initializer(self):
+        decl = parse("int a[3] = {1, 2, 3};").globals[0]
+        assert len(decl.init) == 3
+
+    def test_array_trailing_comma(self):
+        decl = parse("int a[2] = {1, 2,};").globals[0]
+        assert len(decl.init) == 2
+
+    def test_decl_list(self):
+        program = parse("int a, b, c;")
+        assert [d.name for d in program.globals] == ["a", "b", "c"]
+
+    def test_function_with_params(self):
+        func = parse("int f(int a, float b) { return a; }").functions[0]
+        assert func.name == "f"
+        assert [p.name for p in func.params] == ["a", "b"]
+
+    def test_function_void_params(self):
+        func = parse("void f(void) { }").functions[0]
+        assert func.params == []
+
+    def test_array_parameter(self):
+        func = parse("void f(int a[]) { }").functions[0]
+        assert func.params[0].ctype.elem == "int"
+        assert func.params[0].ctype.size is None
+
+    def test_sized_array_parameter(self):
+        func = parse("void f(int a[4]) { }").functions[0]
+        assert func.params[0].ctype.size == 4
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse("void v;")
+
+    def test_void_parameter_rejected(self):
+        with pytest.raises(ParseError):
+            parse("void f(void x) { }")
+
+
+class TestStatements:
+    def test_if_else(self):
+        func = parse("void f(int x) { if (x) x = 1; else x = 2; }").functions[0]
+        stmt = func.body.stmts[0]
+        assert isinstance(stmt, cast.If)
+        assert stmt.other is not None
+
+    def test_dangling_else_binds_inner(self):
+        src = "void f(int x) { if (x) if (x > 1) x = 1; else x = 2; }"
+        outer = parse(src).functions[0].body.stmts[0]
+        assert outer.other is None
+        inner = outer.then.stmts[0]
+        assert inner.other is not None
+
+    def test_while(self):
+        stmt = parse("void f(int x) { while (x) x--; }").functions[0].body.stmts[0]
+        assert isinstance(stmt, cast.While)
+
+    def test_do_while(self):
+        stmt = parse("void f(int x) { do x--; while (x); }").functions[0].body.stmts[0]
+        assert isinstance(stmt, cast.DoWhile)
+
+    def test_for_with_decl(self):
+        stmt = parse(
+            "void f(void) { for (int i = 0; i < 4; i++) { } }"
+        ).functions[0].body.stmts[0]
+        assert isinstance(stmt, cast.For)
+        assert isinstance(stmt.init[0], cast.VarDecl)
+
+    def test_for_empty_header(self):
+        stmt = parse("void f(void) { for (;;) break; }").functions[0].body.stmts[0]
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_return_value_and_void(self):
+        funcs = parse(
+            "int f(void) { return 1; } void g(void) { return; }"
+        ).functions
+        assert isinstance(funcs[0].body.stmts[0].value, cast.IntLit)
+        assert funcs[1].body.stmts[0].value is None
+
+    def test_break_continue(self):
+        body = parse(
+            "void f(void) { while (1) { break; continue; } }"
+        ).functions[0].body.stmts[0].body
+        assert isinstance(body.stmts[0], cast.Break)
+
+    def test_empty_statement(self):
+        func = parse("void f(void) { ;;; }").functions[0]
+        assert func.body.stmts == []
+
+    def test_nested_blocks(self):
+        func = parse("void f(void) { { int x; { x = 1; } } }").functions[0]
+        assert isinstance(func.body.stmts[0], cast.Block)
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) { int x;")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expr("1 - 2 - 3")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_logical_precedence(self):
+        expr = parse_expr("a || b && c")
+        assert expr.op == "||"
+        assert expr.right.op == "&&"
+
+    def test_comparison_vs_shift(self):
+        expr = parse_expr("a << 2 < b")
+        assert expr.op == "<"
+        assert expr.left.op == "<<"
+
+    def test_unary_minus(self):
+        expr = parse_expr("-a * b")
+        assert expr.op == "*"
+        assert isinstance(expr.left, cast.UnOp)
+
+    def test_unary_plus_is_noop(self):
+        expr = parse_expr("+a")
+        assert isinstance(expr, cast.Name)
+
+    def test_ternary(self):
+        expr = parse_expr("a ? b : c")
+        assert isinstance(expr, cast.Cond)
+
+    def test_ternary_right_associative(self):
+        expr = parse_expr("a ? b : c ? d : e")
+        assert isinstance(expr.other, cast.Cond)
+
+    def test_assignment_right_associative(self):
+        program = parse("void f(void) { a = b = 1; }")
+        expr = program.functions[0].body.stmts[0].expr
+        assert isinstance(expr.value, cast.Assign)
+
+    def test_compound_assignment(self):
+        program = parse("void f(void) { a += 2; }")
+        expr = program.functions[0].body.stmts[0].expr
+        assert expr.op == "+="
+
+    def test_prefix_increment_desugars(self):
+        program = parse("void f(void) { ++a; }")
+        expr = program.functions[0].body.stmts[0].expr
+        assert isinstance(expr, cast.Assign) and expr.op == "+="
+
+    def test_postfix_decrement_desugars(self):
+        program = parse("void f(void) { a--; }")
+        expr = program.functions[0].body.stmts[0].expr
+        assert isinstance(expr, cast.Assign) and expr.op == "-="
+
+    def test_cast_expression(self):
+        expr = parse_expr("(float)a")
+        assert isinstance(expr, cast.Cast)
+        assert expr.target == "float"
+
+    def test_call_with_args(self):
+        expr = parse_expr("f(1, g(2), x)")
+        assert isinstance(expr, cast.Call)
+        assert len(expr.args) == 3
+
+    def test_array_index(self):
+        expr = parse_expr("a[i + 1]")
+        assert isinstance(expr, cast.Index)
+
+    def test_index_of_non_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) { x = f()[0]; }")
+
+    def test_assign_to_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) { 1 = 2; }")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) { x = 1 }")
+
+    def test_error_carries_line(self):
+        with pytest.raises(ParseError) as info:
+            parse("void f(void) {\n  x = ;\n}")
+        assert info.value.line == 2

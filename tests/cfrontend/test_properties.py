@@ -1,0 +1,86 @@
+"""Property-based tests of the front-end (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfrontend.lexer import tokenize
+from repro.cfrontend.parser import parse
+from repro.cfrontend.semantic import parse_and_analyze
+
+identifiers = st.text(
+    alphabet=string.ascii_lowercase, min_size=1, max_size=8
+).filter(lambda s: s not in {
+    "int", "float", "void", "if", "else", "while", "for", "do",
+    "return", "break", "continue", "const", "send", "recv",
+})
+
+
+class TestLexerProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_int_literals_round_trip(self, value):
+        tokens = tokenize(str(value))
+        assert tokens[0].kind == "int"
+        assert tokens[0].value == value
+
+    @given(st.floats(min_value=0.0, max_value=1e12,
+                     allow_nan=False, allow_infinity=False))
+    def test_float_literals_round_trip(self, value):
+        text = repr(float(value))
+        if "e" not in text and "." not in text:  # repr of integral floats
+            text += ".0"
+        tokens = tokenize(text)
+        assert tokens[0].kind == "float"
+        assert tokens[0].value == float(text)
+
+    @given(identifiers)
+    def test_identifiers_tokenize_as_single_token(self, name):
+        tokens = tokenize(name)
+        assert len(tokens) == 2
+        assert tokens[0] .kind == "id"
+        assert tokens[0].value == name
+
+    @given(st.lists(st.sampled_from(
+        ["+", "-", "*", "/", "<", ">", "(", ")", "x", "1", " "]
+    ), max_size=30))
+    def test_lexer_never_crashes_on_operator_soup(self, pieces):
+        # Any mix of these characters is lexable (maybe not parseable).
+        tokenize(" ".join(pieces))
+
+
+def _const_expr(draw_depth=2):
+    """Strategy for small constant integer expressions as text + value."""
+    literals = st.integers(min_value=0, max_value=99).map(
+        lambda v: (str(v), v)
+    )
+
+    def combine(children):
+        return st.tuples(children, st.sampled_from("+-*"), children).map(
+            lambda t: (
+                "(%s %s %s)" % (t[0][0], t[1], t[2][0]),
+                {"+": t[0][1] + t[2][1],
+                 "-": t[0][1] - t[2][1],
+                 "*": t[0][1] * t[2][1]}[t[1]],
+            )
+        )
+
+    return st.recursive(literals, combine, max_leaves=8)
+
+
+class TestParserProperties:
+    @given(_const_expr())
+    @settings(max_examples=60)
+    def test_constant_folding_matches_python(self, expr):
+        text, expected = expr
+        _, info = parse_and_analyze("const int V = %s;" % text)
+        assert info.global_values["V"] == expected
+
+    @given(st.lists(identifiers, min_size=1, max_size=5, unique=True))
+    def test_declaration_lists_preserve_order(self, names):
+        program = parse("int %s;" % ", ".join(names))
+        assert [d.name for d in program.globals] == names
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_array_sizes_resolve(self, n):
+        _, info = parse_and_analyze("int a[%d];" % n)
+        assert info.globals["a"].ctype.size == n

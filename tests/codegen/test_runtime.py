@@ -1,0 +1,88 @@
+"""Unit tests for the process-context runtime (delay batching, sc_wait)."""
+
+import pytest
+
+from repro.codegen.runtime import ProcessContext
+from repro.simkernel import Kernel
+
+
+class _RecordingComm:
+    def __init__(self):
+        self.events = []
+
+    def send(self, sim_process, chan, values):
+        self.events.append(("send", chan, list(values)))
+
+    def recv(self, sim_process, chan, count):
+        self.events.append(("recv", chan, count))
+        return [0] * count
+
+
+class TestStandaloneAccounting:
+    def test_wait_accumulates(self):
+        ctx = ProcessContext()
+        ctx.wait(10)
+        ctx.wait(5)
+        assert ctx.total_cycles == 15
+        assert ctx.pending_cycles == 15
+
+    def test_sync_without_kernel_clears_pending(self):
+        ctx = ProcessContext()
+        ctx.wait(10)
+        ctx.sync()
+        assert ctx.pending_cycles == 0
+        assert ctx.total_cycles == 10
+
+    def test_bad_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessContext(granularity="nonsense")
+
+    def test_comm_without_binding_raises(self):
+        ctx = ProcessContext()
+        with pytest.raises(RuntimeError):
+            ctx.send(1, [1, 2])
+        with pytest.raises(RuntimeError):
+            ctx.recv(1, 2)
+
+
+class TestKernelIntegration:
+    def _run(self, granularity):
+        kernel = Kernel()
+        comm = _RecordingComm()
+        timeline = []
+        ctx = ProcessContext(
+            cycle_ns=10.0, comm=comm, granularity=granularity
+        )
+
+        def body(process):
+            ctx.sim_process = process
+            ctx.wait(7)
+            timeline.append(("after-wait", kernel.now))
+            ctx.send(1, [42])
+            timeline.append(("after-send", kernel.now))
+            ctx.wait(3)
+            ctx.sync()
+            timeline.append(("end", kernel.now))
+
+        kernel.add_process("p", body)
+        kernel.run()
+        return timeline, comm, ctx
+
+    def test_transaction_granularity_defers_time(self):
+        timeline, comm, ctx = self._run("transaction")
+        # Time does not advance at wait(); it advances at the transaction.
+        assert timeline[0] == ("after-wait", 0.0)
+        assert timeline[1] == ("after-send", 70.0)
+        assert timeline[2] == ("end", 100.0)
+        assert ctx.total_cycles == 10
+        assert ctx.n_transactions == 1
+        assert comm.events == [("send", 1, [42])]
+
+    def test_block_granularity_advances_immediately(self):
+        timeline, _, _ = self._run("block")
+        assert timeline[0] == ("after-wait", 70.0)
+
+    def test_total_cycles_identical_across_granularities(self):
+        _, _, ctx_txn = self._run("transaction")
+        _, _, ctx_blk = self._run("block")
+        assert ctx_txn.total_cycles == ctx_blk.total_cycles

@@ -1,0 +1,89 @@
+"""Unit tests for the branch predictors."""
+
+import pytest
+
+from repro.cycle.branch import (
+    PREDICTORS,
+    StaticBTFN,
+    StaticNotTaken,
+    TwoBit,
+    make_predictor,
+)
+
+
+class TestStaticNotTaken:
+    def test_correct_on_not_taken(self):
+        p = StaticNotTaken()
+        assert p.predict_and_update(10, 20, taken=False)
+        assert p.miss_rate == 0.0
+
+    def test_wrong_on_taken(self):
+        p = StaticNotTaken()
+        assert not p.predict_and_update(10, 20, taken=True)
+        assert p.miss_rate == 1.0
+
+
+class TestStaticBTFN:
+    def test_backward_predicted_taken(self):
+        p = StaticBTFN()
+        assert p.predict_and_update(100, 50, taken=True)   # backward, taken
+        assert p.predict_and_update(100, 150, taken=False)  # forward, not
+        assert p.miss_rate == 0.0
+
+    def test_mispredicts_forward_taken(self):
+        p = StaticBTFN()
+        assert not p.predict_and_update(100, 150, taken=True)
+
+
+class TestTwoBit:
+    def test_learns_always_taken(self):
+        p = TwoBit()
+        for _ in range(3):
+            p.predict_and_update(8, 2, taken=True)
+        # After warm-up, the counter saturates and predicts taken.
+        assert p.predict_and_update(8, 2, taken=True)
+
+    def test_hysteresis_tolerates_single_flip(self):
+        p = TwoBit()
+        for _ in range(4):
+            p.predict_and_update(8, 2, taken=True)
+        p.predict_and_update(8, 2, taken=False)  # one not-taken
+        assert p.predict_and_update(8, 2, taken=True)  # still predicts taken
+
+    def test_independent_slots(self):
+        p = TwoBit(table_size=4)
+        for _ in range(4):
+            p.predict_and_update(0, 2, taken=True)
+            p.predict_and_update(1, 2, taken=False)
+        assert p.predict_and_update(0, 2, taken=True)
+        assert p.predict_and_update(1, 2, taken=False)
+
+    def test_loop_branch_miss_rate_low(self):
+        # A loop branch taken 99 times then not taken once.
+        p = TwoBit()
+        for i in range(100):
+            p.predict_and_update(4, 0, taken=(i != 99))
+        assert p.miss_rate < 0.05
+
+    def test_invalid_table_size(self):
+        with pytest.raises(ValueError):
+            TwoBit(table_size=0)
+
+
+class TestFactory:
+    def test_all_registered_policies_constructible(self):
+        for name in PREDICTORS:
+            predictor = make_predictor(name)
+            predictor.predict_and_update(0, 1, taken=True)
+            assert predictor.predictions == 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_predictor("oracle")
+
+    def test_stats_reset(self):
+        p = make_predictor("2bit")
+        p.predict_and_update(0, 1, True)
+        p.reset_stats()
+        assert p.predictions == 0
+        assert p.mispredictions == 0

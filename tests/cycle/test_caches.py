@@ -1,0 +1,124 @@
+"""Unit + property tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cycle.caches import Cache, CacheError, NullCache, make_cache
+
+
+class TestGeometry:
+    def test_sets_computed_from_size(self):
+        cache = Cache(2048, line_words=8, assoc=2)
+        # 2048 B / (8 words * 4 B * 2 ways) = 32 sets
+        assert cache.n_sets == 32
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(CacheError):
+            Cache(0)
+        with pytest.raises(CacheError):
+            Cache(100, line_words=8, assoc=2)  # not a multiple
+
+    def test_make_cache_dispatches(self):
+        assert isinstance(make_cache(0), NullCache)
+        assert isinstance(make_cache(2048), Cache)
+
+
+class TestBehaviour:
+    def test_first_access_misses_then_hits(self):
+        cache = make_cache(2048)
+        assert cache.access(100) is False
+        assert cache.access(100) is True
+
+    def test_spatial_locality_within_line(self):
+        cache = make_cache(2048, line_words=8)
+        cache.access(64)
+        for offset in range(1, 8):
+            assert cache.access(64 + offset) is True
+
+    def test_line_boundary_misses(self):
+        cache = make_cache(2048, line_words=8)
+        cache.access(64)
+        assert cache.access(72) is False
+
+    def test_lru_eviction_order(self):
+        # 2-way: fill a set with 2 lines, touch the first, insert a third;
+        # the second (least recent) must be evicted.
+        cache = Cache(2048, line_words=8, assoc=2)
+        stride = cache.n_sets * 8  # same set, different tags
+        a, b, c = 0, stride, 2 * stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a is now MRU
+        cache.access(c)  # evicts b
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_flush_invalidates(self):
+        cache = make_cache(2048)
+        cache.access(5)
+        cache.flush()
+        assert cache.access(5) is False
+
+    def test_working_set_larger_than_cache_thrashes(self):
+        cache = Cache(1024, line_words=8, assoc=2)  # 256 words
+        for _ in range(3):
+            for addr in range(0, 4096, 8):
+                cache.access(addr)
+        assert cache.hit_rate < 0.05
+
+    def test_working_set_smaller_than_cache_hits(self):
+        cache = Cache(4096, line_words=8, assoc=2)  # 1024 words
+        for _ in range(10):
+            for addr in range(0, 512, 4):
+                cache.access(addr)
+        assert cache.hit_rate > 0.9
+
+
+class TestNullCache:
+    def test_always_misses(self):
+        cache = NullCache()
+        for addr in (0, 0, 1, 1):
+            assert cache.access(addr) is False
+        assert cache.hit_rate == 0.0
+        assert cache.accesses == 4
+
+    def test_reset(self):
+        cache = NullCache()
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.accesses == 0
+
+
+class TestStatsInvariants:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=300),
+           st.sampled_from([1024, 2048, 8192]),
+           st.sampled_from([1, 2, 4]))
+    @settings(max_examples=30, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, addrs, size, assoc):
+        cache = Cache(size, line_words=8, assoc=assoc)
+        for addr in addrs:
+            cache.access(addr)
+        assert cache.hits + cache.misses == len(addrs)
+        assert 0.0 <= cache.hit_rate <= 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=2_000), min_size=1,
+                    max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_each_set_never_exceeds_associativity(self, addrs):
+        cache = Cache(1024, line_words=4, assoc=2)
+        for addr in addrs:
+            cache.access(addr)
+        for ways in cache._sets:
+            assert len(ways) <= cache.assoc
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), min_size=1,
+                    max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_repeating_trace_twice_only_improves_hit_rate(self, addrs):
+        once = Cache(2048, line_words=8, assoc=2)
+        for addr in addrs:
+            once.access(addr)
+        twice = Cache(2048, line_words=8, assoc=2)
+        for addr in addrs + addrs:
+            twice.access(addr)
+        assert twice.hits >= once.hits

@@ -1,0 +1,184 @@
+"""Unit tests for the cycle-accurate CPU model."""
+
+import pytest
+
+from repro.api import compile_cmini
+from repro.cdfg.interp import run_function
+from repro.isa import compile_program
+from repro.cycle import CycleCPU, CycleCPUError, run_to_halt
+
+
+def image_of(source, entry="main", args=()):
+    return compile_program(compile_cmini(source), entry, args)
+
+
+LOOP = """
+int main(void) {
+  int s = 0;
+  for (int i = 0; i < 40; i++) s += i * 3;
+  return s;
+}"""
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("source", [
+        "int main(void) { return (9 * 9 - 1) / 4; }",
+        "int main(void) { float x = 3.25; return (int)(x * x); }",
+        """
+        int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        int main(void) { return fib(11); }
+        """,
+        """
+        int a[8];
+        int main(void) {
+          for (int i = 0; i < 8; i++) a[i] = i ^ 5;
+          int s = 0;
+          for (int i = 0; i < 8; i++) s = s * 2 + a[i];
+          return s;
+        }""",
+    ])
+    def test_matches_interpreter(self, source):
+        ir = compile_cmini(source)
+        expected = run_function(ir, "main")
+        image = compile_program(ir, "main", ())
+        cpu = run_to_halt(image, 2048, 2048)
+        assert cpu.return_value == expected
+
+    def test_matches_iss_functionally(self):
+        from repro.iss import ISS
+
+        image = image_of(LOOP)
+        iss = ISS(image).run()
+        cpu = run_to_halt(image, 8192, 8192)
+        assert cpu.return_value == iss.return_value
+        assert cpu.n_instrs == iss.n_instrs
+
+
+class TestTimingModel:
+    def test_cycles_at_least_instruction_count(self):
+        cpu = run_to_halt(image_of(LOOP), 32768, 32768)
+        assert cpu.cycle >= cpu.n_instrs  # CPI >= 1 on a single-issue core
+
+    def test_cache_misses_add_cycles(self):
+        warm = run_to_halt(image_of(LOOP), 32768, 32768)
+        cold = run_to_halt(image_of(LOOP), 0, 0)
+        assert cold.cycle > 2 * warm.cycle
+        assert cold.n_instrs == warm.n_instrs
+
+    def test_dependency_chain_stalls(self):
+        # Chained float adds: each waits the FPU result latency (4).
+        chain = image_of("""
+        int main(void) {
+          float x = 1.0;
+          x = x + 1.0; x = x + 2.0; x = x + 3.0; x = x + 4.0;
+          x = x + 5.0; x = x + 6.0; x = x + 7.0; x = x + 8.0;
+          return (int)x;
+        }""")
+        ints = image_of("""
+        int main(void) {
+          int x = 1;
+          x = x + 1; x = x + 2; x = x + 3; x = x + 4;
+          x = x + 5; x = x + 6; x = x + 7; x = x + 8;
+          return x;
+        }""")
+        float_cpu = run_to_halt(chain, 32768, 32768)
+        int_cpu = run_to_halt(ints, 32768, 32768)
+        assert float_cpu.cycle > int_cpu.cycle
+
+    def test_division_dominates(self):
+        divs = image_of("""
+        int main(void) {
+          int s = 1 << 30;
+          for (int i = 0; i < 20; i++) s = s / 2;
+          return s;
+        }""")
+        shifts = image_of("""
+        int main(void) {
+          int s = 1 << 30;
+          for (int i = 0; i < 20; i++) s = s >> 1;
+          return s;
+        }""")
+        assert (run_to_halt(divs, 32768, 32768).cycle
+                > run_to_halt(shifts, 32768, 32768).cycle + 20 * 25)
+
+    def test_branch_predictor_reduces_cycles(self):
+        # The `if` body is entered ~90% of the time and is laid out
+        # out-of-line, so its bnez is taken 90%: static-not-taken
+        # mispredicts those, 2bit learns them.
+        image = image_of("""
+        int main(void) {
+          int s = 0;
+          for (int i = 0; i < 100; i++) {
+            if (i % 10 != 0) s += 100;
+          }
+          return s;
+        }""")
+        predicted = CycleCPU(image, 32768, 32768, branch_policy="2bit")
+        predicted.run_until_event()
+        static = CycleCPU(image, 32768, 32768,
+                          branch_policy="static-not-taken")
+        static.run_until_event()
+        assert predicted.cycle < static.cycle
+        assert predicted.predictor.miss_rate < static.predictor.miss_rate
+
+    def test_stats_shape(self):
+        cpu = run_to_halt(image_of(LOOP), 2048, 2048)
+        stats = cpu.stats()
+        assert stats["instrs"] == cpu.n_instrs
+        assert stats["icache_hits"] + stats["icache_misses"] > 0
+        assert 0.0 <= stats["branch_miss_rate"] <= 1.0
+
+    def test_livelock_guard(self):
+        image = image_of("int main(void) { while (1) { } return 0; }")
+        cpu = CycleCPU(image, 0, 0, max_instrs=5_000)
+        with pytest.raises(CycleCPUError):
+            cpu.run_until_event()
+
+
+class TestCommunicationEvents:
+    SRC = """
+    int buf[4];
+    int main(void) {
+      for (int i = 0; i < 4; i++) buf[i] = i + 1;
+      send(9, buf, 4);
+      recv(9, buf, 2);
+      return buf[0] + buf[1];
+    }"""
+
+    def test_send_then_recv_events(self):
+        image = image_of(self.SRC)
+        cpu = CycleCPU(image, 2048, 2048)
+        event, elapsed = cpu.run_until_event()
+        assert event.kind == "send"
+        assert event.chan == 9
+        assert elapsed > 0
+        payload = cpu.memory[event.addr : event.addr + event.count]
+        assert payload == [1, 2, 3, 4]
+
+        event, _ = cpu.run_until_event()
+        assert event.kind == "recv"
+        cpu.complete_recv([40, 2])
+        event, _ = cpu.run_until_event()
+        assert event.kind == "halt"
+        assert cpu.return_value == 42
+
+    def test_recv_without_completion_rejected(self):
+        image = image_of(self.SRC)
+        cpu = CycleCPU(image, 2048, 2048)
+        cpu.run_until_event()  # send
+        cpu.run_until_event()  # recv pending
+        with pytest.raises(CycleCPUError):
+            cpu.complete_recv([1])  # wrong count
+
+    def test_halted_cpu_stays_halted(self):
+        image = image_of("int main(void) { return 5; }")
+        cpu = CycleCPU(image)
+        assert cpu.run_until_event()[0].kind == "halt"
+        event, elapsed = cpu.run_until_event()
+        assert event.kind == "halt"
+        assert elapsed == 0
+
+    def test_comm_through_no_platform_raises_via_helper(self):
+        image = image_of(self.SRC)
+        with pytest.raises(CycleCPUError):
+            run_to_halt(image, 2048, 2048)

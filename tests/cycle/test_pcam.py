@@ -1,0 +1,111 @@
+"""Unit tests for the PCAM multi-PE co-simulation."""
+
+import pytest
+
+from repro.pum import dct_hw, microblaze
+from repro.cycle import run_pcam
+from repro.tlm import Design, PlatformError
+
+CPU_SRC = """
+int buf[8];
+int total;
+int main(void) {
+  for (int f = 0; f < 3; f++) {
+    for (int i = 0; i < 8; i++) buf[i] = f * 8 + i;
+    send(1, buf, 8);
+    recv(2, buf, 8);
+    for (int i = 0; i < 8; i++) total += buf[i];
+  }
+  return total;
+}
+"""
+
+HW_SRC = """
+int data[8];
+void main(void) {
+  for (int f = 0; f < 3; f++) {
+    recv(1, data, 8);
+    for (int i = 0; i < 8; i++) data[i] = data[i] * 3 + 1;
+    send(2, data, 8);
+  }
+}
+"""
+
+
+def two_pe_design(icache=2048, dcache=2048):
+    design = Design("pcam-test")
+    design.add_pe("cpu", microblaze(icache, dcache))
+    design.add_pe("hw0", dct_hw())
+    design.add_bus("bus0")
+    design.add_channel(1, "req", "bus0")
+    design.add_channel(2, "rsp", "bus0")
+    design.add_process("sw", CPU_SRC, "main", "cpu")
+    design.add_process("acc", HW_SRC, "main", "hw0")
+    return design
+
+
+def expected_total():
+    acc = 0
+    for f in range(3):
+        for i in range(8):
+            acc += (f * 8 + i) * 3 + 1
+    return acc
+
+
+class TestCosimulation:
+    def test_functional_result(self):
+        board = run_pcam(two_pe_design())
+        assert board.pe("sw").return_value == expected_total()
+
+    def test_pe_kinds(self):
+        board = run_pcam(two_pe_design())
+        assert board.pe("sw").kind == "cpu"
+        assert board.pe("acc").kind == "hw"
+
+    def test_makespan_at_least_each_pe(self):
+        board = run_pcam(two_pe_design())
+        for stats in board.pes.values():
+            assert board.makespan_cycles >= stats.cycles * 0.99
+
+    def test_cache_configuration_matters(self):
+        fast = run_pcam(two_pe_design(icache=32768, dcache=32768))
+        slow = run_pcam(two_pe_design(icache=0, dcache=0))
+        assert slow.makespan_cycles > fast.makespan_cycles
+        assert slow.pe("sw").return_value == fast.pe("sw").return_value
+
+    def test_cpu_stats_merged(self):
+        stats = run_pcam(two_pe_design()).cpu_stats()
+        assert stats["instrs"] > 0
+        assert "icache_hits" in stats
+
+    def test_deterministic(self):
+        a = run_pcam(two_pe_design())
+        b = run_pcam(two_pe_design())
+        assert a.makespan_cycles == b.makespan_cycles
+        assert {n: s.cycles for n, s in a.pes.items()} == {
+            n: s.cycles for n, s in b.pes.items()
+        }
+
+    def test_cache_schedules_flag_preserves_cycles(self):
+        fast = run_pcam(two_pe_design(), cache_schedules=True)
+        slow = run_pcam(two_pe_design(), cache_schedules=False)
+        assert fast.makespan_cycles == slow.makespan_cycles
+
+    def test_invalid_design_rejected(self):
+        design = Design("broken")
+        design.add_pe("cpu", microblaze())
+        with pytest.raises(PlatformError):
+            run_pcam(design)
+
+    def test_single_pe_sw_design(self):
+        design = Design("sw-only")
+        design.add_pe("cpu", microblaze(2048, 2048))
+        design.add_process("p", """
+        int main(void) {
+          int s = 0;
+          for (int i = 0; i < 30; i++) s += i;
+          return s;
+        }""", "main", "cpu")
+        board = run_pcam(design)
+        assert board.pe("p").return_value == 435
+        assert board.makespan_cycles == board.pe("p").cycles

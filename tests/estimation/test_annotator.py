@@ -1,0 +1,116 @@
+"""Unit tests for the timing annotator."""
+
+import pytest
+
+from repro.api import compile_cmini
+from repro.cdfg.interp import Interpreter
+from repro.estimation import (
+    annotate_function,
+    annotate_ir_program,
+    estimated_total_cycles,
+)
+from repro.pum import dct_hw, microblaze
+
+SRC = """
+int helper(int x) { return x * x; }
+int main(void) {
+  int s = 0;
+  for (int i = 0; i < 6; i++) s += helper(i);
+  return s;
+}
+"""
+
+
+class TestAnnotation:
+    def test_every_block_gets_delay(self):
+        program = compile_cmini(SRC)
+        report = annotate_ir_program(program, microblaze())
+        for func in program.functions.values():
+            for block in func.blocks:
+                assert isinstance(block.delay, int)
+                assert block.delay >= 0
+        assert report.n_functions == 2
+        assert report.n_blocks == program.n_blocks
+        assert report.n_ops == program.n_ops
+
+    def test_annotate_single_function(self):
+        program = compile_cmini(SRC)
+        delays = annotate_function(program.function("helper"), microblaze())
+        assert set(delays) == {
+            b.label for b in program.function("helper").blocks
+        }
+
+    def test_subset_annotation(self):
+        program = compile_cmini(SRC)
+        annotate_ir_program(program, microblaze(), functions=["helper"])
+        assert all(
+            b.delay is not None for b in program.function("helper").blocks
+        )
+        assert all(b.delay is None for b in program.function("main").blocks)
+
+    def test_different_pums_give_different_delays(self):
+        p1 = compile_cmini(SRC)
+        p2 = compile_cmini(SRC)
+        annotate_ir_program(p1, microblaze())
+        annotate_ir_program(p2, dct_hw())
+        d1 = [b.delay for b in p1.function("main").blocks]
+        d2 = [b.delay for b in p2.function("main").blocks]
+        assert d1 != d2
+
+    def test_report_times_are_measured(self):
+        program = compile_cmini(SRC)
+        report = annotate_ir_program(program, microblaze())
+        assert report.seconds >= 0.0
+        assert "MicroBlaze" in repr(report)
+
+
+class TestTotalCycles:
+    def test_total_matches_trace_weighted_sum(self):
+        program = compile_cmini(SRC)
+        annotate_ir_program(program, microblaze())
+        interp = Interpreter(program)
+        interp.call("main")
+        total = estimated_total_cycles(program, interp.block_counts)
+        manual = 0
+        for (fname, label), count in interp.block_counts.items():
+            manual += program.function(fname).blocks[label].delay * count
+        assert total == manual
+        assert total > 0
+
+    def test_total_scales_with_iterations(self):
+        src_n = """
+        int main(void) {
+          int s = 0;
+          for (int i = 0; i < %d; i++) s += i;
+          return s;
+        }"""
+        totals = []
+        for n in (10, 100):
+            program = compile_cmini(src_n % n)
+            annotate_ir_program(program, microblaze())
+            interp = Interpreter(program)
+            interp.call("main")
+            totals.append(estimated_total_cycles(program, interp.block_counts))
+        assert totals[1] > totals[0] * 5
+
+    def test_unannotated_block_raises(self):
+        program = compile_cmini(SRC)
+        interp = Interpreter(program)
+        interp.call("main")
+        with pytest.raises(ValueError):
+            estimated_total_cycles(program, interp.block_counts)
+
+    def test_annotation_agrees_with_timed_codegen(self):
+        """Sum over interpreter trace == cycles accumulated by generated code."""
+        from repro.codegen import ProcessContext, generate_program
+
+        program = compile_cmini(SRC)
+        annotate_ir_program(program, microblaze())
+        interp = Interpreter(program)
+        interp.call("main")
+        via_trace = estimated_total_cycles(program, interp.block_counts)
+
+        generated = generate_program(program, timed=True)
+        ctx = ProcessContext()
+        generated.entry("main")(ctx, generated.fresh_globals())
+        assert ctx.total_cycles == via_trace

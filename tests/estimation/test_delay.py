@@ -1,0 +1,166 @@
+"""Unit tests for Algorithm 2 (Compute BB Delay)."""
+
+from repro.api import compile_cmini
+from repro.estimation.delay import DelayEstimator
+from repro.pum import dct_hw, microblaze
+from repro.pum.library import default_dcache_stats, default_icache_stats
+from repro.pum.model import BranchModel, CachePoint, MemoryModel
+
+
+def blocks_of(source, func="f"):
+    return compile_cmini(source).function(func).blocks
+
+
+LOOP_SRC = """
+int f(int a[], int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++) s += a[i];
+  return s;
+}"""
+
+
+class TestStatisticalTerms:
+    def test_hw_pum_has_no_statistical_terms(self):
+        estimator = DelayEstimator(dct_hw())
+        for block in blocks_of(LOOP_SRC):
+            breakdown = estimator.block_delay_breakdown(block)
+            assert breakdown["branch"] == 0.0
+            assert breakdown["icache"] == 0.0
+            assert breakdown["dcache"] == 0.0
+
+    def test_icache_term_proportional_to_ops(self):
+        estimator = DelayEstimator(microblaze(icache_size=2048, dcache_size=0))
+        blocks = blocks_of(LOOP_SRC)
+        point = estimator.pum.memory.point("i", 2048)
+        per_op = (1 - point.hit_rate) * estimator.pum.memory.ext_latency
+        for block in blocks:
+            breakdown = estimator.block_delay_breakdown(block)
+            assert abs(breakdown["icache"] - block.n_ops * per_op) < 1e-9
+
+    def test_dcache_term_counts_memory_operands(self):
+        estimator = DelayEstimator(microblaze(icache_size=0, dcache_size=4096))
+        block = max(blocks_of(LOOP_SRC), key=lambda b: b.n_operands)
+        breakdown = estimator.block_delay_breakdown(block)
+        point = estimator.pum.memory.point("d", 4096)
+        per_access = (1 - point.hit_rate) * estimator.pum.memory.ext_latency
+        assert abs(breakdown["dcache"] - block.n_operands * per_access) < 1e-9
+
+    def test_no_cache_charges_every_access(self):
+        estimator = DelayEstimator(microblaze(icache_size=0, dcache_size=0))
+        block = blocks_of(LOOP_SRC)[0]
+        breakdown = estimator.block_delay_breakdown(block)
+        ext = estimator.pum.memory.ext_latency
+        assert breakdown["icache"] == block.n_ops * ext
+
+    def test_branch_term_only_on_conditional_blocks_by_default(self):
+        estimator = DelayEstimator(microblaze())
+        blocks = blocks_of(LOOP_SRC)
+        for block in blocks:
+            breakdown = estimator.block_delay_breakdown(block)
+            term = block.terminator
+            if term is not None and term.opcode == "br":
+                assert breakdown["branch"] > 0
+            else:
+                assert breakdown["branch"] == 0.0
+
+    def test_penalize_all_blocks_matches_pseudocode(self):
+        estimator = DelayEstimator(microblaze(), penalize_all_blocks=True)
+        expected = estimator.pum.branch.expected_penalty()
+        for block in blocks_of(LOOP_SRC):
+            assert estimator.block_delay_breakdown(block)["branch"] == expected
+
+    def test_non_pipelined_pe_never_pays_branch(self):
+        estimator = DelayEstimator(dct_hw(), penalize_all_blocks=True)
+        for block in blocks_of(LOOP_SRC):
+            assert estimator.block_delay_breakdown(block)["branch"] == 0.0
+
+
+class TestDelayComposition:
+    def test_block_delay_is_rounded_sum(self):
+        estimator = DelayEstimator(microblaze(icache_size=2048, dcache_size=2048))
+        for block in blocks_of(LOOP_SRC):
+            breakdown = estimator.block_delay_breakdown(block)
+            total = sum(breakdown.values())
+            assert estimator.block_delay(block) == int(round(total))
+
+    def test_bigger_cache_never_increases_delay(self):
+        small = DelayEstimator(microblaze(icache_size=2048, dcache_size=2048))
+        large = DelayEstimator(microblaze(icache_size=32768, dcache_size=16384))
+        for block in blocks_of(LOOP_SRC):
+            assert large.block_delay(block) <= small.block_delay(block)
+
+    def test_larger_miss_rate_increases_delay(self):
+        lo = MemoryModel(
+            {2048: CachePoint(0.99, 0)}, {2048: CachePoint(0.99, 0)}, 22
+        )
+        hi = MemoryModel(
+            {2048: CachePoint(0.80, 0)}, {2048: CachePoint(0.80, 0)}, 22
+        )
+        block = max(blocks_of(LOOP_SRC), key=lambda b: b.n_ops)
+        d_lo = DelayEstimator(
+            microblaze(2048, 2048, memory_model=lo)
+        ).block_delay(block)
+        d_hi = DelayEstimator(
+            microblaze(2048, 2048, memory_model=hi)
+        ).block_delay(block)
+        assert d_hi > d_lo
+
+    def test_branch_miss_rate_scales_branch_term(self):
+        block = next(
+            b for b in blocks_of(LOOP_SRC)
+            if b.terminator is not None and b.terminator.opcode == "br"
+        )
+        high = microblaze(
+            branch_model=BranchModel("static-not-taken", 8, 0.5)
+        )
+        low = microblaze(
+            branch_model=BranchModel("static-not-taken", 8, 0.1)
+        )
+        assert (
+            DelayEstimator(high).block_delay_breakdown(block)["branch"]
+            > DelayEstimator(low).block_delay_breakdown(block)["branch"]
+        )
+
+    def test_fill_correction_reduces_schedule_delay(self):
+        block = blocks_of(LOOP_SRC)[0]
+        with_fix = DelayEstimator(microblaze())
+        without = DelayEstimator(microblaze(), pipeline_fill_correction=False)
+        assert with_fix.schedule_delay(block) < without.schedule_delay(block)
+        # The correction equals the pipeline depth.
+        assert (
+            without.schedule_delay(block) - with_fix.schedule_delay(block)
+            == 5
+        )
+
+    def test_schedule_delay_never_below_one(self):
+        estimator = DelayEstimator(microblaze())
+        for block in blocks_of("void f(void) { }"):
+            assert estimator.schedule_delay(block) >= 1
+
+    def test_nonzero_hit_delay_charged(self):
+        slow_hits = MemoryModel(
+            {2048: CachePoint(1.0, 2)}, {2048: CachePoint(1.0, 3)}, 22
+        )
+        free_hits = MemoryModel(
+            {2048: CachePoint(1.0, 0)}, {2048: CachePoint(1.0, 0)}, 22
+        )
+        block = max(blocks_of(LOOP_SRC), key=lambda b: b.n_ops)
+        slow = DelayEstimator(
+            microblaze(2048, 2048, memory_model=slow_hits)
+        ).block_delay_breakdown(block)
+        free = DelayEstimator(
+            microblaze(2048, 2048, memory_model=free_hits)
+        ).block_delay_breakdown(block)
+        assert slow["icache"] == block.n_ops * 2
+        assert slow["dcache"] == block.n_operands * 3
+        assert free["icache"] == 0.0 and free["dcache"] == 0.0
+
+    def test_default_stats_cover_paper_sizes(self):
+        # Regression guard: the default tables must include all sizes the
+        # paper sweeps, or Table 2/3 benches would fail on lookup.
+        icache = default_icache_stats()
+        dcache = default_dcache_stats()
+        for size in (2048, 8192, 16384, 32768):
+            assert size in icache
+        for size in (2048, 4096, 16384):
+            assert size in dcache

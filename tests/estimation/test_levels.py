@@ -1,0 +1,115 @@
+"""Tests for the reduced-detail estimator levels."""
+
+import pytest
+
+from repro.api import compile_cmini
+from repro.cdfg.interp import Interpreter
+from repro.estimation import (
+    DelayEstimator,
+    LatencyTableEstimator,
+    OpCountEstimator,
+    annotate_with_detail,
+    estimated_total_cycles,
+    make_estimator,
+)
+from repro.pum import dct_hw, microblaze
+
+SRC = """
+float work(float v[], int n) {
+  float acc = 0.0;
+  for (int i = 0; i < n; i++) {
+    acc += v[i] * v[i] + 0.25;
+  }
+  return acc;
+}
+int main(void) {
+  float buf[32];
+  for (int i = 0; i < 32; i++) buf[i] = (float)i * 0.125;
+  return (int)work(buf, 32);
+}
+"""
+
+
+def hot_block():
+    func = compile_cmini(SRC).function("work")
+    return max(func.blocks, key=lambda b: len(b.ops))
+
+
+class TestFactory:
+    def test_dispatch(self):
+        assert isinstance(make_estimator(microblaze(), "full"), DelayEstimator)
+        assert isinstance(
+            make_estimator(microblaze(), "latency"), LatencyTableEstimator
+        )
+        assert isinstance(
+            make_estimator(microblaze(), "opcount"), OpCountEstimator
+        )
+
+    def test_unknown_level(self):
+        with pytest.raises(ValueError):
+            make_estimator(microblaze(), "quantum")
+
+    def test_bad_cpi(self):
+        with pytest.raises(ValueError):
+            OpCountEstimator(microblaze(), cpi=0)
+
+
+class TestSemantics:
+    def test_opcount_is_ops_times_cpi(self):
+        block = hot_block()
+        estimator = OpCountEstimator(dct_hw(), cpi=2.0)
+        assert estimator.schedule_delay(block) == 2 * block.n_ops
+
+    def test_latency_table_sums_service_latencies(self):
+        block = hot_block()
+        pum = dct_hw()
+        estimator = LatencyTableEstimator(pum)
+        expected = sum(pum.service_latency(op) for op in block.ops)
+        assert estimator.schedule_delay(block) == expected
+
+    def test_latency_level_ignores_parallelism(self):
+        """On a spatial HW datapath the full model exploits parallelism the
+        latency table cannot see, so the table overestimates."""
+        block = hot_block()
+        full = DelayEstimator(dct_hw()).schedule_delay(block)
+        table = LatencyTableEstimator(dct_hw()).schedule_delay(block)
+        assert table >= full
+
+    def test_statistical_terms_shared_across_levels(self):
+        block = hot_block()
+        pum = microblaze(2048, 2048)
+        for detail in ("full", "latency", "opcount"):
+            breakdown = make_estimator(pum, detail).block_delay_breakdown(block)
+            reference = DelayEstimator(pum).block_delay_breakdown(block)
+            assert breakdown["icache"] == reference["icache"]
+            assert breakdown["dcache"] == reference["dcache"]
+
+
+class TestAccuracyOrdering:
+    def test_full_detail_closest_to_board(self):
+        from repro.isa import compile_program
+        from repro.cycle import run_to_halt
+
+        isz, dsz = 32768, 32768  # minimise statistical effects
+        image = compile_program(compile_cmini(SRC), "main", ())
+        board = run_to_halt(image, isz, dsz).cycle
+
+        errors = {}
+        for detail in ("full", "latency", "opcount"):
+            ir = compile_cmini(SRC)
+            annotate_with_detail(ir, microblaze(isz, dsz), detail)
+            interp = Interpreter(ir)
+            interp.call("main")
+            estimate = estimated_total_cycles(ir, interp.block_counts)
+            errors[detail] = abs(estimate - board) / board
+        assert errors["full"] < errors["opcount"]
+        assert errors["full"] < 0.25
+
+    def test_annotation_time_returned(self):
+        ir = compile_cmini(SRC)
+        seconds = annotate_with_detail(ir, microblaze(), "full")
+        assert seconds >= 0.0
+        assert all(
+            b.delay is not None
+            for f in ir.functions.values() for b in f.blocks
+        )

@@ -1,0 +1,103 @@
+"""Tests for the estimation-driven profiler."""
+
+from repro.api import compile_cmini
+from repro.estimation import profile_program
+from repro.pum import microblaze
+
+SRC = """
+int cheap(int x) { return x + 1; }
+int expensive(int x) {
+  int s = 0;
+  for (int i = 0; i < 200; i++) s += (x + i) * (x - i);
+  return s;
+}
+int never(int x) { return x * 99; }
+int main(void) {
+  int acc = 0;
+  for (int r = 0; r < 5; r++) {
+    acc += cheap(r);
+    acc += expensive(r);
+  }
+  return acc;
+}
+"""
+
+
+def make_profile():
+    return profile_program(compile_cmini(SRC), microblaze())
+
+
+class TestAttribution:
+    def test_total_is_sum_of_functions(self):
+        profile = make_profile()
+        assert profile.total_cycles == sum(
+            f.cycles for f in profile.functions.values()
+        )
+        assert profile.total_cycles > 0
+
+    def test_expensive_dominates(self):
+        profile = make_profile()
+        ranked = profile.hottest_functions()
+        assert ranked[0].name == "expensive"
+        assert profile.share_of("expensive") > 0.8
+
+    def test_uncalled_function_has_zero_cycles(self):
+        profile = make_profile()
+        assert profile.functions["never"].cycles == 0
+
+    def test_block_cycles_are_count_times_delay(self):
+        profile = make_profile()
+        for fp in profile.functions.values():
+            for bp in fp.blocks:
+                assert bp.cycles == bp.executions * bp.delay
+
+    def test_hottest_blocks_sorted_and_capped(self):
+        profile = make_profile()
+        top = profile.hottest_blocks(3)
+        assert len(top) == 3
+        assert top[0].cycles >= top[1].cycles >= top[2].cycles
+        # The hottest block belongs to the hottest function's loop.
+        assert top[0].func_name == "expensive"
+
+    def test_render_readable(self):
+        text = make_profile().render(top=4)
+        assert "expensive" in text
+        assert "hottest blocks" in text
+        assert "%" in text
+
+    def test_entry_args_forwarded(self):
+        profile = profile_program(
+            compile_cmini("int main(int n) { int s = 0; "
+                          "for (int i = 0; i < n; i++) s += i; return s; }"),
+            microblaze(), args=(50,),
+        )
+        small = profile_program(
+            compile_cmini("int main(int n) { int s = 0; "
+                          "for (int i = 0; i < n; i++) s += i; return s; }"),
+            microblaze(), args=(5,),
+        )
+        assert profile.total_cycles > small.total_cycles
+
+    def test_mp3_profile_surfaces_filter_and_imdct(self):
+        """The profiler identifies the paper's offload candidates."""
+        from repro.apps.mp3 import Mp3Params, build_sources
+
+        params = Mp3Params(n_subbands=8, n_slots=8, n_phases=8, n_alias=4)
+        cpu_src, _, _ = build_sources("SW", params, n_frames=1, seed=3)
+        profile = profile_program(compile_cmini(cpu_src), microblaze())
+        top_two = {f.name for f in profile.hottest_functions(2)}
+        assert top_two == {"filter_granule", "imdct_granule"}
+
+
+class TestCLIProfile:
+    def test_cli_profile(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        path = tmp_path / "p.cmini"
+        path.write_text(SRC)
+        out = io.StringIO()
+        code = main(["profile", str(path), "--top", "3"], out=out)
+        assert code == 0
+        assert "expensive" in out.getvalue()

@@ -1,0 +1,183 @@
+"""Golden-value tests: hand-computed Algorithm-1 schedules on tiny DFGs.
+
+These pin the exact cycle-by-cycle semantics of the faithful pseudocode
+implementation (assign after advclock, +1 loop accounting, demand/commit
+behaviour), so refactors cannot silently change the timing model.
+"""
+
+from repro.cdfg.dfg import BlockDFG
+from repro.cdfg.ir import BasicBlock, Op
+from repro.estimation.scheduler import OptimisticScheduler
+from repro.pum.model import (
+    ExecutionModel,
+    FunctionalUnit,
+    OpMapping,
+    Pipeline,
+    PUM,
+)
+
+
+def manual_block(op_specs):
+    """Build a block from (opclass-ish opcode, dst, args) tuples."""
+    block = BasicBlock(0)
+    for opcode, dst, args, attrs in op_specs:
+        block.append(Op(opcode, dst, args, dict(attrs)))
+    return block
+
+
+def chain_block(n):
+    """n dependent int adds: t0 = const, t_i = t_{i-1} + t_{i-1}."""
+    specs = [("const", 0, (), {"value": 1, "ctype": "int"})]
+    for i in range(1, n + 1):
+        specs.append(
+            ("bin", i, (i - 1, i - 1), {"op": "+", "ctype": "int"})
+        )
+    return manual_block(specs)
+
+
+def indep_block(n):
+    """n independent const ops."""
+    return manual_block(
+        [("const", i, (), {"value": i, "ctype": "int"}) for i in range(n)]
+    )
+
+
+def one_stage_pum(n_alus=1, alu_delay=1, width=None):
+    units = [FunctionalUnit("alu", "ALU", n_alus, {"int": alu_delay})]
+    mappings = {
+        "alu": OpMapping(0, 0, {0: ("ALU", "int")}),
+        "move": OpMapping(0, 0, {0: ("ALU", "int")}),
+    }
+    return PUM("one", ExecutionModel("asap", mappings), units,
+               [Pipeline("p", ["EXE"], width)])
+
+
+def five_stage_pum():
+    units = [
+        FunctionalUnit("alu", "ALU", 1, {"int": 1}),
+        FunctionalUnit("mem", "MEM", 1, {"access": 1}),
+    ]
+    mappings = {
+        "alu": OpMapping(2, 2, {2: ("ALU", "int")}),
+        "move": OpMapping(2, 2, {2: ("ALU", "int")}),
+        "load": OpMapping(2, 3, {3: ("MEM", "access")}),
+    }
+    return PUM("five", ExecutionModel("asap", mappings), units,
+               [Pipeline("p", ["IF", "ID", "EX", "MEM", "WB"], 1)])
+
+
+class TestSingleStageGolden:
+    def test_one_op_takes_two_loop_iterations(self):
+        # iter 1: assign; iter 2: retire -> paper loop counts 2.
+        block = indep_block(1)
+        result = OptimisticScheduler(one_stage_pum()).schedule_block(block)
+        assert result.delay == 2
+        assert result.issue_cycle == [0]
+        assert result.finish_cycle == [1]
+
+    def test_n_independent_ops_one_unit(self):
+        # One ALU, width unbounded: one op enters per cycle (unit-limited),
+        # one retires per cycle: delay = n + 1.
+        for n in (2, 3, 5):
+            block = indep_block(n)
+            result = OptimisticScheduler(one_stage_pum()).schedule_block(block)
+            assert result.delay == n + 1
+
+    def test_n_independent_ops_n_units(self):
+        # n units: all assigned in cycle 0, all retire in cycle 1.
+        block = indep_block(4)
+        result = OptimisticScheduler(
+            one_stage_pum(n_alus=4)
+        ).schedule_block(block)
+        assert result.delay == 2
+        assert result.issue_cycle == [0, 0, 0, 0]
+
+    def test_width_one_serialises_even_with_many_units(self):
+        block = indep_block(3)
+        result = OptimisticScheduler(
+            one_stage_pum(n_alus=3, width=1)
+        ).schedule_block(block)
+        assert result.delay == 4  # one per cycle + final accounting
+
+    def test_dependent_chain_fully_serial(self):
+        # Chain of k adds after a const: demand at stage 0 forces each op to
+        # wait for its predecessor's commit: one op per cycle.
+        block = chain_block(3)  # 4 ops total
+        result = OptimisticScheduler(one_stage_pum(n_alus=4)).schedule_block(block)
+        assert result.delay == 5
+        assert result.issue_cycle == [0, 1, 2, 3]
+
+    def test_two_cycle_alu(self):
+        # Chain with 2-cycle ALU: const (2c) then each add 2c, serial.
+        block = chain_block(2)  # 3 ops
+        result = OptimisticScheduler(
+            one_stage_pum(n_alus=4, alu_delay=2)
+        ).schedule_block(block)
+        # const issues at 0 and retires in the advclock of cycle 2; each
+        # dependent add issues the same cycle its producer commits.
+        assert result.issue_cycle == [0, 2, 4]
+        assert result.finish_cycle == [2, 4, 6]
+        assert result.delay == 7
+
+
+class TestFiveStageGolden:
+    def test_single_alu_op_traverses_pipe(self):
+        block = indep_block(1)
+        result = OptimisticScheduler(five_stage_pum()).schedule_block(block)
+        # Assigned cycle 0, one stage per advclock, retires after WB at
+        # cycle 5, loop counter ends at 6.
+        assert result.finish_cycle == [5]
+        assert result.delay == 6
+
+    def test_independent_stream_has_ii_one(self):
+        for n in (2, 4, 8):
+            block = indep_block(n)
+            result = OptimisticScheduler(five_stage_pum()).schedule_block(block)
+            # Steady state: one issue per cycle -> last retires at n-1+5.
+            assert result.finish_cycle[-1] == n - 1 + 5
+            assert result.delay == n + 5
+
+    def test_forwarding_dependent_alu_chain(self):
+        # With demand=commit=EX, a dependent ALU op enters EX the cycle
+        # after its producer finishes EX: no stalls for back-to-back adds.
+        block = chain_block(3)
+        result = OptimisticScheduler(five_stage_pum()).schedule_block(block)
+        assert result.delay == 4 + 5  # like an independent stream
+
+    def test_dual_pipeline_issues_two_per_cycle(self):
+        units = [FunctionalUnit("alu", "ALU", 2, {"int": 1})]
+        mappings = {
+            "alu": OpMapping(2, 2, {2: ("ALU", "int")}),
+            "move": OpMapping(2, 2, {2: ("ALU", "int")}),
+        }
+        dual = PUM(
+            "dual", ExecutionModel("asap", mappings), units,
+            [Pipeline("p0", ["IF", "ID", "EX", "MEM", "WB"], 1),
+             Pipeline("p1", ["IF", "ID", "EX", "MEM", "WB"], 1)],
+        )
+        block = indep_block(8)
+        result = OptimisticScheduler(dual).schedule_block(block)
+        # Two ops fetched per cycle: last pair issues at cycle 3.
+        assert result.issue_cycle == [0, 0, 1, 1, 2, 2, 3, 3]
+        single = PUM(
+            "single", ExecutionModel("asap", mappings), units,
+            [Pipeline("p0", ["IF", "ID", "EX", "MEM", "WB"], 1)],
+        )
+        baseline = OptimisticScheduler(single).schedule_block(block)
+        assert result.delay < baseline.delay
+
+    def test_load_use_stall(self):
+        # load commits at MEM (stage 3); a dependent alu op demands at EX.
+        block = manual_block([
+            ("const", 0, (), {"value": 0, "ctype": "int"}),
+            ("ldx", 1, (0,), {"var": "a", "scope": "local", "ctype": "int"}),
+            ("bin", 2, (1, 1), {"op": "+", "ctype": "int"}),
+        ])
+        plain = manual_block([
+            ("const", 0, (), {"value": 0, "ctype": "int"}),
+            ("bin", 1, (0, 0), {"op": "+", "ctype": "int"}),
+            ("bin", 2, (1, 1), {"op": "+", "ctype": "int"}),
+        ])
+        loaded = OptimisticScheduler(five_stage_pum()).schedule_block(block)
+        alu_only = OptimisticScheduler(five_stage_pum()).schedule_block(plain)
+        assert loaded.delay == alu_only.delay + 1  # exactly one bubble

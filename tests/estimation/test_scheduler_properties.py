@@ -1,0 +1,121 @@
+"""Property-based tests of the scheduler (hypothesis).
+
+Programs are generated as random straight-line integer expressions; the
+invariants checked are the ones Algorithm 1 must satisfy on any DFG:
+completion, dependency ordering, critical-path lower bound and monotonicity
+in functional-unit delays.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.api import compile_cmini
+from repro.cdfg.dfg import build_block_dfg
+from repro.estimation.scheduler import OptimisticScheduler
+from repro.pum.model import (
+    ExecutionModel,
+    FunctionalUnit,
+    OpMapping,
+    Pipeline,
+    PUM,
+)
+
+
+def make_pum(alu_delay=1, mul_delay=2, n_alus=1, n_muls=1, width=None,
+             policy="asap"):
+    units = [
+        FunctionalUnit("alu", "ALU", n_alus, {"int": alu_delay}),
+        FunctionalUnit("mul", "MUL", n_muls, {"mul": mul_delay}),
+        FunctionalUnit("mem", "MEM", 2, {"access": 1}),
+        FunctionalUnit("br", "BR", 1, {"resolve": 1}),
+    ]
+    mappings = {
+        "alu": OpMapping(0, 0, {0: ("ALU", "int")}),
+        "move": OpMapping(0, 0, {0: ("ALU", "int")}),
+        "mul": OpMapping(0, 0, {0: ("MUL", "mul")}),
+        "load": OpMapping(0, 0, {0: ("MEM", "access")}),
+        "store": OpMapping(0, 0, {0: ("MEM", "access")}),
+        "branch": OpMapping(0, 0, {0: ("BR", "resolve")}),
+        "call": OpMapping(0, 0, {0: ("BR", "resolve")}),
+        "comm": OpMapping(0, 0, {0: ("MEM", "access")}),
+    }
+    return PUM(
+        "prop", ExecutionModel(policy, mappings), units,
+        [Pipeline("dp", ["EXE"], width)],
+    )
+
+
+@st.composite
+def straightline_blocks(draw):
+    """Source text of a function whose body is one straight-line block."""
+    n_stmts = draw(st.integers(min_value=1, max_value=8))
+    stmts = []
+    exprs = ["a", "b"]
+    for i in range(n_stmts):
+        op = draw(st.sampled_from(["+", "-", "*", "&", "|"]))
+        lhs = draw(st.sampled_from(exprs))
+        rhs = draw(st.sampled_from(exprs + ["3", "5"]))
+        stmts.append("int v%d = %s %s %s;" % (i, lhs, op, rhs))
+        exprs.append("v%d" % i)
+    body = " ".join(stmts)
+    return "int f(int a, int b) { %s return v%d; }" % (body, n_stmts - 1)
+
+
+def schedule(source, pum):
+    block = compile_cmini(source).function("f").blocks[0]
+    dfg = build_block_dfg(block)
+    return block, dfg, OptimisticScheduler(pum).schedule_dfg(dfg)
+
+
+@given(straightline_blocks())
+@settings(max_examples=40, deadline=None)
+def test_all_ops_finish(source):
+    block, _, result = schedule(source, make_pum())
+    assert all(f is not None for f in result.finish_cycle)
+    assert result.delay >= max(result.finish_cycle) if block.ops else True
+
+
+@given(straightline_blocks())
+@settings(max_examples=40, deadline=None)
+def test_dependencies_respected(source):
+    _, dfg, result = schedule(source, make_pum(n_alus=4, n_muls=4))
+    for i, deps in enumerate(dfg.deps):
+        for j in deps:
+            assert result.issue_cycle[i] >= result.finish_cycle[j]
+
+
+@given(straightline_blocks())
+@settings(max_examples=40, deadline=None)
+def test_critical_path_lower_bound(source):
+    pum = make_pum(n_alus=16, n_muls=16)
+    block, dfg, result = schedule(source, pum)
+    assert result.delay >= dfg.critical_path_length(pum.service_latency)
+
+
+@given(straightline_blocks(), st.integers(min_value=2, max_value=6))
+@settings(max_examples=30, deadline=None)
+def test_delay_monotone_in_fu_latency(source, factor):
+    _, _, base = schedule(source, make_pum(alu_delay=1, mul_delay=2))
+    _, _, slower = schedule(
+        source, make_pum(alu_delay=factor, mul_delay=2 * factor)
+    )
+    assert slower.delay >= base.delay
+
+
+@given(straightline_blocks())
+@settings(max_examples=30, deadline=None)
+def test_more_units_bounded_by_graham(source):
+    """Greedy schedules are not monotone in resources (Graham's timing
+    anomalies) — adding units may occasionally *lengthen* a schedule — but
+    the anomaly is bounded: the wide machine can never be worse than twice
+    the narrow one."""
+    _, _, narrow = schedule(source, make_pum(n_alus=1, n_muls=1))
+    _, _, wide = schedule(source, make_pum(n_alus=8, n_muls=8))
+    assert wide.delay <= 2 * narrow.delay
+
+
+@given(straightline_blocks(),
+       st.sampled_from(["asap", "alap", "list"]))
+@settings(max_examples=30, deadline=None)
+def test_every_policy_completes(source, policy):
+    _, _, result = schedule(source, make_pum(policy=policy, n_alus=2))
+    assert result.delay > 0

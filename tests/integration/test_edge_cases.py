@@ -1,0 +1,149 @@
+"""Edge-case corpus: small awkward programs run through all backends.
+
+Each case pins behaviour that once was (or easily could be) wrong: operator
+corner cases, loop-control subtleties, deeply nested expressions, scoping
+tricks.  Every program must produce identical results on the interpreter,
+the generated Python and the compiled backends.
+"""
+
+import pytest
+
+from repro.api import compile_cmini
+from repro.cdfg.interp import Interpreter
+from repro.codegen import ProcessContext, generate_program
+from repro.cycle import run_to_halt
+from repro.isa import compile_program
+from repro.iss import ISS
+
+CASES = {
+    "continue-in-do-while": ("""
+    int main(void) {
+      int i = 0;
+      int hits = 0;
+      do {
+        i++;
+        if (i % 3 == 0) continue;   // must jump to the condition
+        hits++;
+      } while (i < 10);
+      return hits * 100 + i;
+    }""", None),
+    "break-in-nested-loops": ("""
+    int main(void) {
+      int found = -1;
+      for (int i = 0; i < 10 && found < 0; i++) {
+        for (int j = 0; j < 10; j++) {
+          if (i * j == 12) { found = i * 100 + j; break; }
+        }
+      }
+      return found;
+    }""", 206),
+    "int-min-edge": ("""
+    int main(void) {
+      int m = -2147483647 - 1;       // INT_MIN
+      int a = m / -1;                // defined as wrapping here
+      int b = m % -1;
+      return (a == m) * 10 + (b == 0);
+    }""", 11),
+    "shift-by-variable": ("""
+    int main(void) {
+      int total = 0;
+      for (int s = 0; s < 40; s++) {
+        total += (1 << s) & 255;     // shift amounts mod 32
+      }
+      return total;
+    }""", None),
+    "negative-modulo-loop-index": ("""
+    int main(void) {
+      int acc = 0;
+      for (int i = -7; i <= 7; i++) {
+        acc = acc * 3 + i % 4;
+      }
+      return acc;
+    }""", None),
+    "deeply-nested-expression": ("""
+    int main(void) {
+      int a = 3;
+      return ((((((a + 1) * 2 - 3) ^ 5) | 9) & 127) << 2) >> 1;
+    }""", None),
+    "ternary-chains": ("""
+    int grade(int score) {
+      return score > 90 ? 4 : score > 75 ? 3 : score > 60 ? 2 : score > 40 ? 1 : 0;
+    }
+    int main(void) {
+      int sum = 0;
+      for (int s = 0; s <= 100; s += 7) sum = sum * 5 + grade(s);
+      return sum;
+    }""", None),
+    "float-comparison-boundaries": ("""
+    int main(void) {
+      float a = 0.1;
+      float b = a + a + a;            // 0.30000000000000004 in doubles
+      int exact = b == 0.3;           // must be false on every backend
+      int close = b - 0.3 < 1e-9 && 0.3 - b < 1e-9;
+      return exact * 10 + close;
+    }""", 1),
+    "shadowing-across-scopes": ("""
+    int x = 100;
+    int main(void) {
+      int total = x;
+      { int x = 10; total += x; }
+      for (int x = 0; x < 3; x++) total += x;
+      { { int x = 1; { int x = 2; total += x; } total += x; } }
+      return total + x;
+    }""", 100 + 10 + 3 + 2 + 1 + 100),
+    "empty-bodies": ("""
+    void nop(void) { }
+    int main(void) {
+      for (int i = 0; i < 3; i++) { }
+      while (0) { }
+      if (1) { } else { }
+      nop();
+      return 7;
+    }""", 7),
+    "unary-stacking": ("""
+    int main(void) {
+      int a = 5;
+      return - -a + !!a + ~~a;
+    }""", 5 + 1 + 5),
+    "assign-as-expression-value": ("""
+    int main(void) {
+      int a;
+      int b = (a = 4) * 3;
+      int c = a += 2;
+      return a * 100 + b * 10 + c;
+    }""", 6 * 100 + 12 * 10 + 6),
+    "hex-and-bit-tricks": ("""
+    int main(void) {
+      int v = 0x0F0F;
+      v = (v | (v << 4)) & 0xFFFF;
+      v = v ^ 0xAAAA;
+      return v;
+    }""", None),
+    "recursive-mutual": ("""
+    int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+    int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+    int main(void) { return is_even(10) * 10 + is_odd(7); }
+    """, 11),
+}
+
+
+def _run_everywhere(source):
+    ir = compile_cmini(source)
+    reference = Interpreter(ir).call("main")
+    generated = generate_program(ir, timed=False)
+    gen_value = generated.entry("main")(
+        ProcessContext(), generated.fresh_globals()
+    )
+    image = compile_program(compile_cmini(source), "main", ())
+    iss_value = ISS(image, 2048, 2048).run().return_value
+    cpu_value = run_to_halt(image, 2048, 2048).return_value
+    assert reference == gen_value == iss_value == cpu_value
+    return reference
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_edge_case(name):
+    source, expected = CASES[name]
+    value = _run_everywhere(source)
+    if expected is not None:
+        assert value == expected, (name, value)

@@ -1,0 +1,121 @@
+"""Integration: calibrated timed-TLM estimates track the cycle-true board.
+
+A scaled-down version of the paper's accuracy methodology (Tables 2/3):
+calibrate the PUM's statistical models on a training input, estimate an
+evaluation input, compare against the PCAM reference.  Thresholds here are
+deliberately loose (the benchmarks report the precise numbers); the tests
+guard the *shape*: single-configuration error bounded, error ordering and
+monotonicity preserved.
+"""
+
+import pytest
+
+from repro.apps.mp3 import Mp3Params, build_design
+from repro.calibration import calibrate_pum
+from repro.cycle import run_pcam
+from repro.iss import ISS
+from repro.isa import compile_program
+from repro.pum import microblaze
+from repro.tlm import generate_tlm
+from repro.tlm.generator import compile_process
+
+PARAMS = Mp3Params(n_subbands=8, n_slots=8, n_phases=8, n_alias=4)
+TRAIN_SEED = 99
+EVAL_SEED = 7
+CONFIGS = [(0, 0), (2048, 2048), (16384, 16384)]
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    def train_design(isize, dsize):
+        design, _ = build_design(
+            "SW", PARAMS, n_frames=1, seed=TRAIN_SEED,
+            icache_size=isize, dcache_size=dsize,
+        )
+        return design
+
+    return calibrate_pum(microblaze(), train_design, CONFIGS)
+
+
+@pytest.fixture(scope="module")
+def boards():
+    results = {}
+    for isize, dsize in CONFIGS:
+        design, _ = build_design(
+            "SW", PARAMS, n_frames=1, seed=EVAL_SEED,
+            icache_size=isize, dcache_size=dsize,
+        )
+        results[(isize, dsize)] = run_pcam(design)
+    return results
+
+
+def timed_tlm_cycles(calibration, isize, dsize, variant="SW"):
+    design, _ = build_design(
+        variant, PARAMS, n_frames=1, seed=EVAL_SEED,
+        icache_size=isize, dcache_size=dsize,
+        memory_model=calibration.memory_model,
+        branch_model=calibration.branch_model,
+    )
+    return generate_tlm(design, timed=True).run().makespan_cycles
+
+
+class TestSWAccuracy:
+    def test_error_within_twenty_percent(self, calibration, boards):
+        for config in CONFIGS:
+            estimate = timed_tlm_cycles(calibration, *config)
+            board = boards[config].makespan_cycles
+            assert abs(estimate - board) / board < 0.20, config
+
+    def test_estimates_monotone_in_cache_size(self, calibration):
+        values = [timed_tlm_cycles(calibration, *c) for c in CONFIGS]
+        assert values[0] > values[1] >= values[2]
+
+    def test_board_monotone_in_cache_size(self, boards):
+        cycles = [boards[c].makespan_cycles for c in CONFIGS]
+        assert cycles[0] > cycles[1] >= cycles[2]
+
+    def test_tlm_beats_iss_on_average(self, calibration, boards):
+        design, _ = build_design(
+            "SW", PARAMS, n_frames=1, seed=EVAL_SEED
+        )
+        decl = design.processes["decoder"]
+        image = compile_program(compile_process(decl), "main", ())
+        tlm_errors = []
+        iss_errors = []
+        for config in CONFIGS:
+            board = boards[config].makespan_cycles
+            tlm = timed_tlm_cycles(calibration, *config)
+            iss = ISS(image, config[0], config[1]).run().cycles
+            tlm_errors.append(abs(tlm - board) / board)
+            iss_errors.append(abs(iss - board) / board)
+        assert sum(tlm_errors) < sum(iss_errors)
+
+
+class TestHWDesignAccuracy:
+    def test_sw4_estimate_tracks_board(self, calibration):
+        config = (2048, 2048)
+        design, _ = build_design(
+            "SW+4", PARAMS, n_frames=1, seed=EVAL_SEED,
+            icache_size=config[0], dcache_size=config[1],
+        )
+        board = run_pcam(design).makespan_cycles
+        estimate = timed_tlm_cycles(calibration, *config, variant="SW+4")
+        assert abs(estimate - board) / board < 0.20
+
+    def test_offloading_reduces_board_cycles(self, boards):
+        config = (2048, 2048)
+        sw_cycles = boards[config].makespan_cycles
+        design, _ = build_design(
+            "SW+4", PARAMS, n_frames=1, seed=EVAL_SEED,
+            icache_size=config[0], dcache_size=config[1],
+        )
+        sw4_cycles = run_pcam(design).makespan_cycles
+        assert sw4_cycles < sw_cycles
+
+    def test_estimation_predicts_the_win(self, calibration):
+        """The TLM alone (no board run) must rank SW+4 faster than SW —
+        the design-space-exploration use case of the paper."""
+        config = (2048, 2048)
+        sw = timed_tlm_cycles(calibration, *config, variant="SW")
+        sw4 = timed_tlm_cycles(calibration, *config, variant="SW+4")
+        assert sw4 < sw

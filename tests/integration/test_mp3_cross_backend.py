@@ -1,0 +1,105 @@
+"""Integration: the MP3 decoder agrees bit-for-bit across all backends,
+and the multi-PE co-simulation exposes consistent platform activity."""
+
+import pytest
+
+from repro.apps.mp3 import Mp3Params, build_design, compile_sw_image
+from repro.cdfg.interp import Interpreter
+from repro.cycle import run_pcam, run_to_halt
+from repro.iss import ISS
+from repro.tlm import generate_tlm
+
+SMALL = Mp3Params(n_subbands=4, n_slots=4, n_phases=4, n_alias=2)
+
+
+@pytest.fixture(scope="module")
+def sw_parts():
+    image, ir, frames = compile_sw_image(SMALL, n_frames=2, seed=11)
+    reference = Interpreter(ir).call("main")
+    return image, ir, frames, reference
+
+
+class TestSwPath:
+    def test_iss_matches_interpreter(self, sw_parts):
+        image, _, _, reference = sw_parts
+        assert ISS(image, 2048, 2048).run().return_value == reference
+
+    def test_board_matches_interpreter(self, sw_parts):
+        image, _, _, reference = sw_parts
+        assert run_to_halt(image, 2048, 2048).return_value == reference
+
+    def test_board_result_independent_of_caches(self, sw_parts):
+        image, _, _, reference = sw_parts
+        for config in ((0, 0), (16384, 16384)):
+            import copy
+
+            # fresh CPU per config (run_to_halt builds fresh memory itself)
+            cpu = run_to_halt(image, *config)
+            assert cpu.return_value == reference
+
+    def test_pcam_single_pe_equals_board(self, sw_parts):
+        from repro.apps.mp3 import MP3_STACK_WORDS
+
+        image, _, _, reference = sw_parts
+        design, _ = build_design(
+            "SW", SMALL, n_frames=2, seed=11,
+            icache_size=2048, dcache_size=2048,
+        )
+        # Same stack size -> same address layout -> identical cache
+        # behaviour, so the PCAM must agree with the direct CPU run to the
+        # cycle.
+        board = run_pcam(design, stack_words=MP3_STACK_WORDS)
+        # Match the design PUM's predictor (run_to_halt defaults to 2bit).
+        direct = run_to_halt(
+            image, 2048, 2048, branch_policy="static-not-taken"
+        )
+        assert board.pe("decoder").return_value == reference
+        assert board.pe("decoder").cycles == direct.cycle
+
+
+class TestMultiPePath:
+    def test_pcam_variants_match_reference(self, sw_parts):
+        _, _, _, reference = sw_parts
+        for variant in ("SW+1", "SW+4"):
+            design, _ = build_design(
+                variant, SMALL, n_frames=2, seed=11,
+                icache_size=2048, dcache_size=2048,
+            )
+            board = run_pcam(design)
+            assert board.pe("decoder").return_value == reference, variant
+
+    def test_bus_activity_accounted(self):
+        design, _ = build_design(
+            "SW+4", SMALL, n_frames=1, seed=11,
+            icache_size=2048, dcache_size=2048,
+        )
+        board = run_pcam(design)
+        stats = board.buses["sysbus"]
+        gs = SMALL.granule_samples
+        # 4 units x request+response x granules x frames, gs words each.
+        expected_words = 4 * 2 * SMALL.n_granules * 1 * gs
+        assert stats["words"] == expected_words
+        assert stats["transactions"] == 4 * 2 * SMALL.n_granules
+
+    def test_offload_reduces_cpu_cycles_on_board(self):
+        def cpu_cycles(variant):
+            design, _ = build_design(
+                variant, SMALL, n_frames=1, seed=11,
+                icache_size=2048, dcache_size=2048,
+            )
+            return run_pcam(design).pe("decoder").cycles
+
+        assert cpu_cycles("SW+4") < cpu_cycles("SW")
+
+    def test_tlm_and_pcam_agree_on_transaction_counts(self):
+        design, _ = build_design(
+            "SW+2", SMALL, n_frames=1, seed=11,
+            icache_size=2048, dcache_size=2048,
+        )
+        tlm = generate_tlm(design, timed=True).run()
+        board = run_pcam(design)
+        tlm_words = 2 * 2 * SMALL.n_granules * SMALL.granule_samples
+        assert board.buses["sysbus"]["words"] == tlm_words
+        # Decoder performs 2 transactions (send+recv) per offloaded unit per
+        # granule.
+        assert tlm.process("decoder").transactions == 2 * 2 * SMALL.n_granules

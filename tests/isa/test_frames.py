@@ -1,0 +1,100 @@
+"""Unit tests for stack-frame layout (FrameInfo) and image geometry."""
+
+from repro.api import compile_cmini
+from repro.isa.program import FrameInfo, GLOBALS_BASE, Image
+
+
+def frame_of(source, func="f"):
+    program = compile_cmini(source)
+    return FrameInfo(program.function(func)), program
+
+
+class TestFrameLayout:
+    def test_reserved_slots(self):
+        frame, _ = frame_of("int f(void) { return 1; }")
+        # Slot 0: saved fp, slot 1: saved link.
+        assert frame.ap_save_base == 2
+        assert frame.size >= 2
+
+    def test_scalar_params_after_ap_area(self):
+        frame, _ = frame_of(
+            "int f(int a, float w[], int b) { return a + b; }"
+        )
+        assert frame.array_params == ["w"]
+        assert frame.param_offsets["a"] == frame.ap_save_base + 1
+        assert frame.param_offsets["b"] == frame.param_offsets["a"] + 1
+
+    def test_local_array_occupies_size_words(self):
+        frame, _ = frame_of("""
+        int f(void) {
+          int small;
+          float big[10];
+          int after;
+          return 0;
+        }""")
+        big = frame.local_offsets["big"]
+        after = frame.local_offsets["after"]
+        assert after == big + 10
+
+    def test_all_slots_disjoint(self):
+        frame, program = frame_of("""
+        int f(int a, int b, float v[]) {
+          int x; int y;
+          float t[6];
+          int z;
+          return a + b + x + y + z;
+        }""")
+        spans = []
+        for name, off in frame.param_offsets.items():
+            spans.append((off, off + 1))
+        func = program.function("f")
+        for name, off in frame.local_offsets.items():
+            ctype = func.locals[name]
+            size = getattr(ctype, "size", None) or 1
+            spans.append((off, off + size))
+        spans.sort()
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+        assert spans[0][0] >= frame.ap_save_base + len(frame.array_params)
+
+    def test_spill_slots_extend_frame(self):
+        frame, _ = frame_of("int f(void) { return 1; }")
+        base_size = frame.size
+        frame.n_spills = 3
+        assert frame.size == base_size + 3
+
+
+class TestImageGeometry:
+    def test_globals_start_at_base(self):
+        program = compile_cmini("int first; int rest[4];")
+        image = Image(program)
+        assert image.global_addr("first") == GLOBALS_BASE
+        assert image.global_addr("rest") == GLOBALS_BASE + 1
+
+    def test_stack_above_globals(self):
+        program = compile_cmini("int big[100];")
+        image = Image(program)
+        top = image.global_addr("big") + 100
+        assert image.stack_base >= top
+        assert image.memory_words > image.stack_base
+
+    def test_stack_size_override(self):
+        program = compile_cmini("int x;")
+        small = Image(program, stack_words=256)
+        large = Image(program, stack_words=65536)
+        assert large.memory_words - small.memory_words == 65536 - 256
+
+    def test_fresh_memory_isolated(self):
+        program = compile_cmini("int a[2] = {5, 6};")
+        image = Image(program)
+        mem1 = image.fresh_memory()
+        mem1[image.global_addr("a")] = 999
+        mem2 = image.fresh_memory()
+        assert mem2[image.global_addr("a")] == 5
+
+    def test_code_bytes(self):
+        from repro.isa import compile_program
+
+        program = compile_cmini("int main(void) { return 2; }")
+        image = compile_program(program, "main", ())
+        assert image.code_bytes == image.n_instrs * 4

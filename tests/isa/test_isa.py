@@ -1,0 +1,95 @@
+"""Unit tests for the R32 ISA definitions."""
+
+import pytest
+
+from repro.isa.isa import (
+    ALL_OPS,
+    ARRAY_PARAM_REGS,
+    COMM_OPS,
+    CTL_OPS,
+    FLOAT3_OPS,
+    INT3_OPS,
+    Instr,
+    R_FP,
+    R_LINK,
+    R_SP,
+    R_ZERO,
+    TEMP_REGS,
+    TIMING_CLASS,
+    format_instr,
+)
+
+
+class TestRegisterConventions:
+    def test_special_registers_disjoint_from_pools(self):
+        special = {R_ZERO, R_SP, R_FP, R_LINK, 1}
+        assert not special & set(TEMP_REGS)
+        assert not special & set(ARRAY_PARAM_REGS)
+        assert not set(TEMP_REGS) & set(ARRAY_PARAM_REGS)
+
+    def test_all_registers_in_range(self):
+        for reg in list(TEMP_REGS) + list(ARRAY_PARAM_REGS):
+            assert 0 <= reg < 32
+
+
+class TestInstr:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            Instr("frobnicate")
+
+    def test_fields_default_none(self):
+        instr = Instr("halt")
+        assert instr.rd is None and instr.imm is None
+
+    def test_repr_contains_assembly(self):
+        assert "add r1, r2, r3" in repr(Instr("add", rd=1, ra=2, rb=3))
+
+
+class TestTimingClasses:
+    def test_every_opcode_classified(self):
+        for op in ALL_OPS:
+            assert op in TIMING_CLASS, op
+
+    def test_class_values_sane(self):
+        valid = {"alu", "mul", "div", "falu", "fmul", "fdiv", "load",
+                 "store", "move", "branch", "call", "comm"}
+        assert set(TIMING_CLASS.values()) <= valid
+
+    def test_float_ops_classified_float(self):
+        assert TIMING_CLASS["fadd"] == "falu"
+        assert TIMING_CLASS["fmul"] == "fmul"
+        assert TIMING_CLASS["fdiv"] == "fdiv"
+
+    def test_memory_classes(self):
+        assert TIMING_CLASS["lw"] == TIMING_CLASS["lwx"] == "load"
+        assert TIMING_CLASS["sw"] == TIMING_CLASS["swx"] == "store"
+
+
+class TestFormatting:
+    def test_each_family_formats(self):
+        samples = [
+            Instr("add", rd=1, ra=2, rb=3),
+            Instr("fmul", rd=4, ra=5, rb=6),
+            Instr("mov", rd=1, ra=2),
+            Instr("li", rd=1, imm=42),
+            Instr("addi", rd=1, ra=2, imm=-3),
+            Instr("lw", rd=1, ra=30, imm=4),
+            Instr("sw", rd=1, ra=30, imm=4),
+            Instr("lwx", rd=1, ra=0, rb=5, imm=100),
+            Instr("swx", rc=7, ra=0, rb=5, imm=100),
+            Instr("beqz", ra=1, target=10),
+            Instr("j", target=3),
+            Instr("jal", target=8),
+            Instr("jr", ra=31),
+            Instr("halt"),
+            Instr("send", ra=2, rb=3, rc=4),
+        ]
+        for instr in samples:
+            text = format_instr(instr)
+            assert instr.op.rstrip("bi") [:2] in text or instr.op in text
+
+    def test_op_families_are_disjoint(self):
+        families = [INT3_OPS, FLOAT3_OPS, CTL_OPS, COMM_OPS]
+        for i, a in enumerate(families):
+            for b in families[i + 1:]:
+                assert not a & b

@@ -1,0 +1,136 @@
+"""Unit tests for the interpreted ISS baseline."""
+
+import pytest
+
+from repro.api import compile_cmini
+from repro.cdfg.interp import QueueComm
+from repro.isa import compile_program
+from repro.iss import ISS, ISSError, assumed_miss_rate
+
+
+def image_of(source, entry="main", args=()):
+    return compile_program(compile_cmini(source), entry, args)
+
+
+LOOP = """
+int main(void) {
+  int s = 0;
+  for (int i = 0; i < 50; i++) s += i * 2;
+  return s;
+}"""
+
+
+class TestMissCurve:
+    def test_no_cache_is_certain_miss(self):
+        assert assumed_miss_rate(0) == 1.0
+
+    def test_curve_is_monotone_decreasing(self):
+        sizes = [0, 1024, 2048, 4096, 8192, 16384, 32768, 65536]
+        rates = [assumed_miss_rate(s) for s in sizes]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_interpolation_between_points(self):
+        mid = assumed_miss_rate(3072)
+        assert assumed_miss_rate(4096) < mid < assumed_miss_rate(2048)
+
+    def test_floor_beyond_largest(self):
+        assert assumed_miss_rate(10**6) == assumed_miss_rate(32 * 1024)
+
+
+class TestTiming:
+    def test_cycles_increase_without_caches(self):
+        image = image_of(LOOP)
+        cached = ISS(image, 32768, 16384).run()
+        uncached = ISS(image, 0, 0).run()
+        assert uncached.cycles > cached.cycles
+        assert uncached.n_instrs == cached.n_instrs
+
+    def test_cycles_monotone_in_cache_size(self):
+        image = image_of(LOOP)
+        previous = None
+        for size in (0, 2048, 8192, 32768):
+            cycles = ISS(image, size, size).run().cycles
+            if previous is not None:
+                assert cycles <= previous
+            previous = cycles
+
+    def test_class_counts_recorded(self):
+        result = ISS(image_of(LOOP)).run()
+        assert result.class_counts["alu"] > 0
+        assert result.class_counts["branch"] > 0
+        assert sum(result.class_counts.values()) == result.n_instrs
+
+    def test_expensive_ops_cost_more(self):
+        div_img = image_of("""
+        int main(void) {
+          int s = 1000000;
+          for (int i = 1; i < 50; i++) s /= 1;
+          return s;
+        }""")
+        add_img = image_of("""
+        int main(void) {
+          int s = 1000000;
+          for (int i = 1; i < 50; i++) s += 1;
+          return s;
+        }""")
+        div_run = ISS(div_img).run()
+        add_run = ISS(add_img).run()
+        # Same shape of program; the divide version pays ~31 extra per iter.
+        assert div_run.cycles > add_run.cycles + 40 * 25
+
+    def test_instruction_budget_guard(self):
+        image = image_of("int main(void) { while (1) { } return 0; }")
+        with pytest.raises(ISSError):
+            ISS(image, max_instrs=10_000).run()
+
+
+class TestCommunication:
+    class _Adapter:
+        """Bridge the interpreter-style QueueComm to the ISS interface."""
+
+        def __init__(self):
+            self.queue = QueueComm()
+
+        def send(self, chan, values):
+            self.queue.send(chan, values)
+
+        def recv(self, chan, count):
+            return self.queue.recv(chan, count)
+
+    def test_send_recv_round_trip(self):
+        source = """
+        int buf[4];
+        int main(void) {
+          for (int i = 0; i < 4; i++) buf[i] = (i + 1) * 11;
+          send(2, buf, 4);
+          recv(2, buf, 4);
+          return buf[3];
+        }"""
+        adapter = self._Adapter()
+        result = ISS(image_of(source), comm=adapter).run()
+        assert result.return_value == 44
+
+    def test_comm_without_handler_raises(self):
+        source = "int b[2]; int main(void) { send(1, b, 2); return 0; }"
+        with pytest.raises(ISSError):
+            ISS(image_of(source)).run()
+
+
+class TestDeliberateInaccuracy:
+    """The ISS's documented accuracy profile against the cycle-true board."""
+
+    def test_underestimates_with_no_cache(self):
+        from repro.cycle import run_to_halt
+
+        image = image_of(LOOP)
+        iss_cycles = ISS(image, 0, 0).run().cycles
+        board_cycles = run_to_halt(image, 0, 0).cycle
+        assert iss_cycles < board_cycles  # canned penalty 10 < real 22
+
+    def test_overestimates_with_large_caches(self):
+        from repro.cycle import run_to_halt
+
+        image = image_of(LOOP)
+        iss_cycles = ISS(image, 32768, 32768).run().cycles
+        board_cycles = run_to_halt(image, 32768, 32768).cycle
+        assert iss_cycles > board_cycles  # floored miss rate

@@ -1,0 +1,87 @@
+"""Tests for the PUM preset library (the paper's Fig. 4 and Fig. 5)."""
+
+from repro.cdfg.ir import OP_CLASSES
+from repro.pum import (
+    PAPER_CACHE_CONFIGS,
+    dct_hw,
+    filtercore_hw,
+    imdct_hw,
+    microblaze,
+    superscalar2,
+)
+
+
+class TestMicroBlaze:
+    def test_is_single_issue_five_stage(self):
+        pum = microblaze()
+        assert len(pum.pipelines) == 1
+        assert pum.pipelines[0].n_stages == 5
+        assert pum.pipelines[0].width == 1
+
+    def test_is_pipelined_with_branch_and_memory(self):
+        pum = microblaze()
+        assert pum.is_pipelined
+        assert pum.branch is not None
+        assert pum.memory is not None
+
+    def test_cache_configuration(self):
+        pum = microblaze(icache_size=16 * 1024, dcache_size=8 * 1024)
+        assert pum.icache_size == 16 * 1024
+        assert pum.dcache_size == 8 * 1024
+
+    def test_covers_every_opclass(self):
+        pum = microblaze()
+        for opclass in OP_CLASSES:
+            if opclass == "comm":
+                continue
+            assert opclass in pum.execution.op_mappings or opclass in (
+                "move",
+            )
+        assert "comm" in pum.execution.op_mappings
+
+    def test_load_commits_later_than_alu(self):
+        pum = microblaze()
+        assert (
+            pum.execution.mapping_for("load").commit_stage
+            > pum.execution.mapping_for("alu").commit_stage - 1
+        )
+
+    def test_paper_cache_configs_have_statistics(self):
+        pum = microblaze()
+        for isize, dsize in PAPER_CACHE_CONFIGS:
+            pum.memory.point("i", isize)
+            pum.memory.point("d", dsize)
+
+
+class TestCustomHW:
+    def test_dct_is_single_stage_non_pipelined(self):
+        pum = dct_hw()
+        assert len(pum.pipelines) == 1
+        assert pum.pipelines[0].n_stages == 1
+        assert not pum.is_pipelined
+
+    def test_dct_has_no_memory_hierarchy(self):
+        pum = dct_hw()
+        assert pum.memory is None
+        assert pum.branch is None
+
+    def test_hw_uses_list_policy(self):
+        for factory in (dct_hw, filtercore_hw, imdct_hw):
+            assert factory().execution.policy == "list"
+
+    def test_filtercore_has_more_fpus_than_imdct(self):
+        f = filtercore_hw().unit("FPU").quantity
+        i = imdct_hw().unit("FPU").quantity
+        assert f > i
+
+    def test_sram_is_single_cycle(self):
+        assert dct_hw().unit("MEM").delay("access") == 1
+
+
+class TestSuperscalar:
+    def test_two_pipelines(self):
+        pum = superscalar2()
+        assert len(pum.pipelines) == 2
+
+    def test_doubled_alus(self):
+        assert superscalar2().unit("ALU").quantity == 2

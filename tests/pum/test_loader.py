@@ -1,0 +1,77 @@
+"""Round-trip tests for PUM serialisation."""
+
+import pytest
+
+from repro.pum import (
+    dct_hw,
+    load_pum,
+    microblaze,
+    pum_from_dict,
+    pum_from_json,
+    pum_to_dict,
+    pum_to_json,
+    save_pum,
+    superscalar2,
+)
+
+
+def assert_pums_equal(a, b):
+    assert a.name == b.name
+    assert a.frequency_mhz == b.frequency_mhz
+    assert a.icache_size == b.icache_size
+    assert a.dcache_size == b.dcache_size
+    assert a.execution.policy == b.execution.policy
+    assert set(a.execution.op_mappings) == set(b.execution.op_mappings)
+    for opclass, ma in a.execution.op_mappings.items():
+        mb = b.execution.op_mappings[opclass]
+        assert (ma.demand_stage, ma.commit_stage, ma.usage) == (
+            mb.demand_stage, mb.commit_stage, mb.usage,
+        )
+    assert [(u.uid, u.kind, u.quantity, u.modes) for u in a.units] == [
+        (u.uid, u.kind, u.quantity, u.modes) for u in b.units
+    ]
+    assert [(p.name, p.stages, p.width) for p in a.pipelines] == [
+        (p.name, p.stages, p.width) for p in b.pipelines
+    ]
+    assert (a.branch is None) == (b.branch is None)
+    if a.branch is not None:
+        assert (a.branch.policy, a.branch.penalty, a.branch.miss_rate) == (
+            b.branch.policy, b.branch.penalty, b.branch.miss_rate,
+        )
+    assert (a.memory is None) == (b.memory is None)
+    if a.memory is not None:
+        assert a.memory.ext_latency == b.memory.ext_latency
+        for table in ("icache", "dcache"):
+            ta, tb = getattr(a.memory, table), getattr(b.memory, table)
+            assert set(ta) == set(tb)
+            for size in ta:
+                assert (ta[size].hit_rate, ta[size].hit_delay) == (
+                    tb[size].hit_rate, tb[size].hit_delay,
+                )
+
+
+@pytest.mark.parametrize("factory", [microblaze, dct_hw, superscalar2])
+def test_dict_round_trip(factory):
+    original = factory()
+    restored = pum_from_dict(pum_to_dict(original))
+    assert_pums_equal(original, restored)
+
+
+@pytest.mark.parametrize("factory", [microblaze, dct_hw])
+def test_json_round_trip(factory):
+    original = factory()
+    restored = pum_from_json(pum_to_json(original))
+    assert_pums_equal(original, restored)
+
+
+def test_file_round_trip(tmp_path):
+    path = tmp_path / "mb.json"
+    original = microblaze(icache_size=2048, dcache_size=2048)
+    save_pum(original, str(path))
+    assert_pums_equal(original, load_pum(str(path)))
+
+
+def test_json_is_stable(tmp_path):
+    text1 = pum_to_json(microblaze())
+    text2 = pum_to_json(pum_from_json(text1))
+    assert text1 == text2

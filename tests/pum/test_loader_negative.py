@@ -1,0 +1,77 @@
+"""Negative-path tests for PUM deserialisation: malformed inputs fail
+loudly, not with silently-wrong models."""
+
+import pytest
+
+from repro.pum import pum_from_dict, pum_to_dict, microblaze
+from repro.pum.model import PUMError
+
+
+def valid():
+    return pum_to_dict(microblaze())
+
+
+class TestMalformedPUMs:
+    def test_missing_required_key(self):
+        data = valid()
+        del data["execution"]
+        with pytest.raises(KeyError):
+            pum_from_dict(data)
+
+    def test_bad_policy(self):
+        data = valid()
+        data["execution"]["policy"] = "magic"
+        with pytest.raises(PUMError):
+            pum_from_dict(data)
+
+    def test_mapping_to_unknown_unit(self):
+        data = valid()
+        data["execution"]["op_mappings"]["alu"]["usage"] = {
+            "2": ["VECTOR", "simd"]
+        }
+        with pytest.raises(PUMError):
+            pum_from_dict(data)
+
+    def test_commit_before_demand(self):
+        data = valid()
+        row = data["execution"]["op_mappings"]["alu"]
+        row["demand"], row["commit"] = 3, 1
+        with pytest.raises(PUMError):
+            pum_from_dict(data)
+
+    def test_commit_past_pipeline(self):
+        data = valid()
+        data["execution"]["op_mappings"]["alu"]["commit"] = 99
+        with pytest.raises(PUMError):
+            pum_from_dict(data)
+
+    def test_zero_quantity_unit(self):
+        data = valid()
+        data["units"][0]["quantity"] = 0
+        with pytest.raises(PUMError):
+            pum_from_dict(data)
+
+    def test_invalid_hit_rate(self):
+        data = valid()
+        first_size = next(iter(data["memory"]["icache"]))
+        data["memory"]["icache"][first_size] = [1.7, 0]
+        with pytest.raises(PUMError):
+            pum_from_dict(data)
+
+    def test_invalid_branch_rate(self):
+        data = valid()
+        data["branch"]["miss_rate"] = -0.2
+        with pytest.raises(PUMError):
+            pum_from_dict(data)
+
+    def test_empty_pipeline(self):
+        data = valid()
+        data["pipelines"][0]["stages"] = []
+        with pytest.raises(PUMError):
+            pum_from_dict(data)
+
+    def test_duplicate_unit_kind(self):
+        data = valid()
+        data["units"].append(dict(data["units"][0], uid="alu_dup"))
+        with pytest.raises(PUMError):
+            pum_from_dict(data)

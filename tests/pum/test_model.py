@@ -1,0 +1,171 @@
+"""Unit tests for the PUM data models."""
+
+import pytest
+
+from repro.pum.model import (
+    BranchModel,
+    CachePoint,
+    ExecutionModel,
+    FunctionalUnit,
+    MemoryModel,
+    OpMapping,
+    Pipeline,
+    PUM,
+    PUMError,
+)
+
+
+def minimal_pum(**overrides):
+    units = overrides.get("units") or [
+        FunctionalUnit("alu0", "ALU", 1, {"int": 1}),
+    ]
+    mappings = overrides.get("mappings") or {
+        "alu": OpMapping(0, 0, {0: ("ALU", "int")}),
+    }
+    pipelines = overrides.get("pipelines") or [Pipeline("p", ["EXE"], None)]
+    return PUM(
+        "test",
+        ExecutionModel(overrides.get("policy", "asap"), mappings),
+        units,
+        pipelines,
+        branch=overrides.get("branch"),
+        memory=overrides.get("memory"),
+        icache_size=overrides.get("icache_size", 0),
+        dcache_size=overrides.get("dcache_size", 0),
+    )
+
+
+class TestFunctionalUnit:
+    def test_mode_delays(self):
+        fu = FunctionalUnit("fpu", "FPU", 2, {"add": 4, "mul": 5})
+        assert fu.delay("add") == 4
+        assert fu.delay("mul") == 5
+
+    def test_unknown_mode_raises(self):
+        fu = FunctionalUnit("fpu", "FPU", 1, {"add": 4})
+        with pytest.raises(PUMError):
+            fu.delay("div")
+
+    def test_invalid_quantity(self):
+        with pytest.raises(PUMError):
+            FunctionalUnit("x", "X", 0, {"m": 1})
+
+    def test_zero_delay_mode_rejected(self):
+        with pytest.raises(PUMError):
+            FunctionalUnit("x", "X", 1, {"m": 0})
+
+    def test_empty_modes_rejected(self):
+        with pytest.raises(PUMError):
+            FunctionalUnit("x", "X", 1, {})
+
+
+class TestPipeline:
+    def test_stage_count(self):
+        assert Pipeline("p", ["IF", "EX"], 1).n_stages == 2
+
+    def test_unbounded_width(self):
+        assert Pipeline("p", ["EXE"], None).width is None
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(PUMError):
+            Pipeline("p", [], 1)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(PUMError):
+            Pipeline("p", ["EXE"], 0)
+
+
+class TestOpMapping:
+    def test_commit_before_demand_rejected(self):
+        with pytest.raises(PUMError):
+            OpMapping(3, 2)
+
+    def test_usage_stored(self):
+        m = OpMapping(2, 3, {2: ("ALU", "int")})
+        assert m.usage[2] == ("ALU", "int")
+
+
+class TestBranchModel:
+    def test_expected_penalty(self):
+        bm = BranchModel("2bit", 4, 0.25)
+        assert bm.expected_penalty() == 1.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(PUMError):
+            BranchModel("2bit", 4, 1.5)
+
+    def test_negative_penalty(self):
+        with pytest.raises(PUMError):
+            BranchModel("2bit", -1, 0.1)
+
+
+class TestMemoryModel:
+    def make(self):
+        return MemoryModel(
+            {2048: CachePoint(0.9, 0)},
+            {4096: CachePoint(0.8, 1)},
+            ext_latency=20,
+        )
+
+    def test_point_lookup(self):
+        mm = self.make()
+        assert mm.point("i", 2048).hit_rate == 0.9
+        assert mm.point("d", 4096).hit_delay == 1
+
+    def test_size_zero_is_all_miss(self):
+        point = self.make().point("i", 0)
+        assert point.hit_rate == 0.0
+
+    def test_unknown_size_raises(self):
+        with pytest.raises(PUMError):
+            self.make().point("i", 1234)
+
+    def test_bad_cache_point(self):
+        with pytest.raises(PUMError):
+            CachePoint(2.0, 0)
+        with pytest.raises(PUMError):
+            CachePoint(0.5, -1)
+
+
+class TestPUMValidation:
+    def test_unknown_unit_kind_rejected(self):
+        with pytest.raises(PUMError):
+            minimal_pum(mappings={"alu": OpMapping(0, 0, {0: ("MUL", "x")})})
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(PUMError):
+            minimal_pum(mappings={"alu": OpMapping(0, 0, {0: ("ALU", "nope")})})
+
+    def test_commit_beyond_pipeline_rejected(self):
+        with pytest.raises(PUMError):
+            minimal_pum(mappings={"alu": OpMapping(0, 5, {0: ("ALU", "int")})})
+
+    def test_duplicate_unit_kind_rejected(self):
+        units = [
+            FunctionalUnit("a0", "ALU", 1, {"int": 1}),
+            FunctionalUnit("a1", "ALU", 1, {"int": 1}),
+        ]
+        with pytest.raises(PUMError):
+            minimal_pum(units=units)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(PUMError):
+            ExecutionModel("random", {})
+
+    def test_is_pipelined(self):
+        single = minimal_pum()
+        assert not single.is_pipelined
+        multi = minimal_pum(
+            pipelines=[Pipeline("p", ["IF", "EX"], 1)],
+            mappings={"alu": OpMapping(1, 1, {1: ("ALU", "int")})},
+        )
+        assert multi.is_pipelined
+
+    def test_with_caches_copies(self):
+        pum = minimal_pum(
+            memory=MemoryModel({2048: CachePoint(0.9, 0)}, {}, 20)
+        )
+        other = pum.with_caches(2048, 0)
+        assert other.icache_size == 2048
+        assert pum.icache_size == 0
+        assert other.execution is pum.execution

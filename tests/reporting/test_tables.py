@@ -1,0 +1,49 @@
+"""Tests for table formatting and error metrics."""
+
+import pytest
+
+from repro.reporting import Table, fmt_cycles, fmt_seconds, pct_error
+
+
+class TestMetrics:
+    def test_pct_error_signed(self):
+        assert pct_error(110, 100) == pytest.approx(10.0)
+        assert pct_error(90, 100) == pytest.approx(-10.0)
+
+    def test_pct_error_zero_reference(self):
+        with pytest.raises(ValueError):
+            pct_error(1, 0)
+
+    def test_fmt_cycles_paper_style(self):
+        assert fmt_cycles(27_220_000) == "27.22M"
+        assert fmt_cycles(4_410_000) == "4.410M"
+        assert fmt_cycles(52_234) == "52.2k"
+        assert fmt_cycles(999) == "999"
+
+    def test_fmt_seconds(self):
+        assert fmt_seconds(0.0000005) == "0us"
+        assert fmt_seconds(0.0125).endswith("ms")
+        assert fmt_seconds(3.5) == "3.50s"
+        assert fmt_seconds(150) == "2.5min"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["design", "cycles"], title="T")
+        table.add_row("SW", 123)
+        table.add_row("SW+4", 7)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "design" in lines[1]
+        assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+    def test_cell_count_checked(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_str_is_render(self):
+        table = Table(["x"])
+        table.add_row(1)
+        assert str(table) == table.render()

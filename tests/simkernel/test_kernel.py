@@ -1,0 +1,151 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.simkernel import DeadlockError, Kernel, SimulationError
+
+
+class TestTimeAdvance:
+    def test_single_process_waits(self):
+        kernel = Kernel()
+        times = []
+
+        def body(p):
+            times.append(kernel.now)
+            p.wait(5.0)
+            times.append(kernel.now)
+            p.wait(2.5)
+            times.append(kernel.now)
+
+        kernel.add_process("p", body)
+        end = kernel.run()
+        assert times == [0.0, 5.0, 7.5]
+        assert end == 7.5
+
+    def test_time_is_monotone_across_processes(self):
+        kernel = Kernel()
+        observed = []
+
+        def make(delays):
+            def body(p):
+                for d in delays:
+                    p.wait(d)
+                    observed.append(kernel.now)
+            return body
+
+        kernel.add_process("a", make([3, 3, 3]))
+        kernel.add_process("b", make([2, 5]))
+        kernel.run()
+        assert observed == sorted(observed)
+
+    def test_zero_wait_is_allowed(self):
+        kernel = Kernel()
+
+        def body(p):
+            p.wait(0.0)
+
+        kernel.add_process("p", body)
+        assert kernel.run() == 0.0
+
+    def test_negative_wait_rejected(self):
+        kernel = Kernel()
+
+        def body(p):
+            p.wait(-1.0)
+
+        kernel.add_process("p", body)
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    def test_until_cuts_simulation(self):
+        kernel = Kernel()
+        ticks = []
+
+        def body(p):
+            while True:
+                p.wait(10.0)
+                ticks.append(kernel.now)
+
+        kernel.add_process("p", body)
+        end = kernel.run(until=35.0)
+        assert end == 35.0
+        assert ticks == [10.0, 20.0, 30.0]
+
+
+class TestDeterminism:
+    def test_same_time_events_fire_in_registration_order(self):
+        kernel = Kernel()
+        order = []
+
+        def make(name):
+            def body(p):
+                order.append(name)
+                p.wait(1.0)
+                order.append(name + "'")
+            return body
+
+        for name in ("a", "b", "c"):
+            kernel.add_process(name, make(name))
+        kernel.run()
+        assert order == ["a", "b", "c", "a'", "b'", "c'"]
+
+    def test_repeated_runs_identical(self):
+        def run_once():
+            kernel = Kernel()
+            log = []
+
+            def body_a(p):
+                for _ in range(3):
+                    p.wait(2.0)
+                    log.append(("a", kernel.now))
+
+            def body_b(p):
+                for _ in range(2):
+                    p.wait(3.0)
+                    log.append(("b", kernel.now))
+
+            kernel.add_process("a", body_a)
+            kernel.add_process("b", body_b)
+            kernel.run()
+            return log
+
+        assert run_once() == run_once()
+
+
+class TestFailures:
+    def test_process_exception_propagates(self):
+        kernel = Kernel()
+
+        def body(p):
+            raise ValueError("boom")
+
+        kernel.add_process("p", body)
+        with pytest.raises(SimulationError) as info:
+            kernel.run()
+        assert "boom" in str(info.value.__cause__)
+
+    def test_blocked_process_reports_deadlock(self):
+        from repro.simkernel import BusChannel
+
+        kernel = Kernel()
+        channel = BusChannel(kernel, "never")
+
+        def body(p):
+            channel.recv(p, 1)
+
+        kernel.add_process("p", body)
+        with pytest.raises(DeadlockError) as info:
+            kernel.run()
+        assert "never" in str(info.value)
+
+    def test_trace_hook_sees_activations(self):
+        kernel = Kernel()
+        traced = []
+        kernel.trace = lambda t, name: traced.append((t, name))
+
+        def body(p):
+            p.wait(1.0)
+
+        kernel.add_process("p", body)
+        kernel.run()
+        assert traced == [(0.0, "p"), (1.0, "p")]

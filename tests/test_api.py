@@ -1,0 +1,66 @@
+"""Tests for the top-level convenience API (repro.api)."""
+
+from repro import annotate_program, build_timed_tlm, compile_cmini, estimate_function
+from repro.cdfg.ir import IRProgram
+from repro.pum import dct_hw, microblaze
+from repro.tlm import Design
+
+SRC = """
+int square(int x) { return x * x; }
+int main(void) {
+  int s = 0;
+  for (int i = 0; i < 10; i++) s += square(i);
+  return s;
+}
+"""
+
+
+class TestCompile:
+    def test_compile_returns_ir_program(self):
+        ir = compile_cmini(SRC)
+        assert isinstance(ir, IRProgram)
+        assert set(ir.functions) == {"square", "main"}
+
+
+class TestEstimate:
+    def test_estimate_from_source(self):
+        delays = estimate_function(SRC, "square", microblaze())
+        assert all(isinstance(d, int) for d in delays.values())
+        assert sum(delays.values()) > 0
+
+    def test_estimate_from_ir(self):
+        ir = compile_cmini(SRC)
+        delays = estimate_function(ir, "main", dct_hw())
+        assert set(delays) == {b.label for b in ir.function("main").blocks}
+
+
+class TestAnnotate:
+    def test_annotate_fills_all_blocks(self):
+        ir = annotate_program(SRC, microblaze())
+        for func in ir.functions.values():
+            for block in func.blocks:
+                assert block.delay is not None
+
+    def test_annotate_accepts_ir(self):
+        ir = compile_cmini(SRC)
+        returned = annotate_program(ir, microblaze())
+        assert returned is ir
+
+
+class TestBuildTimedTlm:
+    def test_builds_runnable_model(self):
+        design = Design("api-test")
+        design.add_pe("cpu", microblaze())
+        design.add_process("p", SRC, "main", "cpu")
+        model = build_timed_tlm(design)
+        result = model.run()
+        assert result.process("p").return_value == sum(i * i for i in range(10))
+        assert result.makespan_cycles > 0
+
+    def test_package_exports(self):
+        import repro
+
+        assert repro.__version__
+        for name in ("compile_cmini", "estimate_function",
+                     "annotate_program", "build_timed_tlm"):
+            assert hasattr(repro, name)

@@ -1,0 +1,136 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+int twice(int x) { return x * 2; }
+int main(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++) s += twice(i);
+  return s;
+}
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "app.cmini"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestEstimate:
+    def test_estimate_default_pum(self, source_file):
+        code, text = run_cli(["estimate", source_file])
+        assert code == 0
+        assert "MicroBlaze" in text
+        assert "main:" in text and "twice:" in text
+
+    def test_estimate_verbose_prints_cdfg(self, source_file):
+        _, text = run_cli(["estimate", source_file, "-v"])
+        assert "bb0" in text and "delay=" in text
+
+    def test_estimate_custom_hw(self, source_file):
+        code, text = run_cli(["estimate", source_file, "--pum", "dct-hw"])
+        assert code == 0
+        assert "DCT-HW" in text
+
+    def test_estimate_from_json_pum(self, source_file, tmp_path):
+        from repro.pum import microblaze, save_pum
+
+        pum_path = tmp_path / "mb.json"
+        save_pum(microblaze(2048, 2048), str(pum_path))
+        code, text = run_cli(
+            ["estimate", source_file, "--pum-json", str(pum_path)]
+        )
+        assert code == 0
+        assert "MicroBlaze" in text
+
+    def test_cache_options_change_estimates(self, source_file):
+        _, small = run_cli(["estimate", source_file, "--icache", "0",
+                            "--dcache", "0"])
+        _, big = run_cli(["estimate", source_file, "--icache", "32768",
+                          "--dcache", "16384"])
+        def total(text):
+            return sum(
+                int(line.rsplit("=", 1)[1].split()[0])
+                for line in text.splitlines() if "sum of static" in line
+            )
+        assert total(small) > total(big)
+
+
+class TestRun:
+    def test_run_interpreter(self, source_file):
+        code, text = run_cli(["run", source_file, "5"])
+        assert code == 0
+        assert "main(5) = 20" in text
+
+    def test_run_timed_reports_cycles(self, source_file):
+        # argparse quirk: entry arguments go before the option flags.
+        code, text = run_cli(["run", source_file, "5", "--timed"])
+        assert code == 0
+        assert "main(5) = 20" in text
+        assert "Estimated" in text and "cycles" in text
+
+    def test_run_other_entry(self, source_file):
+        code, text = run_cli(["run", source_file, "21", "--entry", "twice"])
+        assert code == 0
+        assert "twice(21) = 42" in text
+
+
+class TestDisasm:
+    def test_disasm_output(self, source_file):
+        code, text = run_cli(["disasm", source_file, "3"])
+        assert code == 0
+        assert "main:" in text
+        assert "jal" in text
+        assert "halt" in text
+
+
+class TestErrors:
+    def test_missing_file_raises(self):
+        with pytest.raises(FileNotFoundError):
+            run_cli(["estimate", "/nonexistent/path.cmini"])
+
+    def test_semantic_error_propagates(self, tmp_path):
+        path = tmp_path / "bad.cmini"
+        path.write_text("int main(void) { return nope; }")
+        from repro.cfrontend.errors import SemanticError
+
+        with pytest.raises(SemanticError):
+            run_cli(["estimate", str(path)])
+
+    def test_unknown_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            run_cli(["frobnicate"])
+
+
+class TestPum:
+    def test_preset_dump(self):
+        code, text = run_cli(["pum", "microblaze"])
+        assert code == 0
+        assert '"MicroBlaze"' in text
+
+    def test_unknown_preset(self):
+        code, text = run_cli(["pum", "pentium4"])
+        assert code == 2
+        assert "unknown" in text
+
+    def test_json_round_trip_via_cli(self, tmp_path):
+        from repro.pum import dct_hw, save_pum
+
+        path = tmp_path / "hw.json"
+        save_pum(dct_hw(), str(path))
+        code, text = run_cli(["pum", str(path)])
+        assert code == 0
+        assert '"DCT-HW"' in text

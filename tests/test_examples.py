@@ -1,0 +1,71 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are imported and their ``main()`` executed in-process with stdout
+captured, so failures show real tracebacks.  The JPEG example is exercised
+with reduced size elsewhere (tests/apps/test_jpeg.py) since its PCAM runs
+are the slowest part of the suite.
+"""
+
+import contextlib
+import importlib.util
+import io
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+FAST_EXAMPLES = [
+    "quickstart",
+    "custom_hw_pum",
+    "processor_whatif",
+    "rtos_shared_cpu",
+    "mp3_design_space",
+]
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, name + ".py")
+    spec = importlib.util.spec_from_file_location("example_" + name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name):
+    module = load_example(name)
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        module.main()
+    output = buffer.getvalue()
+    assert len(output) > 50  # produced a real report
+
+
+def test_quickstart_reports_cycles():
+    module = load_example("quickstart")
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        module.main()
+    assert "cycles" in buffer.getvalue()
+
+
+def test_design_space_finds_a_winner():
+    module = load_example("mp3_design_space")
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        module.main()
+    assert "Cheapest design meeting" in buffer.getvalue()
+
+
+def test_all_examples_have_docstring_and_main():
+    for filename in os.listdir(EXAMPLES_DIR):
+        if not filename.endswith(".py"):
+            continue
+        path = os.path.join(EXAMPLES_DIR, filename)
+        with open(path) as handle:
+            source = handle.read()
+        assert source.lstrip().startswith('"""'), filename
+        assert "def main():" in source, filename
+        assert '__name__ == "__main__"' in source, filename

@@ -1,0 +1,102 @@
+"""Tests for the design-space exploration helper."""
+
+import pytest
+
+from repro.apps.mp3 import Mp3Params
+from repro.explore import DesignPoint, explore, mp3_design_points
+from repro.pum import microblaze
+from repro.tlm import Design
+
+SMALL = Mp3Params(n_subbands=4, n_slots=4, n_phases=4, n_alias=2)
+
+
+def _loop_design(n_iters, name):
+    def build():
+        design = Design(name)
+        design.add_pe("cpu", microblaze(8192, 4096))
+        design.add_process("p", """
+        int main(void) {
+          int s = 0;
+          for (int i = 0; i < %d; i++) s += i * 3;
+          return s;
+        }""" % n_iters, "main", "cpu")
+        return design
+
+    return build
+
+
+class TestExplore:
+    def test_evaluates_all_points(self):
+        points = [
+            DesignPoint("small", _loop_design(50, "small"), area=1),
+            DesignPoint("large", _loop_design(500, "large"), area=1),
+        ]
+        result = explore(points)
+        assert len(result) == 2
+        assert result.total_seconds > 0
+
+    def test_ranking_by_makespan(self):
+        points = [
+            DesignPoint("large", _loop_design(500, "large")),
+            DesignPoint("small", _loop_design(50, "small")),
+        ]
+        ranked = explore(points).ranked()
+        assert [r.point.name for r in ranked] == ["small", "large"]
+
+    def test_best_with_constraint(self):
+        points = [
+            DesignPoint("cheap-slow", _loop_design(500, "a"), area=0),
+            DesignPoint("pricey-fast", _loop_design(50, "b"), area=4),
+        ]
+        result = explore(points)
+        unconstrained = result.best()
+        assert unconstrained.point.name == "pricey-fast"
+        budgeted = result.best(constraint=lambda r: r.point.area <= 1)
+        assert budgeted.point.name == "cheap-slow"
+        impossible = result.best(constraint=lambda r: r.makespan_cycles < 1)
+        assert impossible is None
+
+    def test_custom_objective(self):
+        points = [
+            DesignPoint("a", _loop_design(100, "a"), area=5),
+            DesignPoint("b", _loop_design(120, "b"), area=1),
+        ]
+        result = explore(points)
+        by_area = result.ranked(objective=lambda r: r.point.area)
+        assert by_area[0].point.name == "b"
+
+    def test_pareto_front(self):
+        points = [
+            DesignPoint("dominated", _loop_design(500, "x"), area=4),
+            DesignPoint("fast", _loop_design(50, "y"), area=4),
+            DesignPoint("cheap", _loop_design(500, "z"), area=0),
+        ]
+        front = explore(points).pareto_front()
+        names = {r.point.name for r in front}
+        assert names == {"fast", "cheap"}
+
+
+class TestMp3Points:
+    def test_point_grid(self):
+        points = mp3_design_points(
+            SMALL, n_frames=1,
+            cache_configs=((2048, 2048), (8192, 4096)),
+        )
+        assert len(points) == 8
+        areas = {p.meta["variant"]: p.area for p in points}
+        assert areas == {"SW": 0, "SW+1": 1, "SW+2": 2, "SW+4": 4}
+
+    def test_exploration_finds_hw_wins(self):
+        points = mp3_design_points(SMALL, n_frames=1)
+        result = explore(points)
+        ranked = result.ranked()
+        # The all-HW mapping wins; the all-SW mapping loses.
+        assert ranked[0].point.meta["variant"] == "SW+4"
+        assert ranked[-1].point.meta["variant"] == "SW"
+
+    def test_pareto_contains_extremes(self):
+        points = mp3_design_points(SMALL, n_frames=1)
+        front = explore(points).pareto_front()
+        variants = {r.point.meta["variant"] for r in front}
+        assert "SW" in variants      # cheapest
+        assert "SW+4" in variants    # fastest

@@ -1,0 +1,97 @@
+"""Unit tests for platform/design descriptions."""
+
+import pytest
+
+from repro.pum import dct_hw, microblaze
+from repro.rtos import RTOSModel
+from repro.tlm import Design, PlatformError
+
+SRC = "void main(void) { }"
+
+
+class TestConstruction:
+    def test_basic_design(self):
+        design = Design("d")
+        design.add_pe("cpu", microblaze())
+        design.add_process("p", SRC, "main", "cpu")
+        design.validate()
+        assert design.pes["cpu"].pum.name == "MicroBlaze"
+
+    def test_duplicate_pe_rejected(self):
+        design = Design("d")
+        design.add_pe("cpu", microblaze())
+        with pytest.raises(PlatformError):
+            design.add_pe("cpu", dct_hw())
+
+    def test_duplicate_process_rejected(self):
+        design = Design("d")
+        design.add_pe("cpu", microblaze())
+        design.add_process("p", SRC, "main", "cpu")
+        with pytest.raises(PlatformError):
+            design.add_process("p", SRC, "main", "cpu")
+
+    def test_process_on_unknown_pe_rejected(self):
+        design = Design("d")
+        with pytest.raises(PlatformError):
+            design.add_process("p", SRC, "main", "ghost")
+
+    def test_channel_on_unknown_bus_rejected(self):
+        design = Design("d")
+        with pytest.raises(PlatformError):
+            design.add_channel(1, "c", "nobus")
+
+    def test_duplicate_channel_id_rejected(self):
+        design = Design("d")
+        design.add_bus("b")
+        design.add_channel(1, "c1", "b")
+        with pytest.raises(PlatformError):
+            design.add_channel(1, "c2", "b")
+
+    def test_duplicate_bus_rejected(self):
+        design = Design("d")
+        design.add_bus("b")
+        with pytest.raises(PlatformError):
+            design.add_bus("b")
+
+
+class TestValidation:
+    def test_empty_design_rejected(self):
+        with pytest.raises(PlatformError):
+            Design("d").validate()
+
+    def test_idle_pe_rejected(self):
+        design = Design("d")
+        design.add_pe("cpu", microblaze())
+        design.add_pe("hw", dct_hw())
+        design.add_process("p", SRC, "main", "cpu")
+        with pytest.raises(PlatformError):
+            design.validate()
+
+    def test_shared_pe_requires_rtos(self):
+        design = Design("d")
+        design.add_pe("cpu", microblaze())
+        design.add_process("a", SRC, "main", "cpu")
+        design.add_process("b", SRC, "main", "cpu")
+        with pytest.raises(PlatformError):
+            design.validate()
+
+    def test_shared_pe_with_rtos_ok(self):
+        design = Design("d")
+        design.add_pe("cpu", microblaze(), rtos=RTOSModel())
+        design.add_process("a", SRC, "main", "cpu")
+        design.add_process("b", SRC, "main", "cpu")
+        design.validate()
+
+    def test_processes_on(self):
+        design = Design("d")
+        design.add_pe("cpu", microblaze(), rtos=RTOSModel())
+        design.add_pe("hw", dct_hw())
+        design.add_process("a", SRC, "main", "cpu")
+        design.add_process("b", SRC, "main", "cpu")
+        design.add_process("c", SRC, "main", "hw")
+        assert {p.name for p in design.processes_on("cpu")} == {"a", "b"}
+
+    def test_pe_cycle_time(self):
+        design = Design("d")
+        pe = design.add_pe("cpu", microblaze())
+        assert pe.cycle_ns == 10.0  # 100 MHz

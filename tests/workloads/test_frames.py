@@ -1,0 +1,82 @@
+"""Tests for the synthetic MP3 frame generator."""
+
+from repro.apps.mp3 import Mp3Params
+from repro.workloads import make_frames
+from repro.workloads.mp3frames import _LCG
+
+P = Mp3Params(n_subbands=8, n_slots=8)
+
+
+class TestLCG:
+    def test_deterministic(self):
+        a = _LCG(7)
+        b = _LCG(7)
+        assert [a.next_u32() for _ in range(10)] == [
+            b.next_u32() for _ in range(10)
+        ]
+
+    def test_randint_in_range(self):
+        rng = _LCG(3)
+        for _ in range(200):
+            value = rng.randint(-5, 5)
+            assert -5 <= value <= 5
+
+    def test_chance_bounds(self):
+        rng = _LCG(3)
+        assert all(not rng.chance(0) for _ in range(50))
+        rng = _LCG(3)
+        assert all(rng.chance(100) for _ in range(50))
+
+
+class TestFrameSet:
+    def test_sizes(self):
+        frames = make_frames(P, 3, seed=1)
+        assert frames.n_frames == 3
+        assert len(frames.samples) == 3 * P.frame_words()
+        assert len(frames.scalefactors) == 3 * P.scf_words()
+        assert len(frames.modes) == 3
+
+    def test_seed_determinism(self):
+        assert make_frames(P, 2, seed=5).samples == make_frames(P, 2, seed=5).samples
+
+    def test_seeds_differ(self):
+        assert make_frames(P, 2, seed=5).samples != make_frames(P, 2, seed=6).samples
+
+    def test_granule_offsets_cover_disjoint_ranges(self):
+        frames = make_frames(P, 2, seed=1)
+        offsets = set()
+        for f in range(2):
+            for g in range(P.n_granules):
+                for c in range(P.n_channels):
+                    off = frames.granule_offset(f, g, c)
+                    assert off % P.granule_samples == 0
+                    assert off not in offsets
+                    offsets.add(off)
+        assert max(offsets) + P.granule_samples == len(frames.samples)
+
+    def test_spectral_shape_high_bands_sparser(self):
+        frames = make_frames(P, 8, seed=2)
+        low_nonzero = 0
+        high_nonzero = 0
+        per_sb = P.n_slots
+        samples = frames.samples
+        for base in range(0, len(samples), P.granule_samples):
+            low = samples[base : base + per_sb]
+            high = samples[
+                base + (P.n_subbands - 1) * per_sb : base + P.granule_samples
+            ]
+            low_nonzero += sum(1 for v in low if v)
+            high_nonzero += sum(1 for v in high if v)
+        assert low_nonzero > 2 * high_nonzero
+
+    def test_scalefactors_in_table_range(self):
+        frames = make_frames(P, 4, seed=3)
+        assert all(0 <= s < 64 for s in frames.scalefactors)
+
+    def test_mode_bits_valid(self):
+        frames = make_frames(P, 50, seed=4)
+        assert all(0 <= m <= 7 for m in frames.modes)
+        # With 50 frames, each feature should appear at least once.
+        assert any(m & 1 for m in frames.modes)
+        assert any(m & 2 for m in frames.modes)
+        assert any(m & 4 for m in frames.modes)
