@@ -1,0 +1,157 @@
+"""Estimation fast path — schedule-cache speedup and parallel-DSE equivalence.
+
+Two claims are demonstrated here (and enforced as assertions):
+
+1. Re-annotating the MP3 decoder across the paper's 4 platform mappings with
+   a warm structural schedule cache is at least 2x faster than uncached
+   annotation, and the delays are bit-identical either way.  (The warm pass
+   only pays DFG construction + hashing + Algorithm-2 arithmetic; the
+   Algorithm-1 pipeline simulation — the dominant cost — is served from the
+   ``(PUM fingerprint, DFG hash)`` memo.)
+2. Parallel design-space exploration (``workers=4``) returns exactly the
+   same per-point ``makespan_cycles`` and therefore the same ranking as the
+   sequential evaluator.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.apps.mp3 import VARIANTS
+from repro.estimation.annotator import annotate_ir_program
+from repro.estimation.schedcache import ScheduleCache
+from repro.explore import explore, mp3_design_points
+from repro.reporting import Table, fmt_seconds
+from repro.tlm.generator import compile_process
+
+#: Timing repetitions; the minimum is reported (most stable reading).
+ROUNDS = 3
+
+_state = {}
+
+
+def _mp3_annotation_work(eval_design_factory):
+    """(pum, ir_program) pairs for every process of the 4 MP3 mappings,
+    compiled once so timings cover annotation only (Table 1's "Anno.")."""
+    work = []
+    for variant in VARIANTS:
+        design = eval_design_factory(variant, 8192, 4096)
+        for decl in design.processes.values():
+            work.append((design.pes[decl.pe_name].pum, compile_process(decl)))
+    return work
+
+
+def _annotate_all(work, cache):
+    delays = []
+    for pum, ir_program in work:
+        annotate_ir_program(ir_program, pum, cache=cache)
+        for name in sorted(ir_program.functions):
+            func = ir_program.function(name)
+            delays.append([block.delay for block in func.blocks])
+    return delays
+
+
+def _timed_min(fn, rounds=ROUNDS):
+    best = None
+    value = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, value
+
+
+def test_annotation_cache_speedup(benchmark, eval_design_factory):
+    work = _mp3_annotation_work(eval_design_factory)
+
+    def measure():
+        uncached_seconds, uncached_delays = _timed_min(
+            lambda: _annotate_all(work, cache=False)
+        )
+        shared = ScheduleCache()
+        cold_seconds, cold_delays = _timed_min(
+            lambda: _annotate_all(work, shared), rounds=1
+        )
+        warm_seconds, warm_delays = _timed_min(
+            lambda: _annotate_all(work, shared)
+        )
+        return {
+            "uncached_seconds": uncached_seconds,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": uncached_seconds / warm_seconds,
+            "identical": uncached_delays == cold_delays == warm_delays,
+            "stats": shared.stats,
+            "entries": len(shared),
+        }
+
+    outcome = benchmark.pedantic(measure, rounds=1, iterations=1)
+    _state["cache"] = outcome
+    # Bit-identical delays, re-annotation hits the cache, and the warm pass
+    # clears the issue's 2x bar.
+    assert outcome["identical"]
+    assert outcome["stats"].hits > 0
+    assert outcome["speedup"] >= 2.0
+
+
+def test_parallel_dse_equivalence(benchmark, calibration, mp3_params):
+    points = mp3_design_points(
+        mp3_params, n_frames=1, seed=7,
+        cache_configs=((2048, 2048), (8192, 4096)),
+        memory_model=calibration.memory_model,
+        branch_model=calibration.branch_model,
+    )
+
+    def sweep_both():
+        sequential = explore(points, workers=1)
+        parallel = explore(points, workers=4)
+        return sequential, parallel
+
+    sequential, parallel = benchmark.pedantic(sweep_both, rounds=1, iterations=1)
+    _state["dse"] = (sequential, parallel)
+    seq_cycles = [(r.point.name, r.makespan_cycles) for r in sequential.results]
+    par_cycles = [(r.point.name, r.makespan_cycles) for r in parallel.results]
+    assert seq_cycles == par_cycles
+    assert (
+        [r.point.name for r in sequential.ranked()]
+        == [r.point.name for r in parallel.ranked()]
+    )
+
+
+def test_render_annotation_cache(benchmark, tables, metrics):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    outcome = _state["cache"]
+    sequential, parallel = _state["dse"]
+    stats = outcome["stats"]
+    table = Table(
+        ["measurement", "value"],
+        title="Estimation fast path — schedule cache and parallel DSE",
+    )
+    table.add_row("uncached annotation (4 mappings)",
+                  fmt_seconds(outcome["uncached_seconds"]))
+    table.add_row("cold-cache annotation", fmt_seconds(outcome["cold_seconds"]))
+    table.add_row("warm-cache annotation", fmt_seconds(outcome["warm_seconds"]))
+    table.add_row("warm speedup", "%.1fx" % outcome["speedup"])
+    table.add_row("cache hits / misses / entries",
+                  "%d / %d / %d" % (stats.hits, stats.misses, outcome["entries"]))
+    table.add_row("sequential DSE (8 points)",
+                  fmt_seconds(sequential.total_seconds))
+    table.add_row("parallel DSE (workers=4)",
+                  fmt_seconds(parallel.total_seconds))
+    table.add_row("parallel ranking identical", "yes")
+    tables["annotation_cache"] = table.render()
+    metrics["annotation_cache"] = {
+        "wall_seconds": outcome["uncached_seconds"],
+        "uncached_seconds": outcome["uncached_seconds"],
+        "cold_seconds": outcome["cold_seconds"],
+        "warm_seconds": outcome["warm_seconds"],
+        "speedup": outcome["speedup"],
+        "cache_hits": stats.hits,
+        "cache_misses": stats.misses,
+        "cache_entries": outcome["entries"],
+        "dse_sequential_seconds": sequential.total_seconds,
+        "dse_parallel_seconds": parallel.total_seconds,
+        "dse_points": len(sequential),
+    }

@@ -33,9 +33,18 @@ def test_sweep_design_space(benchmark, calibration, mp3_params):
     assert len(_state["result"]) == len(points)
 
 
-def test_render_design_space(benchmark, tables):
+def test_render_design_space(benchmark, tables, metrics):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     result = _state["result"]
+    metrics["design_space"] = {
+        "wall_seconds": result.total_seconds,
+        "points": len(result),
+        "workers": result.workers,
+        "best": result.ranked()[0].point.name,
+        "makespan_cycles": {
+            r.point.name: r.makespan_cycles for r in result.results
+        },
+    }
     table = Table(
         ["rank", "design point", "est. cycles", "HW units"],
         title=("Design-space exploration — %d timed-TLM points in %s"

@@ -2,7 +2,11 @@
 
 Running ``pytest benchmarks/ --benchmark-only`` regenerates every table of
 the paper's evaluation section; the reproduced tables are printed in the
-terminal summary and written to ``benchmarks/results/``.
+terminal summary and written to ``benchmarks/results/`` — both as rendered
+text (``<name>.txt``) and, for benches that record machine-readable
+numbers via the ``metrics`` fixture, as ``BENCH_<name>.json`` with the
+schema ``{bench, metrics, wall_seconds, commit}`` so the performance
+trajectory is trackable across PRs.
 
 Environment knobs:
 
@@ -12,7 +16,10 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+import time
 
 import pytest
 
@@ -30,6 +37,8 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 def pytest_configure(config):
     config._repro_tables = {}
+    config._repro_metrics = {}
+    config._repro_start = time.perf_counter()
 
 
 @pytest.fixture(scope="session")
@@ -38,21 +47,61 @@ def tables(request):
     return request.config._repro_tables
 
 
+@pytest.fixture(scope="session")
+def metrics(request):
+    """Session store: name -> dict of machine-readable bench numbers.
+
+    Entries land in ``results/BENCH_<name>.json``.  A ``wall_seconds`` key,
+    if present, becomes the JSON's top-level wall time; otherwise the whole
+    session's elapsed time is used.
+    """
+    return request.config._repro_metrics
+
+
+def _git_commit():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    store = getattr(config, "_repro_tables", None)
-    if not store:
+    tables_store = getattr(config, "_repro_tables", None) or {}
+    metrics_store = getattr(config, "_repro_metrics", None) or {}
+    if not tables_store and not metrics_store:
         return
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    terminalreporter.write_line("")
-    terminalreporter.write_line("=" * 72)
-    terminalreporter.write_line("Reproduced paper tables")
-    terminalreporter.write_line("=" * 72)
-    for name in sorted(store):
-        text = store[name]
+    if tables_store:
         terminalreporter.write_line("")
-        terminalreporter.write_line(text)
-        with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
-            handle.write(text + "\n")
+        terminalreporter.write_line("=" * 72)
+        terminalreporter.write_line("Reproduced paper tables")
+        terminalreporter.write_line("=" * 72)
+        for name in sorted(tables_store):
+            text = tables_store[name]
+            terminalreporter.write_line("")
+            terminalreporter.write_line(text)
+            with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
+                handle.write(text + "\n")
+    elapsed = time.perf_counter() - getattr(config, "_repro_start", time.perf_counter())
+    commit = _git_commit()
+    for name in sorted(metrics_store):
+        bench_metrics = dict(metrics_store[name])
+        wall_seconds = bench_metrics.pop("wall_seconds", elapsed)
+        payload = {
+            "bench": name,
+            "metrics": bench_metrics,
+            "wall_seconds": wall_seconds,
+            "commit": commit,
+        }
+        path = os.path.join(RESULTS_DIR, "BENCH_%s.json" % name)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        terminalreporter.write_line("wrote %s" % path)
 
 
 @pytest.fixture(scope="session")

@@ -6,62 +6,61 @@ with an automatically generated *timed TLM only* — no ISS, no RTL — which is
 exactly why the technique matters: the whole sweep takes seconds.
 
 The script then picks the cheapest design meeting a frame-rate goal, using
-the number of HW units as an area proxy.
+the number of HW units as an area proxy.  Pass a worker count to fan the
+points out over a process pool (results are identical — see
+docs/performance.md):
 
-Run:  python examples/mp3_design_space.py
+Run:  python examples/mp3_design_space.py [workers]
 """
 
-import time
+import sys
 
-from repro.apps.mp3 import VARIANTS, Mp3Params, build_design
+from repro.apps.mp3 import Mp3Params
+from repro.explore import explore, mp3_design_points
 from repro.reporting import Table, fmt_cycles
-from repro.tlm import generate_tlm
 
 CACHE_CONFIGS = ((2 * 1024, 2 * 1024), (8 * 1024, 4 * 1024),
                  (16 * 1024, 16 * 1024))
 N_FRAMES = 2
 #: Performance goal: decode a frame within this many CPU cycles.
 CYCLES_PER_FRAME_GOAL = 1_800_000
-#: Area proxy: number of custom HW units per variant.
-AREA = {"SW": 0, "SW+1": 1, "SW+2": 2, "SW+4": 4}
 
 
-def main():
+def main(workers=1):
     params = Mp3Params()
+    points = mp3_design_points(
+        params, n_frames=N_FRAMES, seed=7, cache_configs=CACHE_CONFIGS,
+    )
+    result = explore(points, workers=workers)
+
     table = Table(
-        ["Design", "I/D cache", "est. cycles", "cycles/frame", "HW units",
-         "meets goal"],
+        ["Design", "est. cycles", "cycles/frame", "HW units", "meets goal"],
         title="MP3 decoder design space (timed-TLM estimates)",
     )
-    sweep_start = time.perf_counter()
     best = None
-    for variant in VARIANTS:
-        for icache, dcache in CACHE_CONFIGS:
-            design, _ = build_design(
-                variant, params, n_frames=N_FRAMES, seed=7,
-                icache_size=icache, dcache_size=dcache,
-            )
-            result = generate_tlm(design, timed=True).run()
-            per_frame = result.makespan_cycles // N_FRAMES
-            ok = per_frame <= CYCLES_PER_FRAME_GOAL
-            table.add_row(
-                variant,
-                "%dk/%dk" % (icache // 1024, dcache // 1024),
-                fmt_cycles(result.makespan_cycles),
-                fmt_cycles(per_frame),
-                AREA[variant],
-                "yes" if ok else "no",
-            )
-            if ok:
-                key = (AREA[variant], per_frame)
-                if best is None or key < best[0]:
-                    best = (key, variant, (icache, dcache), per_frame)
-    sweep_seconds = time.perf_counter() - sweep_start
+    for point_result in result.results:
+        point = point_result.point
+        per_frame = point_result.makespan_cycles // N_FRAMES
+        ok = per_frame <= CYCLES_PER_FRAME_GOAL
+        table.add_row(
+            point.name,
+            fmt_cycles(point_result.makespan_cycles),
+            fmt_cycles(per_frame),
+            point.area,
+            "yes" if ok else "no",
+        )
+        if ok:
+            key = (point.area, per_frame)
+            if best is None or key < best[0]:
+                best = (key, point.meta["variant"],
+                        (point.meta["icache"], point.meta["dcache"]),
+                        per_frame)
 
     print(table.render())
     print()
-    print("Swept %d design points in %.1f s (all timed-TLM, no ISS/RTL)."
-          % (len(VARIANTS) * len(CACHE_CONFIGS), sweep_seconds))
+    print("Swept %d design points in %.1f s with %d worker(s) "
+          "(all timed-TLM, no ISS/RTL)."
+          % (len(result), result.total_seconds, result.workers))
     if best is None:
         print("No design met the %s cycles/frame goal."
               % fmt_cycles(CYCLES_PER_FRAME_GOAL))
@@ -77,4 +76,4 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1)

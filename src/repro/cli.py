@@ -6,12 +6,18 @@ Usage (after ``pip install -e .``)::
     python -m repro run app.cmini --entry main --timed
     python -m repro disasm app.cmini
     python -m repro pum microblaze
+    python -m repro explore --workers 4 --frames 1
 
 Subcommands:
 
 ``estimate``
     Annotate every basic block with its Algorithm-2 delay on the chosen PUM
-    and print the annotated CDFG plus a per-function summary.
+    and print the annotated CDFG plus a per-function summary
+    (``--cache-stats`` reports the schedule-cache counters).
+``explore``
+    Sweep the MP3 design space (mappings × cache configurations) with
+    generated timed TLMs and print the ranking; ``--workers N`` evaluates
+    points on a process pool.
 ``run``
     Execute a program: reference interpreter by default, or the generated
     timed code (``--timed``) which also reports the cycle estimate.
@@ -81,7 +87,26 @@ def cmd_estimate(args, out):
         if args.verbose:
             out.write(format_function(func) + "\n")
         out.write("\n")
+    if args.cache_stats:
+        _write_cache_stats(out)
     return 0
+
+
+def _write_cache_stats(out):
+    from .estimation.schedcache import default_cache, save_default_cache
+
+    cache = default_cache()
+    if cache is None:
+        out.write("schedule cache: disabled (REPRO_SCHED_CACHE=0)\n")
+        return
+    stats = cache.stats
+    out.write(
+        "schedule cache: %d hits, %d misses, %d entries (%.0f%% hit rate)\n"
+        % (stats.hits, stats.misses, len(cache), 100.0 * stats.hit_rate)
+    )
+    saved = save_default_cache()
+    if saved:
+        out.write("schedule cache: saved to %s\n" % saved)
 
 
 def cmd_run(args, out):
@@ -164,6 +189,56 @@ def cmd_tlm(args, out):
     return 0
 
 
+def _parse_cache_configs(specs):
+    configs = []
+    for spec in specs:
+        try:
+            icache, dcache = spec.split(":")
+            configs.append((int(icache), int(dcache)))
+        except ValueError:
+            raise SystemExit(
+                "bad --cache-config %r (expected I:D in bytes, e.g. 8192:4096)"
+                % spec
+            )
+    return tuple(configs)
+
+
+def cmd_explore(args, out):
+    from .apps.mp3 import Mp3Params
+    from .explore import explore, mp3_design_points
+
+    params = (
+        Mp3Params(n_subbands=4, n_slots=4, n_phases=4, n_alias=2)
+        if args.small else Mp3Params()
+    )
+    cache_configs = (
+        _parse_cache_configs(args.cache_config)
+        if args.cache_config else ((8 * 1024, 4 * 1024),)
+    )
+    points = mp3_design_points(
+        params, n_frames=args.frames, seed=args.seed,
+        cache_configs=cache_configs,
+    )
+    result = explore(points, workers=args.workers)
+    out.write(
+        "Explored %d design points in %.2f s (workers=%d)\n\n"
+        % (len(result), result.total_seconds, result.workers)
+    )
+    out.write("%-4s %-18s %14s %9s\n"
+              % ("rank", "design point", "est. cycles", "HW units"))
+    for rank, point_result in enumerate(result.ranked(), start=1):
+        out.write("%-4d %-18s %14d %9d\n" % (
+            rank, point_result.point.name, point_result.makespan_cycles,
+            point_result.point.area,
+        ))
+    front = result.pareto_front()
+    out.write("\nPareto front (cycles vs HW units): %s\n"
+              % " / ".join(r.point.name for r in front))
+    if args.cache_stats:
+        _write_cache_stats(out)
+    return 0
+
+
 def cmd_pum(args, out):
     if args.name.endswith(".json"):
         pum = load_pum(args.name)
@@ -191,8 +266,28 @@ def build_parser():
     p_est.add_argument("source", help="CMini source file")
     p_est.add_argument("-v", "--verbose", action="store_true",
                        help="print the annotated CDFG")
+    p_est.add_argument("--cache-stats", action="store_true",
+                       help="print schedule-cache hit/miss/entry counters")
     _add_pum_options(p_est)
     p_est.set_defaults(func=cmd_estimate)
+
+    p_exp = sub.add_parser("explore", help="sweep the MP3 design space with "
+                                           "timed TLMs and rank the points")
+    p_exp.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="evaluate points on an N-process pool "
+                            "(default: 1 = sequential)")
+    p_exp.add_argument("--frames", type=int, default=1,
+                       help="MP3 frames decoded per point (default: 1)")
+    p_exp.add_argument("--seed", type=int, default=7,
+                       help="workload seed (default: 7)")
+    p_exp.add_argument("--cache-config", action="append", metavar="I:D",
+                       help="i-cache:d-cache sizes in bytes; repeatable "
+                            "(default: 8192:4096)")
+    p_exp.add_argument("--small", action="store_true",
+                       help="use a reduced MP3 parameter set (fast smoke)")
+    p_exp.add_argument("--cache-stats", action="store_true",
+                       help="print schedule-cache hit/miss/entry counters")
+    p_exp.set_defaults(func=cmd_explore)
 
     p_run = sub.add_parser("run", help="execute a program")
     p_run.add_argument("source", help="CMini source file")

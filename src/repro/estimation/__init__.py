@@ -15,12 +15,26 @@ from .levels import (
     make_estimator,
 )
 from .profiler import ProgramProfile, profile_program
+from .schedcache import (
+    CacheStats,
+    ScheduleCache,
+    default_cache,
+    dfg_structural_hash,
+    reset_default_cache,
+    save_default_cache,
+)
 from .scheduler import OptimisticScheduler, ScheduleResult, SchedulingError
 
 __all__ = [
     "AnnotationReport",
+    "CacheStats",
     "DETAIL_LEVELS",
     "DelayEstimator",
+    "ScheduleCache",
+    "default_cache",
+    "dfg_structural_hash",
+    "reset_default_cache",
+    "save_default_cache",
     "LatencyTableEstimator",
     "OpCountEstimator",
     "OptimisticScheduler",

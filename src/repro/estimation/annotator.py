@@ -38,9 +38,14 @@ class AnnotationReport:
         )
 
 
-def annotate_function(func, pum, estimator=None):
-    """Annotate every block of ``func``; returns {label: delay}."""
-    estimator = estimator or DelayEstimator(pum)
+def annotate_function(func, pum, estimator=None, cache=None):
+    """Annotate every block of ``func``; returns {label: delay}.
+
+    ``cache`` selects the schedule memo when no ``estimator`` is given
+    (``None`` = process default, ``False`` = off, or a
+    :class:`~repro.estimation.schedcache.ScheduleCache`).
+    """
+    estimator = estimator or DelayEstimator(pum, cache=cache)
     delays = {}
     for block in func.blocks:
         block.delay = estimator.block_delay(block)
@@ -48,18 +53,25 @@ def annotate_function(func, pum, estimator=None):
     return delays
 
 
-def annotate_ir_program(ir_program, pum, functions=None):
+def annotate_ir_program(ir_program, pum, functions=None, cache=None):
     """Annotate (a subset of) a program's functions for one PUM.
 
     Args:
         ir_program: the lowered program.
         pum: target :class:`~repro.pum.model.PUM`.
         functions: iterable of function names; defaults to all functions.
+        cache: schedule memo selector — ``None`` (process default),
+            ``False`` (recompute every schedule) or a
+            :class:`~repro.estimation.schedcache.ScheduleCache` instance.
 
     Returns:
         an :class:`AnnotationReport`.
+
+    Timing note: ``seconds`` is measured with ``time.perf_counter()`` (a
+    monotonic, high-resolution clock) because annotation times are
+    sub-second and feed Table 1 directly.
     """
-    estimator = DelayEstimator(pum)
+    estimator = DelayEstimator(pum, cache=cache)
     names = list(functions) if functions is not None else list(ir_program.functions)
     start = time.perf_counter()
     n_blocks = 0

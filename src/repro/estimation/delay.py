@@ -37,12 +37,18 @@ class DelayEstimator:
         pum,
         pipeline_fill_correction=True,
         penalize_all_blocks=False,
+        cache=None,
     ):
         self.pum = pum
-        self.scheduler = OptimisticScheduler(pum)
+        self.scheduler = OptimisticScheduler(pum, cache=cache)
         self.pipeline_fill_correction = pipeline_fill_correction
         self.penalize_all_blocks = penalize_all_blocks
         self._pipeline_depth = max(p.n_stages for p in pum.pipelines)
+
+    @property
+    def cache_stats(self):
+        """Schedule-cache counters (``None`` when memoization is off)."""
+        return self.scheduler.cache_stats
 
     # -- public API ----------------------------------------------------------
 

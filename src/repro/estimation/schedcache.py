@@ -1,0 +1,262 @@
+"""Structural schedule memoization — the estimation fast path.
+
+Algorithm 1 re-simulates the PE pipeline for every basic block of every
+annotation run, yet across a benchmark matrix (4 MP3 mappings × 5 cache
+configurations × ablations) the *same* blocks are scheduled against the
+*same* processing-unit models dozens of times.  This module caches one
+:class:`~repro.estimation.scheduler.ScheduleResult` per
+
+``(pum_fingerprint, dfg_structural_hash)``
+
+where
+
+* the **PUM fingerprint** (:func:`repro.pum.pum_fingerprint`) digests the
+  execution/datapath/branch/memory model but not the configured cache sizes
+  (Algorithm 1 never reads them), and
+* the **structural DFG hash** digests the block's operation classes plus the
+  dependency shape — op *indices*, never temp or variable names — so two
+  blocks that are the same computation modulo renaming share one entry.
+
+The cache is a bounded in-memory LRU with hit/miss/stored/evicted counters
+(:class:`CacheStats`) and an optional JSON on-disk form for cross-run reuse.
+
+Environment knobs (see docs/performance.md):
+
+* ``REPRO_SCHED_CACHE=0`` (also ``off``/``false``/``no``) disables the
+  process-wide default cache entirely — every schedule is recomputed.
+* ``REPRO_SCHED_CACHE_FILE=<path>`` backs the default cache with a JSON
+  file: warmed from it at first use, written back by
+  :func:`save_default_cache` (the CLI does this after ``estimate``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+
+#: Cache-format version for the on-disk JSON form.
+DISK_FORMAT_VERSION = 1
+
+#: Default LRU capacity — a full MP3-decoder annotation needs a few hundred
+#: entries, so this comfortably holds many applications at ~100 B/entry.
+DEFAULT_MAX_ENTRIES = 100_000
+
+_FALSEY = ("0", "off", "false", "no")
+
+
+def dfg_structural_hash(dfg):
+    """Canonical digest of a block DFG's structure.
+
+    Covers exactly the inputs of Algorithm 1: the operation class of every
+    op (which selects the mapping-table row and the per-stage latencies) and
+    the dependency edges between op indices (which gate demand stages and
+    the scheduling-policy priorities).  Temp ids, variable names, literal
+    values and source lines are deliberately ignored.
+    """
+    deps = dfg.deps
+    ops = dfg.block.ops
+    parts = []
+    for i, op in enumerate(ops):
+        dep_set = deps[i]
+        parts.append(op.opclass)
+        parts.append(",".join(map(str, sorted(dep_set))))
+    digest = hashlib.blake2b(
+        "|".join(parts).encode("ascii"), digest_size=16
+    )
+    return digest.hexdigest()
+
+
+class CacheStats:
+    """Hit/miss/stored/evicted counters of one :class:`ScheduleCache`."""
+
+    __slots__ = ("hits", "misses", "stored", "evicted")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self.hits = 0
+        self.misses = 0
+        self.stored = 0
+        self.evicted = 0
+
+    @property
+    def lookups(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stored": self.stored,
+            "evicted": self.evicted,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self):
+        return "CacheStats(hits=%d, misses=%d, stored=%d, evicted=%d)" % (
+            self.hits, self.misses, self.stored, self.evicted,
+        )
+
+
+class ScheduleCache:
+    """Bounded LRU of schedule results keyed by (fingerprint, dfg hash).
+
+    Values are ``(delay, issue_cycles, finish_cycles)`` tuples — plain data,
+    JSON-serialisable for the on-disk form.  ``path`` (optional) names a
+    JSON file to warm from immediately; :meth:`save` writes back.
+    """
+
+    def __init__(self, max_entries=DEFAULT_MAX_ENTRIES, path=None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.path = path
+        self.stats = CacheStats()
+        self._entries = OrderedDict()
+        if path is not None and os.path.exists(path):
+            self.load(path)
+
+    # -- core LRU -----------------------------------------------------------
+
+    @staticmethod
+    def _key(fingerprint, dfg_hash):
+        return fingerprint + "/" + dfg_hash
+
+    def get(self, fingerprint, dfg_hash):
+        """The cached ``(delay, issue, finish)`` tuple, or ``None``."""
+        key = self._key(fingerprint, dfg_hash)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, fingerprint, dfg_hash, delay, issue_cycles, finish_cycles):
+        key = self._key(fingerprint, dfg_hash)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        while len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evicted += 1
+        self._entries[key] = (
+            delay, tuple(issue_cycles), tuple(finish_cycles),
+        )
+        self.stats.stored += 1
+
+    def clear(self):
+        self._entries.clear()
+        self.stats.reset()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key_pair):
+        return self._key(*key_pair) in self._entries
+
+    def __repr__(self):
+        return "ScheduleCache(%d/%d entries, %r)" % (
+            len(self._entries), self.max_entries, self.stats,
+        )
+
+    # -- disk form ----------------------------------------------------------
+
+    def save(self, path=None):
+        """Write the cache as JSON to ``path`` (default: ``self.path``)."""
+        path = path or self.path
+        if path is None:
+            raise ValueError("no path given and cache has no backing file")
+        data = {
+            "version": DISK_FORMAT_VERSION,
+            "entries": {
+                key: [delay, list(issue), list(finish)]
+                for key, (delay, issue, finish) in self._entries.items()
+            },
+        }
+        with open(path, "w") as handle:
+            json.dump(data, handle)
+        return path
+
+    def load(self, path=None):
+        """Merge entries from a JSON file previously written by :meth:`save`.
+
+        Unknown versions and malformed files are ignored (a stale or corrupt
+        cache must never break an estimation run); returns the number of
+        entries merged.
+        """
+        path = path or self.path
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return 0
+        if not isinstance(data, dict) or data.get("version") != DISK_FORMAT_VERSION:
+            return 0
+        merged = 0
+        for key, value in data.get("entries", {}).items():
+            try:
+                delay, issue, finish = value
+            except (TypeError, ValueError):
+                continue
+            if key not in self._entries and len(self._entries) < self.max_entries:
+                self._entries[key] = (delay, tuple(issue), tuple(finish))
+                merged += 1
+        return merged
+
+
+# -- process-wide default cache ----------------------------------------------
+
+_default_cache = None
+_default_initialized = False
+
+
+def cache_enabled():
+    """False when ``REPRO_SCHED_CACHE`` opts out of the default cache."""
+    return os.environ.get("REPRO_SCHED_CACHE", "1").strip().lower() not in _FALSEY
+
+
+def default_cache():
+    """The process-wide schedule cache, or ``None`` when opted out.
+
+    Created lazily on first use; honours ``REPRO_SCHED_CACHE`` and
+    ``REPRO_SCHED_CACHE_FILE`` at creation time (use
+    :func:`reset_default_cache` to re-read the environment, e.g. in tests).
+    """
+    global _default_cache, _default_initialized
+    if not _default_initialized:
+        _default_cache = (
+            ScheduleCache(path=os.environ.get("REPRO_SCHED_CACHE_FILE"))
+            if cache_enabled()
+            else None
+        )
+        _default_initialized = True
+    return _default_cache
+
+
+def save_default_cache():
+    """Persist the default cache to its backing file, if it has one.
+
+    Returns the path written, or ``None`` when the cache is disabled or has
+    no ``REPRO_SCHED_CACHE_FILE`` backing file.
+    """
+    cache = default_cache()
+    if cache is None or cache.path is None:
+        return None
+    return cache.save()
+
+
+def reset_default_cache():
+    """Drop the default cache so the next use re-reads the environment."""
+    global _default_cache, _default_initialized
+    _default_cache = None
+    _default_initialized = False

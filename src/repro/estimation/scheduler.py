@@ -21,11 +21,23 @@ Faithful to the paper's pseudocode:
 Structural hazards are honoured through the usage tables: an operation
 occupies one functional unit of the mapped kind while it sits in the mapped
 stage, and units have finite ``quantity``.
+
+Two performance layers sit on top of the faithful simulation:
+
+* the per-cycle loop works on flat per-op lookup tables (demand/commit
+  stages, per-stage latencies and unit kinds) precomputed once per operation
+  class, instead of chasing the mapping/usage dicts every cycle; and
+* results are memoized in a :class:`~repro.estimation.schedcache.ScheduleCache`
+  keyed by ``(PUM fingerprint, structural DFG hash)``, so re-annotating the
+  same code on the same PE — or on the same PE with different cache sizes —
+  skips the pipeline simulation entirely (see docs/performance.md).
 """
 
 from __future__ import annotations
 
 from ..cdfg.dfg import build_block_dfg
+from ..pum.loader import pum_fingerprint
+from .schedcache import default_cache, dfg_structural_hash
 
 
 class SchedulingError(Exception):
@@ -73,11 +85,32 @@ class ScheduleResult:
 
 
 class OptimisticScheduler:
-    """Schedules basic-block DFGs on a PUM (paper Algorithm 1)."""
+    """Schedules basic-block DFGs on a PUM (paper Algorithm 1).
 
-    def __init__(self, pum):
+    ``cache`` selects the schedule memo: ``None`` (default) uses the
+    process-wide :func:`~repro.estimation.schedcache.default_cache`;
+    ``False`` disables memoization for this scheduler; any
+    :class:`~repro.estimation.schedcache.ScheduleCache` instance is used
+    as-is.
+    """
+
+    def __init__(self, pum, cache=None):
         self.pum = pum
         self._fu_quantity = {unit.kind: unit.quantity for unit in pum.units}
+        self._max_stages = max(p.n_stages for p in pum.pipelines)
+        self._max_unit_latency = max(
+            (delay for unit in pum.units for delay in unit.modes.values()),
+            default=1,
+        )
+        self._opinfo_cache = {}
+        self._svc_cache = {}
+        if cache is False:
+            self.cache = None
+        elif cache is None:
+            self.cache = default_cache()
+        else:
+            self.cache = cache
+        self.fingerprint = pum_fingerprint(pum) if self.cache is not None else None
 
     # -- public API ----------------------------------------------------------
 
@@ -89,11 +122,73 @@ class OptimisticScheduler:
         """
         if dfg is None:
             dfg = build_block_dfg(block)
-        return self._simulate(dfg)
+        return self.schedule_dfg(dfg)
 
     def schedule_dfg(self, dfg):
-        """Schedule a prebuilt block DFG."""
-        return self._simulate(dfg)
+        """Schedule a prebuilt block DFG (memoized when a cache is active)."""
+        cache = self.cache
+        if cache is None or not dfg.deps:
+            return self._simulate(dfg)
+        dfg_hash = dfg_structural_hash(dfg)
+        entry = cache.get(self.fingerprint, dfg_hash)
+        if entry is not None:
+            delay, issue, finish = entry
+            return ScheduleResult(delay, list(issue), list(finish))
+        result = self._simulate(dfg)
+        cache.put(
+            self.fingerprint, dfg_hash,
+            result.delay, result.issue_cycle, result.finish_cycle,
+        )
+        return result
+
+    @property
+    def cache_stats(self):
+        """The active cache's :class:`CacheStats`, or ``None`` when off."""
+        return self.cache.stats if self.cache is not None else None
+
+    # -- per-opclass lookup tables -------------------------------------------
+
+    def _opinfo(self, opclass):
+        """``(demand_stage, commit_stage, fu_by_stage, latency_by_stage)``.
+
+        The two per-stage tuples flatten the mapping's usage table so the
+        cycle loop replaces dict/method lookups with indexed loads.
+        """
+        info = self._opinfo_cache.get(opclass)
+        if info is None:
+            pum = self.pum
+            mapping = pum.execution.mapping_for(opclass)
+            fu_kinds = []
+            latencies = []
+            for stage in range(self._max_stages):
+                usage = mapping.usage.get(stage)
+                if usage is None:
+                    fu_kinds.append(None)
+                    latencies.append(1)
+                else:
+                    fu_kinds.append(usage[0])
+                    latencies.append(pum.unit(usage[0]).delay(usage[1]))
+            info = (
+                mapping.demand_stage,
+                mapping.commit_stage,
+                tuple(fu_kinds),
+                tuple(latencies),
+            )
+            self._opinfo_cache[opclass] = info
+        return info
+
+    def _service_latency(self, opclass):
+        """Memoized :meth:`~repro.pum.model.PUM.service_latency` per class."""
+        value = self._svc_cache.get(opclass)
+        if value is None:
+            pum = self.pum
+            mapping = pum.execution.mapping_for(opclass)
+            total = 0
+            for _stage, (fu_kind, mode) in mapping.usage.items():
+                total += pum.unit(fu_kind).delay(mode)
+            value = max(total, 1)
+            self._svc_cache[opclass] = value
+        return value
 
     # -- Algorithm 1 ---------------------------------------------------------
 
@@ -103,29 +198,31 @@ class OptimisticScheduler:
         if n_ops == 0:
             return ScheduleResult(0, [], [])
 
-        pum = self.pum
-        mappings = [pum.execution.mapping_for(op.opclass) for op in ops]
-        priorities = self._priorities(dfg)
+        opclasses = [op.opclass for op in ops]
+        infos = [self._opinfo(opclass) for opclass in opclasses]
+        demand_stage = [info[0] for info in infos]
+        commit_stage = [info[1] for info in infos]
+        fu_by_stage = [info[2] for info in infos]
+        lat_by_stage = [info[3] for info in infos]
+        deps = dfg.deps
+        priorities = self._priorities(dfg, opclasses)
 
-        pipelines = [_PipelineState(p) for p in pum.pipelines]
+        pipelines = [_PipelineState(p) for p in self.pum.pipelines]
         done = set()
         committed = set()
         assigned = set()  # ops fetched into some pipeline (c_set ∪ done)
-        remaining = list(range(n_ops))  # r_set, kept policy-ordered
-        remaining.sort(key=lambda i: priorities[i])
-        fu_busy = {kind: 0 for kind in self._fu_quantity}
+        remaining = sorted(range(n_ops), key=priorities.__getitem__)
+        fu_busy = dict.fromkeys(self._fu_quantity, 0)
         issue_cycle = [None] * n_ops
         finish_cycle = [None] * n_ops
 
         delay = 0
         # Generous progress bound: every op can occupy every stage for its
         # worst-case latency plus full drain; anything beyond is a bug.
-        max_latency = max(
-            (u_delay for unit in pum.units for u_delay in unit.modes.values()),
-            default=1,
+        budget = (
+            (n_ops + 1) * (self._max_unit_latency + 1) * (self._max_stages + 1)
+            + 64
         )
-        max_stages = max(p.n_stages for p in pum.pipelines)
-        budget = (n_ops + 1) * (max_latency + 1) * (max_stages + 1) + 64
 
         while len(done) != n_ops:
             if delay > budget:
@@ -135,26 +232,36 @@ class OptimisticScheduler:
                 )
             for state in pipelines:
                 retired = self._advclock(
-                    state, ops, mappings, dfg, done, committed, fu_busy,
-                    finish_cycle, delay,
+                    state, deps, commit_stage, demand_stage, fu_by_stage,
+                    lat_by_stage, committed, fu_busy, finish_cycle, delay,
                 )
                 done |= retired
             for state in pipelines:
                 self._assign_ops(
-                    state, ops, mappings, dfg, remaining, assigned, committed,
-                    fu_busy, issue_cycle, delay,
+                    state, deps, demand_stage, fu_by_stage, lat_by_stage,
+                    remaining, assigned, committed, fu_busy, issue_cycle,
+                    delay,
                 )
             delay += 1
         return ScheduleResult(delay, issue_cycle, finish_cycle)
 
-    def _priorities(self, dfg):
+    def _priorities(self, dfg, opclasses):
         """Policy-specific sort keys (smaller = scheduled earlier)."""
         policy = self.pum.execution.policy
-        n_ops = len(dfg.block.ops)
+        n_ops = len(opclasses)
         if policy == "asap":
             return list(range(n_ops))
-        latency = self.pum.service_latency
-        depths = dfg.all_depths(latency)
+        # Bottom-up depths with memoized per-class service latencies
+        # (equivalent to dfg.all_depths(pum.service_latency)).
+        latencies = [self._service_latency(opclass) for opclass in opclasses]
+        succs = dfg.succs
+        depths = [0] * n_ops
+        for i in range(n_ops - 1, -1, -1):
+            best = 0
+            for j in succs[i]:
+                if depths[j] > best:
+                    best = depths[j]
+            depths[i] = best + latencies[i]
         if policy == "list":
             # Deepest remaining path first; ties broken by program order.
             return [(-depths[i], i) for i in range(n_ops)]
@@ -163,8 +270,8 @@ class OptimisticScheduler:
         return [(critical - depths[i], i) for i in range(n_ops)]
 
     def _advclock(
-        self, state, ops, mappings, dfg, done, committed, fu_busy,
-        finish_cycle, now,
+        self, state, deps, commit_stage, demand_stage, fu_by_stage,
+        lat_by_stage, committed, fu_busy, finish_cycle, now,
     ):
         """Advance one pipeline by one clock; returns ops retiring this cycle.
 
@@ -173,46 +280,58 @@ class OptimisticScheduler:
         (a normal pipeline shift).
         """
         retired = set()
+        stages = state.stages
         n_stages = state.pipeline.n_stages
-        for stage_idx in range(n_stages - 1, -1, -1):
-            slots = state.stages[stage_idx]
-            kept = []
+        last_stage = n_stages - 1
+        for stage_idx in range(last_stage, -1, -1):
+            slots = stages[stage_idx]
+            if not slots:
+                continue
+            # Tick every counter first; when no slot is ready to leave the
+            # stage (the common case while a long-latency unit is busy) the
+            # occupancy list is untouched — no per-cycle rebuild.
+            any_ready = False
             for slot in slots:
                 if slot.remaining > 0:
                     slot.remaining -= 1
+                if slot.remaining <= 0:
+                    any_ready = True
+            if not any_ready:
+                continue
+            kept = []
+            for slot in slots:
                 if slot.remaining > 0:
                     kept.append(slot)
                     continue
-                mapping = mappings[slot.index]
-                if stage_idx >= mapping.commit_stage:
-                    committed.add(slot.index)
-                if stage_idx == n_stages - 1:
-                    retired.add(slot.index)
-                    finish_cycle[slot.index] = now
+                index = slot.index
+                if stage_idx >= commit_stage[index]:
+                    committed.add(index)
+                if stage_idx == last_stage:
+                    retired.add(index)
+                    finish_cycle[index] = now
                     self._release_fu(slot, fu_busy)
                     continue
                 moved = self._try_advance(
-                    state, slot, stage_idx + 1, ops, mappings, dfg,
-                    committed, fu_busy,
+                    state, slot, stage_idx + 1, deps, demand_stage,
+                    fu_by_stage, lat_by_stage, committed, fu_busy,
                 )
                 if not moved:
                     kept.append(slot)  # stalls in place, holding its unit
-            state.stages[stage_idx] = kept
+            stages[stage_idx] = kept
         return retired
 
     def _try_advance(
-        self, state, slot, next_stage, ops, mappings, dfg, committed, fu_busy,
+        self, state, slot, next_stage, deps, demand_stage, fu_by_stage,
+        lat_by_stage, committed, fu_busy,
     ):
         op_index = slot.index
-        mapping = mappings[op_index]
         if not state.stage_has_room(next_stage):
             return False
-        if next_stage == mapping.demand_stage:
-            if not dfg.deps[op_index] <= committed:
+        if next_stage == demand_stage[op_index]:
+            if not deps[op_index] <= committed:
                 return False
-        usage = mapping.usage.get(next_stage)
-        if usage is not None:
-            fu_kind = usage[0]
+        fu_kind = fu_by_stage[op_index][next_stage]
+        if fu_kind is not None:
             # An op that already holds a unit of this kind keeps it.
             if (
                 fu_busy[fu_kind] >= self._fu_quantity[fu_kind]
@@ -221,10 +340,10 @@ class OptimisticScheduler:
                 return False
         self._release_fu(slot, fu_busy)
         slot.stage = next_stage
-        slot.remaining = self.pum.stage_latency(ops[op_index], next_stage)
-        slot.fu_kind = usage[0] if usage is not None else None
-        if slot.fu_kind is not None:
-            fu_busy[slot.fu_kind] += 1
+        slot.remaining = lat_by_stage[op_index][next_stage]
+        slot.fu_kind = fu_kind
+        if fu_kind is not None:
+            fu_busy[fu_kind] += 1
         state.stages[next_stage].append(slot)
         return True
 
@@ -235,8 +354,8 @@ class OptimisticScheduler:
             slot.fu_kind = None
 
     def _assign_ops(
-        self, state, ops, mappings, dfg, remaining, assigned, committed,
-        fu_busy, issue_cycle, now,
+        self, state, deps, demand_stage, fu_by_stage, lat_by_stage,
+        remaining, assigned, committed, fu_busy, issue_cycle, now,
     ):
         """Fill the pipeline's first stage from the remaining set.
 
@@ -245,30 +364,26 @@ class OptimisticScheduler:
         pipelines deadlock-free (the front-most op's inputs are always ahead
         of it or already committed).
         """
-        if not remaining:
+        if not remaining or not state.stage_has_room(0):
             return
+        fu_quantity = self._fu_quantity
+        stage_zero = state.stages[0]
         taken = []
         for op_index in remaining:
             if not state.stage_has_room(0):
                 break
-            deps = dfg.deps[op_index]
-            if any(d not in assigned for d in deps):
+            op_deps = deps[op_index]
+            if not op_deps <= assigned:
                 continue
-            mapping = mappings[op_index]
-            if mapping.demand_stage == 0 and not deps <= committed:
+            if demand_stage[op_index] == 0 and not op_deps <= committed:
                 continue
-            usage = mapping.usage.get(0)
-            fu_kind = None
-            if usage is not None:
-                fu_kind = usage[0]
-                if fu_busy[fu_kind] >= self._fu_quantity[fu_kind]:
-                    continue
-            slot = _Slot(
-                op_index, 0, self.pum.stage_latency(ops[op_index], 0), fu_kind
-            )
+            fu_kind = fu_by_stage[op_index][0]
+            if fu_kind is not None and fu_busy[fu_kind] >= fu_quantity[fu_kind]:
+                continue
+            slot = _Slot(op_index, 0, lat_by_stage[op_index][0], fu_kind)
             if fu_kind is not None:
                 fu_busy[fu_kind] += 1
-            state.stages[0].append(slot)
+            stage_zero.append(slot)
             assigned.add(op_index)
             issue_cycle[op_index] = now
             taken.append(op_index)

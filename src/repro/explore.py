@@ -9,10 +9,16 @@ optional constraints.
 
 Evaluation cost is seconds per point (Table 1), so exhaustive sweeps of
 dozens of points are practical where ISS/RTL evaluation would take days.
+Points are independent, so :func:`explore` can fan them out over a
+``concurrent.futures`` process pool (``workers=N``); results come back in
+submission order regardless of completion order, so rankings are
+deterministic (see docs/performance.md).
 """
 
 from __future__ import annotations
 
+import concurrent.futures
+import multiprocessing
 import time
 
 from .tlm.generator import generate_tlm
@@ -40,17 +46,28 @@ class DesignPoint:
 
 
 class PointResult:
-    """Evaluation outcome of one design point."""
+    """Evaluation outcome of one design point.
+
+    ``tlm_result`` is the full simulation outcome when the point was
+    evaluated in-process; points evaluated in a worker process carry only
+    the cycle summary (``tlm_result is None``), since simulation state does
+    not cross the process boundary.
+    """
 
     __slots__ = ("point", "makespan_cycles", "per_process_cycles",
                  "wall_seconds", "tlm_result")
 
-    def __init__(self, point, tlm_result, wall_seconds):
+    def __init__(self, point, tlm_result=None, wall_seconds=0.0,
+                 makespan_cycles=None, per_process_cycles=None):
         self.point = point
-        self.makespan_cycles = tlm_result.makespan_cycles
-        self.per_process_cycles = {
-            name: p.cycles for name, p in tlm_result.processes.items()
-        }
+        if tlm_result is not None:
+            self.makespan_cycles = tlm_result.makespan_cycles
+            self.per_process_cycles = {
+                name: p.cycles for name, p in tlm_result.processes.items()
+            }
+        else:
+            self.makespan_cycles = makespan_cycles
+            self.per_process_cycles = dict(per_process_cycles or {})
         self.wall_seconds = wall_seconds
         self.tlm_result = tlm_result
 
@@ -63,9 +80,10 @@ class PointResult:
 class ExplorationResult:
     """All evaluated points plus ranking helpers."""
 
-    def __init__(self, results, total_seconds):
+    def __init__(self, results, total_seconds, workers=1):
         self.results = list(results)
         self.total_seconds = total_seconds
+        self.workers = workers
 
     def ranked(self, objective=None):
         """Points sorted best-first by ``objective(result)`` (default:
@@ -102,17 +120,91 @@ class ExplorationResult:
         return len(self.results)
 
 
-def explore(points, granularity="transaction"):
+# Pre-fork hand-off to worker processes.  Design-point builders are
+# closures (not picklable), so the parallel path relies on fork semantics:
+# the parent publishes the point list here, forked children inherit it, and
+# only integer indices cross the process boundary.
+_fork_payload = {}
+
+
+def _evaluate_point_index(index):
+    """Worker-side evaluation of one design point (runs in a forked child)."""
+    point = _fork_payload["points"][index]
+    granularity = _fork_payload["granularity"]
+    design = point.build()
+    model = generate_tlm(design, timed=True, granularity=granularity)
+    wall_start = time.perf_counter()
+    tlm_result = model.run()
+    wall = time.perf_counter() - wall_start
+    per_process = {
+        name: p.cycles for name, p in tlm_result.processes.items()
+    }
+    return index, tlm_result.makespan_cycles, per_process, wall
+
+
+def _explore_parallel(points, granularity, workers):
+    """Fan the points out over a process pool; ``None`` = not available.
+
+    Requires the ``fork`` start method (closure-based builders cannot be
+    pickled for ``spawn``); callers fall back to the sequential path when it
+    is missing or the pool cannot be created.
+    """
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+    _fork_payload["points"] = points
+    _fork_payload["granularity"] = granularity
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(points)),
+            mp_context=mp_context,
+        ) as pool:
+            payloads = list(
+                pool.map(_evaluate_point_index, range(len(points)))
+            )
+    except (OSError, PermissionError, NotImplementedError):
+        return None
+    finally:
+        _fork_payload.clear()
+    # Deterministic ordering: results in submission (= input) order.
+    return sorted(payloads, key=lambda payload: payload[0])
+
+
+def explore(points, granularity="transaction", workers=1):
     """Evaluate every design point with a timed TLM.
 
     Args:
         points: iterable of :class:`DesignPoint`.
         granularity: sc_wait batching granularity for the TLM runs.
+        workers: process-pool width.  ``1`` (the default) evaluates
+            sequentially in-process — behaviour identical to earlier
+            releases; ``N > 1`` evaluates up to N points concurrently in
+            forked workers, falling back to the sequential path on
+            platforms without ``fork``.  Either way the result list is in
+            input order and every cycle count is identical (simulation is
+            deterministic), so rankings do not depend on ``workers``.
 
     Returns:
         an :class:`ExplorationResult`.
     """
+    points = list(points)
     start = time.perf_counter()
+    if workers > 1 and len(points) > 1:
+        payloads = _explore_parallel(points, granularity, workers)
+        if payloads is not None:
+            results = [
+                PointResult(
+                    points[index],
+                    wall_seconds=wall,
+                    makespan_cycles=makespan,
+                    per_process_cycles=per_process,
+                )
+                for index, makespan, per_process, wall in payloads
+            ]
+            return ExplorationResult(
+                results, time.perf_counter() - start, workers=workers,
+            )
     results = []
     for point in points:
         design = point.build()

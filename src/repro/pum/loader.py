@@ -6,6 +6,7 @@ graphical platform capture of the paper's ESE front-end would emit.
 
 from __future__ import annotations
 
+import hashlib
 import json
 
 from .model import (
@@ -112,6 +113,24 @@ def pum_from_dict(data):
         dcache_size=data.get("dcache_size", 0),
         frequency_mhz=data.get("frequency_mhz", 100.0),
     )
+
+
+def pum_fingerprint(pum):
+    """Stable digest of the PUM's execution/datapath/branch/memory model.
+
+    The configured I/D cache *sizes* are excluded: Algorithm 1 never reads
+    them (cache effects enter only through Algorithm 2's statistical terms),
+    so one fingerprint covers every cache configuration of the same PE and a
+    schedule computed at 8k/4k can be reused at 2k/2k.  Any change to the
+    scheduling policy, operation mapping table, functional units, pipelines,
+    or the statistical branch/memory models changes the fingerprint and
+    therefore invalidates cached schedules (see docs/performance.md).
+    """
+    data = pum_to_dict(pum)
+    data.pop("icache_size", None)
+    data.pop("dcache_size", None)
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
 
 
 def pum_to_json(pum, indent=2):

@@ -69,6 +69,50 @@ class TestEstimate:
         assert total(small) > total(big)
 
 
+class TestCacheStats:
+    def test_estimate_cache_stats(self, source_file):
+        code, text = run_cli(["estimate", source_file, "--cache-stats"])
+        assert code == 0
+        assert "schedule cache:" in text
+        assert "misses" in text and "entries" in text
+
+    def test_estimate_cache_stats_disabled(self, source_file, monkeypatch):
+        from repro.estimation import schedcache
+
+        monkeypatch.setenv("REPRO_SCHED_CACHE", "0")
+        schedcache.reset_default_cache()
+        try:
+            code, text = run_cli(["estimate", source_file, "--cache-stats"])
+        finally:
+            schedcache.reset_default_cache()
+        assert code == 0
+        assert "schedule cache: disabled" in text
+
+
+class TestExplore:
+    def test_explore_small_sweep(self):
+        code, text = run_cli([
+            "explore", "--small", "--cache-config", "2048:2048",
+        ])
+        assert code == 0
+        assert "Explored 4 design points" in text
+        assert "workers=1" in text
+        assert "Pareto front" in text
+        assert "SW+4@2k/2k" in text
+
+    def test_explore_parallel_workers(self):
+        code, text = run_cli([
+            "explore", "--small", "--workers", "2",
+            "--cache-config", "2048:2048",
+        ])
+        assert code == 0
+        assert "Explored 4 design points" in text
+
+    def test_explore_bad_cache_config(self):
+        with pytest.raises(SystemExit):
+            run_cli(["explore", "--small", "--cache-config", "bogus"])
+
+
 class TestRun:
     def test_run_interpreter(self, source_file):
         code, text = run_cli(["run", source_file, "5"])

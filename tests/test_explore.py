@@ -76,6 +76,45 @@ class TestExplore:
         assert names == {"fast", "cheap"}
 
 
+class TestParallelExplore:
+    def _points(self):
+        return [
+            DesignPoint("large", _loop_design(400, "large"), area=2),
+            DesignPoint("small", _loop_design(40, "small"), area=1),
+            DesignPoint("medium", _loop_design(150, "medium"), area=1),
+        ]
+
+    def test_parallel_matches_sequential(self):
+        sequential = explore(self._points(), workers=1)
+        parallel = explore(self._points(), workers=3)
+        assert parallel.workers in (1, 3)  # 1 only on fork-less platforms
+        assert (
+            [(r.point.name, r.makespan_cycles) for r in sequential.results]
+            == [(r.point.name, r.makespan_cycles) for r in parallel.results]
+        )
+        assert (
+            [r.point.name for r in sequential.ranked()]
+            == [r.point.name for r in parallel.ranked()]
+        )
+
+    def test_parallel_results_keep_input_order(self):
+        result = explore(self._points(), workers=2)
+        assert [r.point.name for r in result.results] == [
+            "large", "small", "medium",
+        ]
+        assert all(r.makespan_cycles > 0 for r in result.results)
+        assert all(r.per_process_cycles for r in result.results)
+
+    def test_workers_capped_by_point_count(self):
+        result = explore(self._points()[:2], workers=16)
+        assert len(result) == 2
+
+    def test_sequential_keeps_tlm_result(self):
+        sequential = explore(self._points()[:1], workers=1)
+        assert sequential.results[0].tlm_result is not None
+        assert sequential.workers == 1
+
+
 class TestMp3Points:
     def test_point_grid(self):
         points = mp3_design_points(
