@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     python -m repro disasm app.cmini
     python -m repro pum microblaze
     python -m repro explore --workers 4 --frames 1
+    python -m repro simulate design.json --kernel-stats
 
 Subcommands:
 
@@ -25,6 +26,10 @@ Subcommands:
     Compile to the R32 ISA and print the disassembly.
 ``pum``
     Print a preset PUM (or one loaded from JSON) as JSON.
+``tlm`` / ``simulate``
+    Generate and run a TLM from a design JSON file.  ``--engine`` picks the
+    scheduler backend, ``--granularity``/``--quantum`` control wait
+    batching, and ``--kernel-stats`` prints the scheduler counters.
 """
 
 from __future__ import annotations
@@ -172,7 +177,9 @@ def cmd_tlm(args, out):
 
     design = load_design(args.design)
     model = generate_tlm(
-        design, timed=not args.functional, granularity=args.granularity
+        design, timed=not args.functional, granularity=args.granularity,
+        engine=args.engine, optimize=not args.no_optimize,
+        quantum=args.quantum,
     )
     result = model.run()
     out.write("Design %r (%s TLM): makespan %d cycles, simulated in %.3f s\n"
@@ -186,7 +193,20 @@ def cmd_tlm(args, out):
                 process.transactions, process.return_value,
             )
         )
+    if args.kernel_stats:
+        _write_kernel_stats(out, result.kernel_stats)
     return 0
+
+
+def _write_kernel_stats(out, stats):
+    out.write(
+        "kernel: engine=%s  %d activations, %d events scheduled, "
+        "%d channel fast-path hits\n" % (
+            stats.get("engine", "?"), stats.get("activations", 0),
+            stats.get("events_scheduled", 0),
+            stats.get("channel_fastpath_hits", 0),
+        )
+    )
 
 
 def _parse_cache_configs(specs):
@@ -322,13 +342,28 @@ def build_parser():
     p_pum.add_argument("name", help="preset name or .json path")
     p_pum.set_defaults(func=cmd_pum)
 
-    p_tlm = sub.add_parser("tlm", help="generate and simulate a TLM from a "
-                                       "design JSON file")
+    p_tlm = sub.add_parser("tlm", aliases=["simulate"],
+                           help="generate and simulate a TLM from a "
+                                "design JSON file")
     p_tlm.add_argument("design", help="design .json (see repro.tlm.serialize)")
     p_tlm.add_argument("--functional", action="store_true",
                        help="untimed functional TLM (no annotation)")
-    p_tlm.add_argument("--granularity", choices=["transaction", "block"],
-                       default="transaction")
+    p_tlm.add_argument("--granularity",
+                       choices=["transaction", "block", "quantum"],
+                       default="transaction",
+                       help="when accumulated waits hit the kernel "
+                            "(default: transaction)")
+    p_tlm.add_argument("--quantum", type=int, default=None, metavar="N",
+                       help="waits coalesced per kernel event under "
+                            "--granularity quantum")
+    p_tlm.add_argument("--engine", choices=["coroutine", "thread"],
+                       default="coroutine",
+                       help="process scheduler backend (default: coroutine)")
+    p_tlm.add_argument("--no-optimize", action="store_true",
+                       help="emit unoptimized generated code (the "
+                            "equivalence baseline)")
+    p_tlm.add_argument("--kernel-stats", action="store_true",
+                       help="print scheduler activation/event counters")
     p_tlm.set_defaults(func=cmd_tlm)
 
     return parser

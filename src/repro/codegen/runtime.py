@@ -8,20 +8,35 @@ argument.  The context implements the paper's ``wait()`` accounting:
 * the accumulated delay is applied to the simulation kernel (``sc_wait`` in
   the paper) lazily, at inter-process transaction boundaries, because
   rescheduling the kernel per basic block would destroy simulation speed.
-  The granularity is user-controllable: ``"transaction"`` (default) or
-  ``"block"`` (sync on every block — the ablation baseline).
+  The granularity is user-controllable: ``"transaction"`` (default) syncs
+  only at communication points, ``"block"`` syncs on every block (the
+  ablation baseline), and ``"quantum"`` coalesces ``quantum`` accumulated
+  waits into one kernel event — a middle ground that bounds how far a
+  process's local time may run ahead without paying a kernel activation
+  per block.
 
 A context also works without any kernel attached ("standalone" mode): the
 generated code then simply accumulates ``total_cycles``, which is how the
 estimation engine produces a cycle count for a single-PE program without
 spinning up a TLM.
+
+Coroutine-emitted code cannot call the kernel from inside ``wait`` (the
+suspension must reach the trampoline through a ``yield``), so such contexts
+are constructed with ``defer_sync=True``: ``wait`` then *returns* True when
+a sync is due and the generated code performs ``yield from ctx.sync_gen()``
+itself.  The ``*_gen`` methods mirror ``sync``/``send``/``recv`` for
+generator-backed processes.
 """
 
 from __future__ import annotations
 
 from ..cdfg import cnum
 
-GRANULARITIES = ("transaction", "block")
+GRANULARITIES = ("transaction", "block", "quantum")
+
+#: Default number of accumulated waits coalesced per kernel event in
+#: ``"quantum"`` granularity.
+DEFAULT_QUANTUM = 64
 
 # Re-exported names the generated code refers to.
 c_div = cnum.c_div
@@ -39,18 +54,26 @@ class ProcessContext:
             ``recv(process, chan, count)``; usually a
             :class:`~repro.tlm.model.ChannelBinding`.  ``None`` for pure
             computations.
-        sim_process: the kernel :class:`~repro.simkernel.kernel.SimProcess`
-            this context belongs to, or ``None`` in standalone mode.
+        sim_process: the kernel process this context belongs to
+            (:class:`~repro.simkernel.kernel.SimProcess` or
+            :class:`~repro.simkernel.kernel.GeneratorProcess`), or ``None``
+            in standalone mode.
         granularity: when accumulated waits hit the kernel (see module doc).
+        quantum: waits coalesced per kernel event in ``"quantum"`` mode.
+        defer_sync: when True, ``wait`` never syncs itself; it returns True
+            when a sync is due so coroutine-emitted code can
+            ``yield from ctx.sync_gen()`` at the call site.
     """
 
     def __init__(self, name="proc", cycle_ns=10.0, comm=None,
                  sim_process=None, granularity="transaction",
-                 cpu_share=None):
+                 cpu_share=None, quantum=DEFAULT_QUANTUM, defer_sync=False):
         if granularity not in GRANULARITIES:
             raise ValueError(
                 "granularity must be one of %s" % (GRANULARITIES,)
             )
+        if granularity == "quantum" and quantum < 1:
+            raise ValueError("quantum must be >= 1")
         self.name = name
         self.cycle_ns = cycle_ns
         self.comm = comm
@@ -59,18 +82,38 @@ class ProcessContext:
         #: optional :class:`~repro.rtos.model.CPUShare` when this process
         #: shares its PE under an RTOS model
         self.cpu_share = cpu_share
+        self.quantum = quantum
         self.pending_cycles = 0
         self.total_cycles = 0
         self.n_transactions = 0
+        # 0 disables threshold syncing (transaction granularity).
+        if granularity == "block":
+            self._sync_threshold = 1
+        elif granularity == "quantum":
+            self._sync_threshold = int(quantum)
+        else:
+            self._sync_threshold = 0
+        self._pending_waits = 0
+        self._defer_sync = bool(defer_sync)
 
     # -- timing ------------------------------------------------------------
 
     def wait(self, cycles):
-        """Accumulate the estimated delay of one basic-block execution."""
+        """Accumulate the estimated delay of one basic-block execution.
+
+        Returns True when a sync is due but deferred to the caller
+        (coroutine mode); otherwise performs any due sync itself and
+        returns False.
+        """
         self.pending_cycles += cycles
         self.total_cycles += cycles
-        if self.granularity == "block":
-            self.sync()
+        if self._sync_threshold:
+            self._pending_waits += 1
+            if self._pending_waits >= self._sync_threshold:
+                if self._defer_sync:
+                    return True
+                self.sync()
+        return False
 
     def sync(self):
         """Apply accumulated delay to the simulation kernel (``sc_wait``).
@@ -87,6 +130,19 @@ class ProcessContext:
             else:
                 self.sim_process.wait(self.pending_cycles * self.cycle_ns)
         self.pending_cycles = 0
+        self._pending_waits = 0
+
+    def sync_gen(self):
+        """Generator twin of :meth:`sync` for generator-backed processes."""
+        if self.pending_cycles and self.sim_process is not None:
+            if self.cpu_share is not None:
+                yield from self.cpu_share.execute_gen(
+                    self.sim_process, self.name, self.pending_cycles
+                )
+            else:
+                yield self.pending_cycles * self.cycle_ns
+        self.pending_cycles = 0
+        self._pending_waits = 0
 
     # -- communication -------------------------------------------------------
 
@@ -109,3 +165,23 @@ class ProcessContext:
                 "process %r has no communication binding" % self.name
             )
         return self.comm.recv(self.sim_process, chan, count)
+
+    def send_gen(self, chan, values):
+        """Generator twin of :meth:`send` for generator-backed processes."""
+        yield from self.sync_gen()
+        self.n_transactions += 1
+        if self.comm is None:
+            raise RuntimeError(
+                "process %r has no communication binding" % self.name
+            )
+        yield from self.comm.send_gen(self.sim_process, chan, values)
+
+    def recv_gen(self, chan, count):
+        """Generator twin of :meth:`recv` for generator-backed processes."""
+        yield from self.sync_gen()
+        self.n_transactions += 1
+        if self.comm is None:
+            raise RuntimeError(
+                "process %r has no communication binding" % self.name
+            )
+        return (yield from self.comm.recv_gen(self.sim_process, chan, count))

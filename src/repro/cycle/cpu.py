@@ -25,7 +25,7 @@ the simulation kernel at transaction boundaries.
 from __future__ import annotations
 
 from ..cdfg import cnum
-from ..isa.isa import TIMING_CLASS
+from ..isa.isa import OPCODE_ID, TIMING_CLASS, opcode_ids
 from .branch import make_predictor
 from .caches import make_cache
 
@@ -44,6 +44,40 @@ OCCUPANCY = {
 
 DEFAULT_EXT_LATENCY = 22
 DEFAULT_BRANCH_PENALTY = 2
+
+#: timing classes backed by a non-pipelined unit (structural hazards)
+_UNIT_KLASSES = frozenset(["mul", "div", "falu", "fmul", "fdiv"])
+
+
+def _decode_image(instrs):
+    """Pre-decode an image for the cycle-accurate hot loop.
+
+    Per instruction: ``(code, rd, ra, rb, rc, ext, occupancy,
+    result_latency, unit_klass, brk)`` — numeric opcode, register fields,
+    immediate-or-branch-target ``ext``, the base OCCUPANCY/RESULT_LATENCY
+    values, the structural-hazard unit key (or ``None``), and ``brk``
+    (0 = not a redirect, 1 = conditional branch through the predictor,
+    2 = ``jr``'s unconditional redirect).
+    """
+    decoded = []
+    for instr in instrs:
+        op = instr.op
+        klass = TIMING_CLASS[op]
+        ext = instr.imm
+        brk = 0
+        if op in ("beqz", "bnez"):
+            ext = instr.target
+            brk = 1
+        elif op in ("j", "jal"):
+            ext = instr.target
+        elif op == "jr":
+            brk = 2
+        decoded.append((
+            OPCODE_ID[op], instr.rd, instr.ra, instr.rb, instr.rc, ext,
+            OCCUPANCY[klass], RESULT_LATENCY[klass],
+            klass if klass in _UNIT_KLASSES else None, brk,
+        ))
+    return tuple(decoded)
 
 
 class CPUEvent:
@@ -77,6 +111,11 @@ class CycleCPU:
                  branch_penalty=DEFAULT_BRANCH_PENALTY,
                  max_instrs=500_000_000):
         self.image = image
+        decoded = getattr(image, "_cycle_decoded", None)
+        if decoded is None or len(decoded) != len(image.instrs):
+            decoded = _decode_image(image.instrs)
+            image._cycle_decoded = decoded
+        self._decoded = decoded
         self.memory = image.fresh_memory()
         self.regs = [0] * 32
         self.pc = 0
@@ -131,39 +170,45 @@ class CycleCPU:
     def _execute(self):
         if self.halted:
             return CPUEvent("halt")
-        image = self.image
-        instrs = image.instrs
+        dec = self._decoded
         memory = self.memory
         regs = self.regs
         ready = self._ready
         unit_free = self._unit_free
-        icache = self.icache
-        dcache = self.dcache
-        predictor = self.predictor
-        ext = self.ext_latency
+        icache_access = self.icache.access
+        dcache_access = self.dcache.access
+        predict = self.predictor.predict_and_update
+        extlat = self.ext_latency
         penalty = self.branch_penalty
-        timing_class = TIMING_CLASS
         pc = self.pc
         cycle = self.cycle
         n_instrs = self.n_instrs
         max_instrs = self.max_instrs
+        c_add = cnum.c_add
+        c_sub = cnum.c_sub
+        c_mul = cnum.c_mul
+        (LWX, LW, ADDI, ADD, SWX, SW, LI, MUL, BEQZ, BNEZ, SLT, SUB,
+         SHL, SHR, J, MOV, FADD, FSUB, FMUL, FDIV, SLE, SEQ, SNE, SGT,
+         SGE, DIVI, REM, ANDB, ORB, XORB, NEG, FNEG, NOTB, CVTFI, CVTIF,
+         JAL, JR, HALT, SEND, RECV) = opcode_ids(
+            "lwx", "lw", "addi", "add", "swx", "sw", "li", "mul",
+            "beqz", "bnez", "slt", "sub", "shl", "shr", "j", "mov",
+            "fadd", "fsub", "fmul", "fdiv", "sle", "seq", "sne", "sgt",
+            "sge", "divi", "rem", "andb", "orb", "xorb", "neg", "fneg",
+            "notb", "cvtfi", "cvtif", "jal", "jr", "halt", "send", "recv")
 
         while True:
             if n_instrs >= max_instrs:
                 raise CycleCPUError("instruction budget exhausted (livelock?)")
-            instr = instrs[pc]
-            op = instr.op
+            (code, rd, ra, rb, rc, ext, occupancy, result_latency,
+             unit_klass, brk) = dec[pc]
             n_instrs += 1
-            klass = timing_class[op]
 
             # Fetch: i-cache (pc is a word address in instruction memory).
             issue = cycle + 1
-            if not icache.access(pc):
-                issue += ext
+            if not icache_access(pc):
+                issue += extlat
 
-            rd = instr.rd
-            ra = instr.ra
-            rb = instr.rb
             taken = False
             next_pc = pc + 1
             mem_addr = None
@@ -174,111 +219,113 @@ class CycleCPU:
                 issue = ready[ra]
             if rb is not None and ready[rb] > issue:
                 issue = ready[rb]
-            if instr.rc is not None and ready[instr.rc] > issue:
-                issue = ready[instr.rc]
+            if rc is not None and ready[rc] > issue:
+                issue = ready[rc]
 
             # Structural hazard: non-pipelined multi-cycle units.
-            busy = unit_free.get(klass)
-            if busy is not None and busy > issue:
-                issue = busy
+            if unit_klass is not None:
+                busy = unit_free[unit_klass]
+                if busy > issue:
+                    issue = busy
 
             # --- functional execution (semantics identical to the ISS) ---
-            if op == "li":
-                regs[rd] = instr.imm
-            elif op == "lw":
-                mem_addr = regs[ra] + instr.imm
+            if code == LWX:
+                mem_addr = regs[ra] + regs[rb] + ext
                 regs[rd] = memory[mem_addr]
-            elif op == "sw":
-                mem_addr = regs[ra] + instr.imm
+            elif code == LW:
+                mem_addr = regs[ra] + ext
+                regs[rd] = memory[mem_addr]
+            elif code == ADDI:
+                regs[rd] = c_add(regs[ra], ext)
+            elif code == ADD:
+                regs[rd] = c_add(regs[ra], regs[rb])
+            elif code == SWX:
+                mem_addr = regs[ra] + regs[rb] + ext
+                memory[mem_addr] = regs[rc]
+            elif code == SW:
+                mem_addr = regs[ra] + ext
                 memory[mem_addr] = regs[rd]
-            elif op == "lwx":
-                mem_addr = regs[ra] + regs[rb] + instr.imm
-                regs[rd] = memory[mem_addr]
-            elif op == "swx":
-                mem_addr = regs[ra] + regs[rb] + instr.imm
-                memory[mem_addr] = regs[instr.rc]
-            elif op == "add":
-                regs[rd] = cnum.c_add(regs[ra], regs[rb])
-            elif op == "addi":
-                regs[rd] = cnum.c_add(regs[ra], instr.imm)
-            elif op == "sub":
-                regs[rd] = cnum.c_sub(regs[ra], regs[rb])
-            elif op == "mul":
-                regs[rd] = cnum.c_mul(regs[ra], regs[rb])
-            elif op == "divi":
-                regs[rd] = cnum.c_div(regs[ra], regs[rb])
-            elif op == "rem":
-                regs[rd] = cnum.c_rem(regs[ra], regs[rb])
-            elif op == "andb":
-                regs[rd] = regs[ra] & regs[rb]
-            elif op == "orb":
-                regs[rd] = regs[ra] | regs[rb]
-            elif op == "xorb":
-                regs[rd] = regs[ra] ^ regs[rb]
-            elif op == "shl":
-                regs[rd] = cnum.c_shl(regs[ra], regs[rb])
-            elif op == "shr":
-                regs[rd] = cnum.c_shr(regs[ra], regs[rb])
-            elif op in ("slt", "fslt"):
+            elif code == LI:
+                regs[rd] = ext
+            elif code == MUL:
+                regs[rd] = c_mul(regs[ra], regs[rb])
+            elif code == BEQZ:
+                taken = regs[ra] == 0
+                if taken:
+                    next_pc = ext
+            elif code == BNEZ:
+                taken = regs[ra] != 0
+                if taken:
+                    next_pc = ext
+            elif code == SLT:
                 regs[rd] = 1 if regs[ra] < regs[rb] else 0
-            elif op in ("sle", "fsle"):
-                regs[rd] = 1 if regs[ra] <= regs[rb] else 0
-            elif op in ("seq", "fseq"):
-                regs[rd] = 1 if regs[ra] == regs[rb] else 0
-            elif op in ("sne", "fsne"):
-                regs[rd] = 1 if regs[ra] != regs[rb] else 0
-            elif op in ("sgt", "fsgt"):
-                regs[rd] = 1 if regs[ra] > regs[rb] else 0
-            elif op in ("sge", "fsge"):
-                regs[rd] = 1 if regs[ra] >= regs[rb] else 0
-            elif op == "fadd":
+            elif code == SUB:
+                regs[rd] = c_sub(regs[ra], regs[rb])
+            elif code == SHL:
+                regs[rd] = cnum.c_shl(regs[ra], regs[rb])
+            elif code == SHR:
+                regs[rd] = cnum.c_shr(regs[ra], regs[rb])
+            elif code == J:
+                next_pc = ext
+            elif code == MOV:
+                regs[rd] = regs[ra]
+            elif code == FADD:
                 regs[rd] = regs[ra] + regs[rb]
-            elif op == "fsub":
+            elif code == FSUB:
                 regs[rd] = regs[ra] - regs[rb]
-            elif op == "fmul":
+            elif code == FMUL:
                 regs[rd] = regs[ra] * regs[rb]
-            elif op == "fdiv":
+            elif code == FDIV:
                 if regs[rb] == 0.0:
                     raise ZeroDivisionError("float division by zero")
                 regs[rd] = regs[ra] / regs[rb]
-            elif op == "mov":
-                regs[rd] = regs[ra]
-            elif op == "neg":
+            elif code == SLE:
+                regs[rd] = 1 if regs[ra] <= regs[rb] else 0
+            elif code == SEQ:
+                regs[rd] = 1 if regs[ra] == regs[rb] else 0
+            elif code == SNE:
+                regs[rd] = 1 if regs[ra] != regs[rb] else 0
+            elif code == SGT:
+                regs[rd] = 1 if regs[ra] > regs[rb] else 0
+            elif code == SGE:
+                regs[rd] = 1 if regs[ra] >= regs[rb] else 0
+            elif code == DIVI:
+                regs[rd] = cnum.c_div(regs[ra], regs[rb])
+            elif code == REM:
+                regs[rd] = cnum.c_rem(regs[ra], regs[rb])
+            elif code == ANDB:
+                regs[rd] = regs[ra] & regs[rb]
+            elif code == ORB:
+                regs[rd] = regs[ra] | regs[rb]
+            elif code == XORB:
+                regs[rd] = regs[ra] ^ regs[rb]
+            elif code == NEG:
                 regs[rd] = cnum.c_neg(regs[ra])
-            elif op == "fneg":
+            elif code == FNEG:
                 regs[rd] = -regs[ra]
-            elif op == "notb":
+            elif code == NOTB:
                 regs[rd] = cnum.c_not(regs[ra])
-            elif op == "cvtfi":
+            elif code == CVTFI:
                 regs[rd] = cnum.c_float_to_int(regs[ra])
-            elif op == "cvtif":
+            elif code == CVTIF:
                 regs[rd] = float(regs[ra])
-            elif op == "beqz":
-                taken = regs[ra] == 0
-                if taken:
-                    next_pc = instr.target
-            elif op == "bnez":
-                taken = regs[ra] != 0
-                if taken:
-                    next_pc = instr.target
-            elif op == "j":
-                next_pc = instr.target
-            elif op == "jal":
+            elif code == JAL:
                 regs[31] = pc + 1
-                next_pc = instr.target
-            elif op == "jr":
+                next_pc = ext
+            elif code == JR:
                 next_pc = regs[ra]
-            elif op == "halt":
+            elif code == HALT:
                 self.halted = True
                 cycle = issue + 1
                 break
-            elif op in ("send", "recv"):
+            elif code == SEND or code == RECV:
+                kind = "send" if code == SEND else "recv"
                 event = CPUEvent(
-                    op, chan=regs[ra], addr=regs[rb], count=regs[instr.rc]
+                    kind, chan=regs[ra], addr=regs[rb], count=regs[rc]
                 )
-                if op == "send":
+                if code == SEND:
                     for offset in range(event.count):
-                        dcache.access(event.addr + offset)
+                        dcache_access(event.addr + offset)
                 else:
                     self._pending_recv = event
                 cycle = issue + 1
@@ -289,23 +336,20 @@ class CycleCPU:
                 self.n_instrs = n_instrs
                 return event
             else:  # pragma: no cover
-                raise CycleCPUError("unknown opcode %r" % op)
+                raise CycleCPUError("unknown opcode id %r" % code)
 
             # --- timing update ---
-            occupancy = OCCUPANCY[klass]
-            result_latency = RESULT_LATENCY[klass]
             if mem_addr is not None:
-                if not dcache.access(mem_addr):
-                    occupancy += ext
-                    result_latency += ext
-            if klass in ("branch",) and op in ("beqz", "bnez"):
-                correct = predictor.predict_and_update(pc, instr.target, taken)
-                if not correct:
+                if not dcache_access(mem_addr):
+                    occupancy += extlat
+                    result_latency += extlat
+            if brk == 1:
+                if not predict(pc, ext, taken):
                     occupancy += penalty
-            elif op == "jr":
+            elif brk == 2:
                 occupancy += penalty  # indirect target: always a redirect
-            if busy is not None:
-                unit_free[klass] = issue + occupancy
+            if unit_klass is not None:
+                unit_free[unit_klass] = issue + occupancy
             if rd is not None:
                 ready[rd] = issue + result_latency
             cycle = issue + occupancy - 1

@@ -48,7 +48,7 @@ class BoardResult:
     """Outcome of one PCAM (board) run."""
 
     def __init__(self, design_name, end_time_ns, wall_seconds, pes, cycle_ns,
-                 buses=None):
+                 buses=None, kernel_stats=None):
         self.design_name = design_name
         self.end_time_ns = end_time_ns
         self.wall_seconds = wall_seconds
@@ -56,6 +56,9 @@ class BoardResult:
         self.cycle_ns = cycle_ns
         #: bus name -> {"transactions": n, "words": n}
         self.buses = buses or {}
+        #: scheduler counters of the run (``activations``,
+        #: ``events_scheduled``, ``channel_fastpath_hits``)
+        self.kernel_stats = kernel_stats or {}
 
     @property
     def makespan_cycles(self):
@@ -201,24 +204,28 @@ def run_pcam(design, cache_schedules=True, reference_cycle_ns=10.0,
         for name, bus in buses.items()
     }
     return BoardResult(design.name, end_time, wall_seconds, pes,
-                       reference_cycle_ns, buses=bus_stats)
+                       reference_cycle_ns, buses=bus_stats,
+                       kernel_stats=kernel.kernel_stats())
 
 
 def _make_cpu_target(cpu, channel_map, cycle_ns, returns, name):
+    # A generator process: CPU PEs only touch the kernel at transaction
+    # boundaries, so they ride the trampoline.  HW targets stay
+    # thread-backed because the CDFG interpreter calls comm at depth.
     def target(sim_process):
         while True:
             event, elapsed = cpu.run_until_event()
             if elapsed:
-                sim_process.wait(elapsed * cycle_ns)
+                yield elapsed * cycle_ns
             if event.kind == "halt":
                 returns[name] = cpu.return_value
                 return
             channel = channel_map.get(event.chan)
             if event.kind == "send":
                 payload = cpu.memory[event.addr : event.addr + event.count]
-                channel.send(sim_process, payload)
+                yield from channel.send_gen(sim_process, payload)
             else:
-                values = channel.recv(sim_process, event.count)
+                values = yield from channel.recv_gen(sim_process, event.count)
                 cpu.complete_recv(values)
 
     return target

@@ -119,6 +119,33 @@ TIMING_CLASS["send"] = "comm"
 TIMING_CLASS["recv"] = "comm"
 
 
+#: Dispatch order of the numeric opcodes.  The integer/float compare pairs
+#: (``slt``/``fslt`` …) share one id: their functional semantics are
+#: identical in both execution backends, and timing is carried per
+#: instruction by the pre-decoded cost fields, not by the opcode id.
+DISPATCH_OPS = (
+    "lwx", "lw", "addi", "add", "swx", "sw", "li", "mul",
+    "beqz", "bnez", "slt", "sub", "shl", "shr", "j", "mov",
+    "fadd", "fsub", "fmul", "fdiv", "sle", "seq", "sne", "sgt", "sge",
+    "divi", "rem", "andb", "orb", "xorb", "neg", "fneg", "notb",
+    "cvtfi", "cvtif", "jal", "jr", "halt", "send", "recv",
+)
+
+#: opcode mnemonic -> small-int id for pre-decoded interpreter dispatch
+OPCODE_ID = {_op: _code for _code, _op in enumerate(DISPATCH_OPS)}
+for _float_op, _int_op in (("fslt", "slt"), ("fsle", "sle"),
+                           ("fseq", "seq"), ("fsne", "sne"),
+                           ("fsgt", "sgt"), ("fsge", "sge")):
+    OPCODE_ID[_float_op] = OPCODE_ID[_int_op]
+assert set(OPCODE_ID) == ALL_OPS
+
+
+def opcode_ids(*ops):
+    """Resolve mnemonics to numeric ids, for binding them to interpreter
+    hot-loop locals in one tuple assignment."""
+    return tuple(OPCODE_ID[op] for op in ops)
+
+
 def format_instr(instr):
     """Assembly-ish rendering of one instruction."""
     op = instr.op

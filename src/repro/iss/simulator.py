@@ -16,7 +16,7 @@ floors the miss rate), ~2× the timed TLM's average error overall (Table 2).
 from __future__ import annotations
 
 from ..cdfg import cnum
-from ..isa.isa import TIMING_CLASS
+from ..isa.isa import OPCODE_ID, TIMING_CLASS, opcode_ids
 from ..isa.program import BYTES_PER_WORD
 
 #: The ISS's canned miss penalty (cycles).  Deliberately lower than the
@@ -111,142 +111,188 @@ class ISS:
         self.max_instrs = max_instrs
         self.ifetch_overhead = assumed_miss_rate(icache_size) * ISS_MISS_PENALTY
         self.dmem_overhead = assumed_miss_rate(dcache_size) * ISS_MISS_PENALTY
+        self._decoded = None
+
+    def _decode(self):
+        """Pre-decode the image for the hot loop.
+
+        Per instruction: ``(code, rd, ra, rb, ext, cost, kid)`` with a
+        numeric opcode, ``cost = class_cycles[klass] + ifetch`` evaluated
+        once (the identical float expression the loop previously computed
+        per execution, so accumulated cycles are bit-identical), and ``kid``
+        indexing a per-class counter list.  ``ext`` holds the immediate,
+        the branch target, or (for comm ops) the original instruction;
+        ``swx`` carries its store-source register in the ``rd`` slot.
+        """
+        class_cycles = ISS_CLASS_CYCLES
+        ifetch = self.ifetch_overhead
+        kid_of = {}
+        kid_names = []
+        decoded = []
+        for instr in self.image.instrs:
+            op = instr.op
+            klass = TIMING_CLASS[op]
+            kid = kid_of.get(klass)
+            if kid is None:
+                kid = kid_of[klass] = len(kid_names)
+                kid_names.append(klass)
+            rd = instr.rd
+            ext = instr.imm
+            if op == "swx":
+                rd = instr.rc
+            elif op in ("beqz", "bnez", "j", "jal"):
+                ext = instr.target
+            elif op in ("send", "recv"):
+                ext = instr
+            decoded.append((
+                OPCODE_ID[op], rd, instr.ra, instr.rb, ext,
+                class_cycles[klass] + ifetch, kid,
+            ))
+        self._decoded = (tuple(decoded), tuple(kid_names))
+        return self._decoded
 
     def run(self):
         """Execute from the bootstrap to ``halt``; returns :class:`ISSResult`."""
         import time as _time
 
-        image = self.image
-        instrs = image.instrs
-        memory = image.fresh_memory()
+        decoded = self._decoded or self._decode()
+        dec, kid_names = decoded
+        memory = self.image.fresh_memory()
         regs = [0] * 32
         pc = 0
         cycles = 0.0
         n_instrs = 0
-        class_counts = {}
-        ifetch = self.ifetch_overhead
+        counts = [0] * len(kid_names)
         dmem = self.dmem_overhead
-        class_cycles = ISS_CLASS_CYCLES
-        timing_class = TIMING_CLASS
+        max_instrs = self.max_instrs
+        taken_extra = ISS_TAKEN_BRANCH_CYCLES
+        c_add = cnum.c_add
+        c_sub = cnum.c_sub
+        c_mul = cnum.c_mul
+        (LWX, LW, ADDI, ADD, SWX, SW, LI, MUL, BEQZ, BNEZ, SLT, SUB,
+         SHL, SHR, J, MOV, FADD, FSUB, FMUL, FDIV, SLE, SEQ, SNE, SGT,
+         SGE, DIVI, REM, ANDB, ORB, XORB, NEG, FNEG, NOTB, CVTFI, CVTIF,
+         JAL, JR, HALT, SEND, RECV) = opcode_ids(
+            "lwx", "lw", "addi", "add", "swx", "sw", "li", "mul",
+            "beqz", "bnez", "slt", "sub", "shl", "shr", "j", "mov",
+            "fadd", "fsub", "fmul", "fdiv", "sle", "seq", "sne", "sgt",
+            "sge", "divi", "rem", "andb", "orb", "xorb", "neg", "fneg",
+            "notb", "cvtfi", "cvtif", "jal", "jr", "halt", "send", "recv")
         wall_start = _time.perf_counter()
 
         while True:
-            if n_instrs >= self.max_instrs:
+            if n_instrs >= max_instrs:
                 raise ISSError("instruction budget exhausted (livelock?)")
-            instr = instrs[pc]
-            op = instr.op
+            code, rd, ra, rb, ext, cost, kid = dec[pc]
             n_instrs += 1
-            klass = timing_class[op]
-            class_counts[klass] = class_counts.get(klass, 0) + 1
-            cycles += class_cycles[klass] + ifetch
-            taken = False
+            counts[kid] += 1
+            cycles += cost
             next_pc = pc + 1
 
-            if op == "li":
-                regs[instr.rd] = instr.imm
-            elif op == "lw":
+            if code == LWX:
                 cycles += dmem
-                regs[instr.rd] = memory[regs[instr.ra] + instr.imm]
-            elif op == "sw":
+                regs[rd] = memory[regs[ra] + regs[rb] + ext]
+            elif code == LW:
                 cycles += dmem
-                memory[regs[instr.ra] + instr.imm] = regs[instr.rd]
-            elif op == "lwx":
+                regs[rd] = memory[regs[ra] + ext]
+            elif code == ADDI:
+                regs[rd] = c_add(regs[ra], ext)
+            elif code == ADD:
+                regs[rd] = c_add(regs[ra], regs[rb])
+            elif code == SWX:
                 cycles += dmem
-                regs[instr.rd] = memory[
-                    regs[instr.ra] + regs[instr.rb] + instr.imm
-                ]
-            elif op == "swx":
+                memory[regs[ra] + regs[rb] + ext] = regs[rd]
+            elif code == SW:
                 cycles += dmem
-                memory[regs[instr.ra] + regs[instr.rb] + instr.imm] = regs[
-                    instr.rc
-                ]
-            elif op == "add":
-                regs[instr.rd] = cnum.c_add(regs[instr.ra], regs[instr.rb])
-            elif op == "addi":
-                regs[instr.rd] = cnum.c_add(regs[instr.ra], instr.imm)
-            elif op == "sub":
-                regs[instr.rd] = cnum.c_sub(regs[instr.ra], regs[instr.rb])
-            elif op == "mul":
-                regs[instr.rd] = cnum.c_mul(regs[instr.ra], regs[instr.rb])
-            elif op == "divi":
-                regs[instr.rd] = cnum.c_div(regs[instr.ra], regs[instr.rb])
-            elif op == "rem":
-                regs[instr.rd] = cnum.c_rem(regs[instr.ra], regs[instr.rb])
-            elif op == "andb":
-                regs[instr.rd] = regs[instr.ra] & regs[instr.rb]
-            elif op == "orb":
-                regs[instr.rd] = regs[instr.ra] | regs[instr.rb]
-            elif op == "xorb":
-                regs[instr.rd] = regs[instr.ra] ^ regs[instr.rb]
-            elif op == "shl":
-                regs[instr.rd] = cnum.c_shl(regs[instr.ra], regs[instr.rb])
-            elif op == "shr":
-                regs[instr.rd] = cnum.c_shr(regs[instr.ra], regs[instr.rb])
-            elif op in ("slt", "fslt"):
-                regs[instr.rd] = 1 if regs[instr.ra] < regs[instr.rb] else 0
-            elif op in ("sle", "fsle"):
-                regs[instr.rd] = 1 if regs[instr.ra] <= regs[instr.rb] else 0
-            elif op in ("seq", "fseq"):
-                regs[instr.rd] = 1 if regs[instr.ra] == regs[instr.rb] else 0
-            elif op in ("sne", "fsne"):
-                regs[instr.rd] = 1 if regs[instr.ra] != regs[instr.rb] else 0
-            elif op in ("sgt", "fsgt"):
-                regs[instr.rd] = 1 if regs[instr.ra] > regs[instr.rb] else 0
-            elif op in ("sge", "fsge"):
-                regs[instr.rd] = 1 if regs[instr.ra] >= regs[instr.rb] else 0
-            elif op == "fadd":
-                regs[instr.rd] = regs[instr.ra] + regs[instr.rb]
-            elif op == "fsub":
-                regs[instr.rd] = regs[instr.ra] - regs[instr.rb]
-            elif op == "fmul":
-                regs[instr.rd] = regs[instr.ra] * regs[instr.rb]
-            elif op == "fdiv":
-                if regs[instr.rb] == 0.0:
+                memory[regs[ra] + ext] = regs[rd]
+            elif code == LI:
+                regs[rd] = ext
+            elif code == MUL:
+                regs[rd] = c_mul(regs[ra], regs[rb])
+            elif code == BEQZ:
+                if regs[ra] == 0:
+                    next_pc = ext
+                    cycles += taken_extra
+            elif code == BNEZ:
+                if regs[ra] != 0:
+                    next_pc = ext
+                    cycles += taken_extra
+            elif code == SLT:
+                regs[rd] = 1 if regs[ra] < regs[rb] else 0
+            elif code == SUB:
+                regs[rd] = c_sub(regs[ra], regs[rb])
+            elif code == SHL:
+                regs[rd] = cnum.c_shl(regs[ra], regs[rb])
+            elif code == SHR:
+                regs[rd] = cnum.c_shr(regs[ra], regs[rb])
+            elif code == J:
+                next_pc = ext
+                cycles += taken_extra
+            elif code == MOV:
+                regs[rd] = regs[ra]
+            elif code == FADD:
+                regs[rd] = regs[ra] + regs[rb]
+            elif code == FSUB:
+                regs[rd] = regs[ra] - regs[rb]
+            elif code == FMUL:
+                regs[rd] = regs[ra] * regs[rb]
+            elif code == FDIV:
+                if regs[rb] == 0.0:
                     raise ZeroDivisionError("float division by zero")
-                regs[instr.rd] = regs[instr.ra] / regs[instr.rb]
-            elif op == "mov":
-                regs[instr.rd] = regs[instr.ra]
-            elif op == "neg":
-                regs[instr.rd] = cnum.c_neg(regs[instr.ra])
-            elif op == "fneg":
-                regs[instr.rd] = -regs[instr.ra]
-            elif op == "notb":
-                regs[instr.rd] = cnum.c_not(regs[instr.ra])
-            elif op == "cvtfi":
-                regs[instr.rd] = cnum.c_float_to_int(regs[instr.ra])
-            elif op == "cvtif":
-                regs[instr.rd] = float(regs[instr.ra])
-            elif op == "beqz":
-                if regs[instr.ra] == 0:
-                    next_pc = instr.target
-                    taken = True
-            elif op == "bnez":
-                if regs[instr.ra] != 0:
-                    next_pc = instr.target
-                    taken = True
-            elif op == "j":
-                next_pc = instr.target
-                taken = True
-            elif op == "jal":
+                regs[rd] = regs[ra] / regs[rb]
+            elif code == SLE:
+                regs[rd] = 1 if regs[ra] <= regs[rb] else 0
+            elif code == SEQ:
+                regs[rd] = 1 if regs[ra] == regs[rb] else 0
+            elif code == SNE:
+                regs[rd] = 1 if regs[ra] != regs[rb] else 0
+            elif code == SGT:
+                regs[rd] = 1 if regs[ra] > regs[rb] else 0
+            elif code == SGE:
+                regs[rd] = 1 if regs[ra] >= regs[rb] else 0
+            elif code == DIVI:
+                regs[rd] = cnum.c_div(regs[ra], regs[rb])
+            elif code == REM:
+                regs[rd] = cnum.c_rem(regs[ra], regs[rb])
+            elif code == ANDB:
+                regs[rd] = regs[ra] & regs[rb]
+            elif code == ORB:
+                regs[rd] = regs[ra] | regs[rb]
+            elif code == XORB:
+                regs[rd] = regs[ra] ^ regs[rb]
+            elif code == NEG:
+                regs[rd] = cnum.c_neg(regs[ra])
+            elif code == FNEG:
+                regs[rd] = -regs[ra]
+            elif code == NOTB:
+                regs[rd] = cnum.c_not(regs[ra])
+            elif code == CVTFI:
+                regs[rd] = cnum.c_float_to_int(regs[ra])
+            elif code == CVTIF:
+                regs[rd] = float(regs[ra])
+            elif code == JAL:
                 regs[31] = pc + 1
-                next_pc = instr.target
-            elif op == "jr":
-                next_pc = regs[instr.ra]
-            elif op == "halt":
+                next_pc = ext
+            elif code == JR:
+                next_pc = regs[ra]
+            elif code == HALT:
                 break
-            elif op == "send":
-                self._do_send(instr, regs, memory)
-            elif op == "recv":
-                self._do_recv(instr, regs, memory)
+            elif code == SEND:
+                self._do_send(ext, regs, memory)
+            elif code == RECV:
+                self._do_recv(ext, regs, memory)
             else:  # pragma: no cover
-                raise ISSError("unknown opcode %r" % op)
+                raise ISSError("unknown opcode id %r" % code)
 
-            if taken:
-                cycles += ISS_TAKEN_BRANCH_CYCLES
             regs[0] = 0  # r0 stays hardwired to zero
             pc = next_pc
 
         wall_seconds = _time.perf_counter() - wall_start
+        class_counts = {
+            name: counts[kid]
+            for kid, name in enumerate(kid_names)
+            if counts[kid]
+        }
         return ISSResult(
             int(round(cycles)), n_instrs, class_counts, regs[1], wall_seconds
         )

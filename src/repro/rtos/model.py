@@ -90,6 +90,25 @@ class CPUShare:
         self.busy_cycles += total
         sim_process.wait(duration)
 
+    def execute_gen(self, sim_process, proc_name, cycles):
+        """Generator twin of :meth:`execute` for generator-backed processes."""
+        if cycles <= 0:
+            return
+        kernel = self.kernel
+        self._arrival += 1
+        while kernel.now < self.busy_until:
+            yield self.busy_until - kernel.now
+        total = cycles
+        if self.last_running != proc_name:
+            total += self.model.context_switch_cycles
+            if self.last_running is not None:
+                self.n_context_switches += 1
+            self.last_running = proc_name
+        duration = total * self.cycle_ns
+        self.busy_until = kernel.now + duration
+        self.busy_cycles += total
+        yield duration
+
     def stats(self):
         return {
             "pe": self.pe_name,

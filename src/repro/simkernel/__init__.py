@@ -1,13 +1,20 @@
 """Discrete-event simulation kernel and abstract bus channels."""
 
 from .channel import Bus, BusChannel, ChannelMap
-from .kernel import DeadlockError, Kernel, SimProcess, SimulationError
+from .kernel import (
+    DeadlockError,
+    GeneratorProcess,
+    Kernel,
+    SimProcess,
+    SimulationError,
+)
 
 __all__ = [
     "Bus",
     "BusChannel",
     "ChannelMap",
     "DeadlockError",
+    "GeneratorProcess",
     "Kernel",
     "SimProcess",
     "SimulationError",

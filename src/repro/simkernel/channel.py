@@ -63,6 +63,18 @@ class Bus:
         process.wait(duration)
         return kernel.now
 
+    def occupy_gen(self, process, n_words):
+        """Generator twin of :meth:`occupy` for generator-backed processes."""
+        kernel = self.kernel
+        while kernel.now < self.busy_until:
+            yield self.busy_until - kernel.now
+        duration = self.transfer_time(n_words)
+        self.busy_until = kernel.now + duration
+        self.total_transactions += 1
+        self.total_words += n_words
+        yield duration
+        return kernel.now
+
 
 class BusChannel:
     """A blocking FIFO message channel mapped onto a :class:`Bus`.
@@ -91,6 +103,15 @@ class BusChannel:
         self.total_sent += len(values)
         self._wake_receivers()
 
+    def send_gen(self, process, values):
+        """Generator twin of :meth:`send` for generator-backed processes."""
+        values = list(values)
+        if self.bus is not None:
+            yield from self.bus.occupy_gen(process, len(values))
+        self._data.extend(values)
+        self.total_sent += len(values)
+        self._wake_receivers()
+
     # -- consumer side -------------------------------------------------------
 
     def recv(self, process, count):
@@ -100,6 +121,16 @@ class BusChannel:
             self._waiting_receivers.append(process)
             process._suspend()
         taken = [self._data.popleft() for _ in range(count)]
+        return taken
+
+    def recv_gen(self, process, count):
+        """Generator twin of :meth:`recv` for generator-backed processes."""
+        data = self._data
+        while len(data) < count:
+            process.blocked_on = "recv(%s, %d)" % (self.name, count)
+            self._waiting_receivers.append(process)
+            yield None
+        taken = [data.popleft() for _ in range(count)]
         return taken
 
     def _wake_receivers(self):

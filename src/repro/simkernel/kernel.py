@@ -6,17 +6,29 @@ SystemC's cooperative model: exactly one process runs at a time, processes
 suspend via ``wait`` (time) or by blocking on a channel, and simulated time
 advances only between process activations.
 
-Processes run on worker threads (like SystemC's QuickThreads) so that a
-blocking channel access may occur at any call depth inside generated code,
-but execution is strictly sequential: the kernel hands control to one
-process and regains it before doing anything else, so simulation results are
-deterministic.
+Two process backends share one scheduler:
+
+* :class:`SimProcess` — a worker thread (like SystemC's QuickThreads), so a
+  blocking channel access may occur at any call depth inside generated code.
+  Each activation costs an OS context switch plus two semaphore handoffs.
+* :class:`GeneratorProcess` — a Python generator driven by a trampoline in
+  :meth:`Kernel.run`.  The process yields a duration to wait, or ``None``
+  when blocked on a channel; resuming is a plain ``gen.send`` with no thread
+  machinery.  This is the fast path used by coroutine-emitted TLM code.
+
+:meth:`Kernel.add_process` picks the backend automatically: a generator
+function becomes a :class:`GeneratorProcess`, anything else runs on a
+thread.  Both kinds may block on the same channels in one simulation.
+Execution is strictly sequential either way, so results are deterministic
+and independent of the backend mix.
 """
 
 from __future__ import annotations
 
 import heapq
+import inspect
 import threading
+from collections import deque
 
 
 class SimulationError(Exception):
@@ -38,6 +50,8 @@ class SimProcess:
     a dedicated thread and must use :meth:`wait` / channel operations for all
     synchronisation.
     """
+
+    is_generator = False
 
     def __init__(self, kernel, name, target):
         self.kernel = kernel
@@ -69,6 +83,13 @@ class SimProcess:
             raise SimulationError(
                 "process %r failed: %r" % (self.name, self.error)
             ) from self.error
+
+    def _kill(self):
+        """Unwind the worker thread (simulation is stopping)."""
+        if self._started and not self.finished:
+            self._go.release()
+            self._yielded.acquire()
+        self.finished = True
 
     # -- called from the process thread --------------------------------------
 
@@ -103,20 +124,116 @@ class SimProcess:
         return "SimProcess(%r, %s)" % (self.name, state)
 
 
+class GeneratorProcess:
+    """One simulation process backed by a generator (the fast path).
+
+    ``target(process)`` must return a generator.  The yield protocol:
+
+    * ``yield duration`` — suspend for ``duration`` time units;
+    * ``yield None`` — block; a channel will :meth:`Kernel._wake` us.
+
+    Channel helpers expose generator twins (``recv_gen`` etc.) so blocking
+    composes through ``yield from`` instead of requiring a private stack.
+    """
+
+    is_generator = True
+
+    __slots__ = (
+        "kernel", "name", "target", "finished", "error", "blocked_on", "_gen"
+    )
+
+    def __init__(self, kernel, name, target):
+        self.kernel = kernel
+        self.name = name
+        self.target = target
+        self.finished = False
+        self.error = None
+        self.blocked_on = None  # description while blocked on a channel
+        self._gen = None
+
+    def _resume(self):
+        """Advance the generator to its next suspension point."""
+        gen = self._gen
+        if gen is None:
+            gen = self._gen = self.target(self)
+        try:
+            request = gen.send(None)
+        except StopIteration:
+            self.finished = True
+            return
+        except BaseException as exc:  # noqa: BLE001 - reported to the kernel
+            self.finished = True
+            self.error = exc
+            raise SimulationError(
+                "process %r failed: %r" % (self.name, exc)
+            ) from exc
+        if request is not None:
+            if request < 0:
+                self.error = SimulationError("cannot wait a negative duration")
+                self.finished = True
+                gen.close()
+                raise SimulationError(
+                    "process %r failed: %r" % (self.name, self.error)
+                ) from self.error
+            self.kernel._schedule(self.kernel.now + request, self)
+        # a ``None`` request means blocked on a channel; the channel wakes us
+
+    def _kill(self):
+        """Close the generator (simulation is stopping)."""
+        if self._gen is not None and not self.finished:
+            self._gen.close()
+        self.finished = True
+
+    def wait(self, duration):
+        raise SimulationError(
+            "generator-backed process %r cannot wait imperatively; "
+            "yield the duration instead" % self.name
+        )
+
+    def _suspend(self):
+        raise SimulationError(
+            "generator-backed process %r cannot block imperatively; "
+            "use the channel's generator interface" % self.name
+        )
+
+    def __repr__(self):
+        state = "finished" if self.finished else (self.blocked_on or "ready")
+        return "GeneratorProcess(%r, %s)" % (self.name, state)
+
+
 class Kernel:
-    """The simulation scheduler."""
+    """The simulation scheduler.
+
+    Counters (reset to zero at construction):
+
+    * ``activations`` — process resumptions performed by :meth:`run`;
+    * ``events_scheduled`` — timed events pushed on the heap;
+    * ``channel_fastpath_hits`` — channel wakes served from the same-time
+      ready queue without touching the heap.
+    """
 
     def __init__(self):
         self.now = 0.0
         self.processes = []
         self._queue = []  # heap of (time, seq, process)
+        self._ready = deque()  # (seq, process) woken at the current time
         self._seq = 0
         self._stopping = False
         self.trace = None  # optional callable(time, process_name)
+        self.activations = 0
+        self.events_scheduled = 0
+        self.channel_fastpath_hits = 0
 
     def add_process(self, name, target):
-        """Register a process; ``target(process)`` runs when simulation starts."""
-        process = SimProcess(self, name, target)
+        """Register a process; ``target(process)`` runs when simulation starts.
+
+        Generator functions get the trampoline backend; plain callables run
+        on a worker thread.
+        """
+        if inspect.isgeneratorfunction(target):
+            process = GeneratorProcess(self, name, target)
+        else:
+            process = SimProcess(self, name, target)
         self.processes.append(process)
         self._schedule(0.0, process)
         return process
@@ -124,29 +241,59 @@ class Kernel:
     def _schedule(self, when, process):
         heapq.heappush(self._queue, (when, self._seq, process))
         self._seq += 1
+        self.events_scheduled += 1
 
     def _wake(self, process):
-        """Make a channel-blocked process runnable at the current time."""
+        """Make a channel-blocked process runnable at the current time.
+
+        The wake lands on a FIFO ready queue instead of the heap: a wake is
+        always for ``now``, and its sequence number is larger than that of
+        any event already queued, so FIFO order relative to the heap head is
+        exactly the order a heap push would have produced.
+        """
         process.blocked_on = None
-        self._schedule(self.now, process)
+        self._ready.append((self._seq, process))
+        self._seq += 1
+        self.channel_fastpath_hits += 1
+
+    def kernel_stats(self):
+        """Snapshot of the scheduler counters (a plain dict)."""
+        return {
+            "activations": self.activations,
+            "events_scheduled": self.events_scheduled,
+            "channel_fastpath_hits": self.channel_fastpath_hits,
+        }
 
     def run(self, until=None):
         """Run until no events remain (or simulated time exceeds ``until``).
 
         Returns the final simulation time.  Raises :class:`DeadlockError` if
-        unfinished processes remain blocked with no pending event.
+        unfinished processes remain blocked with no pending event.  When the
+        ``until`` horizon cuts the run short, the first over-horizon event is
+        requeued and processes stay suspended, so a later ``run()`` resumes
+        the simulation exactly where it stopped.
         """
-        while self._queue:
-            when, _, process = heapq.heappop(self._queue)
-            if until is not None and when > until:
-                self.now = until
-                self._shutdown()
-                return self.now
-            self.now = when
+        queue = self._queue
+        ready = self._ready
+        while queue or ready:
+            if ready and (
+                not queue
+                or queue[0][0] > self.now
+                or (queue[0][0] == self.now and queue[0][1] > ready[0][0])
+            ):
+                _, process = ready.popleft()
+            else:
+                when, seq, process = heapq.heappop(queue)
+                if until is not None and when > until:
+                    heapq.heappush(queue, (when, seq, process))
+                    self.now = until
+                    return self.now
+                self.now = when
             if process.finished:
                 continue
             if self.trace is not None:
                 self.trace(self.now, process.name)
+            self.activations += 1
             process._resume()
         blocked = [p for p in self.processes if not p.finished]
         if blocked:
@@ -157,10 +304,17 @@ class Kernel:
             )
         return self.now
 
+    def stop(self):
+        """Terminate all unfinished processes.
+
+        Unwinds thread-backed processes and closes generator-backed ones;
+        after ``stop()`` the kernel can no longer resume.
+        """
+        self._shutdown()
+
     def _shutdown(self):
-        """Unwind any still-running process threads."""
+        """Unwind any still-running processes."""
         self._stopping = True
         for process in self.processes:
-            if process._started and not process.finished:
-                process._go.release()
-                process._yielded.acquire()
+            if not process.finished:
+                process._kill()

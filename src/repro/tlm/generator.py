@@ -60,21 +60,33 @@ def compile_process(decl):
 
 
 def generate_tlm(design, timed=True, granularity="transaction",
-                 n_frames=None, report=None):
+                 n_frames=None, report=None, engine="coroutine",
+                 optimize=True, quantum=None):
     """Generate an executable TLM for ``design``.
 
     Args:
         design: a validated :class:`~repro.tlm.platform.Design`.
         timed: annotate + emit waits (timed TLM) or not (functional TLM).
-        granularity: ``"transaction"`` (paper default) or ``"block"``.
+        granularity: ``"transaction"`` (paper default), ``"block"`` (sync
+            every block) or ``"quantum"`` (sync every ``quantum`` blocks).
         n_frames: unused hook kept for API symmetry with workload factories.
         report: optional :class:`GenerationReport` to fill with timings.
+        engine: ``"coroutine"`` (generator trampoline, the fast path) or
+            ``"thread"`` (worker threads, the original backend).
+        optimize: enable the optimizing code generator; ``False`` emits the
+            original unoptimized source (the equivalence baseline).
+        quantum: waits coalesced per kernel event under ``"quantum"``
+            granularity (``None`` keeps the runtime default).
 
     Returns:
         a ready-to-run :class:`~repro.tlm.model.TLModel`.
+
+    ``makespan_cycles`` of the returned model's runs is independent of
+    ``engine`` and ``optimize``; only wall-clock speed changes.
     """
     design.validate()
-    model = TLModel(design, timed, granularity)
+    model = TLModel(design, timed, granularity, engine=engine,
+                    quantum=quantum)
     if report is None:
         report = GenerationReport(design.name, timed)
     model.report = report
@@ -102,6 +114,9 @@ def generate_tlm(design, timed=True, granularity="transaction",
         generated = generate_program(
             ir_program, timed=timed,
             module_name="<tlm:%s:%s>" % (design.name, name),
+            coroutine=(engine == "coroutine"),
+            granularity=granularity,
+            optimize=optimize,
         )
         report.codegen_seconds += time.perf_counter() - start
         model.add_generated_process(decl, generated)

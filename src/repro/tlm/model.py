@@ -4,6 +4,18 @@ A :class:`TLModel` is what the TLM generator produces: kernel + buses +
 channels + one simulation process per application process, each running its
 generated (timed or functional) native code.  ``run()`` executes the whole
 system and returns a :class:`TLMResult` with the performance estimates.
+
+Two execution engines share identical simulation semantics:
+
+* ``engine="coroutine"`` (default) — generated processes that can suspend
+  are generator functions driven by the kernel trampoline; activations are
+  plain ``gen.send`` calls.
+* ``engine="thread"`` — every process runs on a worker thread with
+  semaphore handoffs (the original backend, kept as the compatibility
+  fallback and as the speed baseline).
+
+The reported ``makespan_cycles`` is bit-identical across engines,
+granularities and codegen optimization levels.
 """
 
 from __future__ import annotations
@@ -12,6 +24,8 @@ import time
 
 from ..simkernel import Bus, BusChannel, ChannelMap, Kernel
 from ..codegen.runtime import ProcessContext
+
+ENGINES = ("coroutine", "thread")
 
 
 class ChannelBinding:
@@ -28,6 +42,14 @@ class ChannelBinding:
 
     def recv(self, sim_process, chan_id, count):
         return self.channel_map.get(chan_id).recv(sim_process, count)
+
+    def send_gen(self, sim_process, chan_id, values):
+        yield from self.channel_map.get(chan_id).send_gen(sim_process, values)
+
+    def recv_gen(self, sim_process, chan_id, count):
+        return (yield from self.channel_map.get(chan_id).recv_gen(
+            sim_process, count
+        ))
 
 
 class ProcessResult:
@@ -52,13 +74,16 @@ class TLMResult:
     """Outcome of one TLM simulation."""
 
     def __init__(self, design_name, timed, end_time_ns, wall_seconds,
-                 processes, cycle_ns):
+                 processes, cycle_ns, kernel_stats=None):
         self.design_name = design_name
         self.timed = timed
         self.end_time_ns = end_time_ns
         self.wall_seconds = wall_seconds
         self.processes = processes  # name -> ProcessResult
         self.cycle_ns = cycle_ns
+        #: scheduler counters of the run (``activations``,
+        #: ``events_scheduled``, ``channel_fastpath_hits``, ``engine``)
+        self.kernel_stats = kernel_stats or {}
 
     @property
     def makespan_cycles(self):
@@ -97,11 +122,15 @@ class TLModel:
     """A generated, simulatable transaction-level model."""
 
     def __init__(self, design, timed, granularity="transaction",
-                 reference_cycle_ns=10.0):
+                 reference_cycle_ns=10.0, engine="coroutine", quantum=None):
+        if engine not in ENGINES:
+            raise ValueError("engine must be one of %s" % (ENGINES,))
         self.design = design
         self.timed = timed
         self.granularity = granularity
         self.reference_cycle_ns = reference_cycle_ns
+        self.engine = engine
+        self.quantum = quantum
         #: name -> (GeneratedProgram, ProcessDecl); filled by the generator.
         self.programs = {}
         self._final_values = {}
@@ -148,6 +177,12 @@ class TLModel:
         returns = {}
         for name, (generated, decl) in self.programs.items():
             pe = self.design.pes[decl.pe_name]
+            as_generator = (
+                generated.coroutine and generated.is_suspending(decl.entry)
+            )
+            kwargs = {}
+            if self.quantum is not None:
+                kwargs["quantum"] = self.quantum
             ctx = ProcessContext(
                 name=name,
                 cycle_ns=pe.cycle_ns,
@@ -155,9 +190,13 @@ class TLModel:
                 sim_process=None,  # bound below
                 granularity=self.granularity,
                 cpu_share=shares.get(decl.pe_name),
+                defer_sync=as_generator,
+                **kwargs,
             )
             contexts[name] = ctx
-            target = self._make_target(generated, decl, ctx, returns)
+            target = self._make_target(
+                generated, decl, ctx, returns, as_generator
+            )
             sim_process = kernel.add_process(name, target)
             ctx.sim_process = sim_process
 
@@ -175,6 +214,8 @@ class TLModel:
                 ctx.n_transactions,
                 returns.get(name),
             )
+        stats = kernel.kernel_stats()
+        stats["engine"] = self.engine
         return TLMResult(
             self.design.name,
             self.timed,
@@ -182,16 +223,23 @@ class TLModel:
             wall_seconds,
             processes,
             self.reference_cycle_ns,
+            kernel_stats=stats,
         )
 
     @staticmethod
-    def _make_target(generated, decl, ctx, returns):
+    def _make_target(generated, decl, ctx, returns, as_generator):
         entry = generated.entry(decl.entry)
         args = decl.args
 
-        def target(sim_process):
-            glob = generated.fresh_globals()
-            returns[decl.name] = entry(ctx, glob, *args)
-            ctx.sync()  # apply any trailing accumulated delay
+        if as_generator:
+            def target(sim_process):
+                glob = generated.fresh_globals()
+                returns[decl.name] = yield from entry(ctx, glob, *args)
+                yield from ctx.sync_gen()  # trailing accumulated delay
+        else:
+            def target(sim_process):
+                glob = generated.fresh_globals()
+                returns[decl.name] = entry(ctx, glob, *args)
+                ctx.sync()  # apply any trailing accumulated delay
 
         return target

@@ -103,3 +103,38 @@ class TestCLITlm:
         out = io.StringIO()
         assert main(["tlm", str(path), "--functional"], out=out) == 0
         assert "functional TLM" in out.getvalue()
+
+    def test_cli_simulate_alias(self, tmp_path):
+        path = tmp_path / "design.json"
+        save_design(demo_design(), str(path))
+        out = io.StringIO()
+        assert main(["simulate", str(path)], out=out) == 0
+        assert "makespan" in out.getvalue()
+
+    def test_cli_kernel_stats(self, tmp_path):
+        path = tmp_path / "design.json"
+        save_design(demo_design(), str(path))
+        out = io.StringIO()
+        assert main(["simulate", str(path), "--kernel-stats"], out=out) == 0
+        text = out.getvalue()
+        assert "engine=coroutine" in text
+        assert "activations" in text and "fast-path" in text
+
+    def test_cli_engines_report_same_makespan(self, tmp_path):
+        path = tmp_path / "design.json"
+        save_design(demo_design(), str(path))
+
+        def makespan_line(argv):
+            out = io.StringIO()
+            assert main(argv, out=out) == 0
+            return out.getvalue().splitlines()[0]
+
+        fast = makespan_line(["simulate", str(path)])
+        slow = makespan_line(["simulate", str(path), "--engine", "thread",
+                              "--no-optimize"])
+        quantum = makespan_line(["simulate", str(path), "--granularity",
+                                 "quantum", "--quantum", "4"])
+        assert "makespan" in fast
+        # identical makespans; only the wall-clock suffix may differ
+        assert fast.split("cycles")[0] == slow.split("cycles")[0]
+        assert fast.split("cycles")[0] == quantum.split("cycles")[0]
