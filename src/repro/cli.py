@@ -30,6 +30,13 @@ Subcommands:
     Generate and run a TLM from a design JSON file.  ``--engine`` picks the
     scheduler backend, ``--granularity``/``--quantum`` control wait
     batching, and ``--kernel-stats`` prints the scheduler counters.
+    ``--faults scenario.json`` injects a deterministic fault scenario;
+    ``--max-wall-seconds`` / ``--max-cycles`` / ``--max-stalled`` arm the
+    kernel watchdog (see docs/robustness.md).
+
+Structured failures (malformed PUM / scenario / checkpoint files, watchdog
+aborts, deadlocks) exit non-zero with a one-line message instead of a raw
+traceback.
 """
 
 from __future__ import annotations
@@ -40,7 +47,7 @@ import sys
 from .api import compile_cmini
 from .cdfg.printer import format_function
 from .estimation.annotator import annotate_ir_program
-from .pum import dct_hw, filtercore_hw, imdct_hw, load_pum, microblaze, pum_to_json, superscalar2
+from .pum import PUMError, dct_hw, filtercore_hw, imdct_hw, load_pum, microblaze, pum_to_json, superscalar2
 
 PUM_PRESETS = {
     "microblaze": microblaze,
@@ -181,7 +188,13 @@ def cmd_tlm(args, out):
         engine=args.engine, optimize=not args.no_optimize,
         quantum=args.quantum,
     )
-    result = model.run()
+    scenario = None
+    if args.faults:
+        from .faults import load_scenario
+
+        scenario = load_scenario(args.faults)
+    watchdog = _build_watchdog(args, model.reference_cycle_ns)
+    result = model.run(faults=scenario, watchdog=watchdog)
     out.write("Design %r (%s TLM): makespan %d cycles, simulated in %.3f s\n"
               % (design.name, "functional" if args.functional else "timed",
                  result.makespan_cycles, result.wall_seconds))
@@ -193,9 +206,41 @@ def cmd_tlm(args, out):
                 process.transactions, process.return_value,
             )
         )
+    if scenario is not None:
+        _write_fault_stats(out, scenario, result.fault_stats)
     if args.kernel_stats:
         _write_kernel_stats(out, result.kernel_stats)
     return 0
+
+
+def _build_watchdog(args, reference_cycle_ns):
+    """A :class:`~repro.simkernel.Watchdog` from CLI flags, or ``None``."""
+    if not (args.max_wall_seconds or args.max_cycles or args.max_stalled):
+        return None
+    from .simkernel import Watchdog
+
+    return Watchdog(
+        max_wall_seconds=args.max_wall_seconds,
+        max_sim_time=(
+            args.max_cycles * reference_cycle_ns if args.max_cycles else None
+        ),
+        max_stalled_activations=args.max_stalled,
+    )
+
+
+def _write_fault_stats(out, scenario, stats):
+    out.write(
+        "faults: scenario %r (seed %d): %d events — "
+        "%d corrupted, %d dropped, %d delayed transactions; "
+        "%d stalls, %d crashes, %d halts\n" % (
+            scenario.name, scenario.seed, stats.get("total_events", 0),
+            stats.get("corrupted_transactions", 0),
+            stats.get("dropped_transactions", 0),
+            stats.get("delayed_transactions", 0),
+            stats.get("stalls", 0), stats.get("crashes", 0),
+            stats.get("halts", 0),
+        )
+    )
 
 
 def _write_kernel_stats(out, stats):
@@ -239,10 +284,15 @@ def cmd_explore(args, out):
         params, n_frames=args.frames, seed=args.seed,
         cache_configs=cache_configs,
     )
-    result = explore(points, workers=args.workers)
+    result = explore(
+        points, workers=args.workers, point_timeout=args.point_timeout,
+        retries=args.retries, checkpoint=args.checkpoint,
+    )
+    restored = sum(1 for r in result.results if r.cached)
     out.write(
-        "Explored %d design points in %.2f s (workers=%d)\n\n"
-        % (len(result), result.total_seconds, result.workers)
+        "Explored %d design points in %.2f s (workers=%d%s)\n\n"
+        % (len(result), result.total_seconds, result.workers,
+           ", %d restored from checkpoint" % restored if restored else "")
     )
     out.write("%-4s %-18s %14s %9s\n"
               % ("rank", "design point", "est. cycles", "HW units"))
@@ -251,12 +301,18 @@ def cmd_explore(args, out):
             rank, point_result.point.name, point_result.makespan_cycles,
             point_result.point.area,
         ))
+    failures = result.failures
+    if failures:
+        out.write("\nFailed points:\n")
+        for point_result in failures:
+            out.write("  %-18s %s\n"
+                      % (point_result.point.name, point_result.error))
     front = result.pareto_front()
     out.write("\nPareto front (cycles vs HW units): %s\n"
               % " / ".join(r.point.name for r in front))
     if args.cache_stats:
         _write_cache_stats(out)
-    return 0
+    return 0 if not failures else 4
 
 
 def cmd_pum(args, out):
@@ -307,6 +363,17 @@ def build_parser():
                        help="use a reduced MP3 parameter set (fast smoke)")
     p_exp.add_argument("--cache-stats", action="store_true",
                        help="print schedule-cache hit/miss/entry counters")
+    p_exp.add_argument("--checkpoint", metavar="PATH",
+                       help="persist completed points to PATH and resume "
+                            "from it (atomic JSON; see docs/robustness.md)")
+    p_exp.add_argument("--point-timeout", type=float, default=None,
+                       metavar="SECS",
+                       help="per-point wall-clock bound for pooled "
+                            "evaluation; stuck points are reported as "
+                            "failed instead of wedging the sweep")
+    p_exp.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="pool rebuilds tolerated after worker crashes "
+                            "before degrading to sequential (default: 2)")
     p_exp.set_defaults(func=cmd_explore)
 
     p_run = sub.add_parser("run", help="execute a program")
@@ -364,6 +431,19 @@ def build_parser():
                             "equivalence baseline)")
     p_tlm.add_argument("--kernel-stats", action="store_true",
                        help="print scheduler activation/event counters")
+    p_tlm.add_argument("--faults", metavar="PATH",
+                       help="inject the fault scenario from a JSON file "
+                            "and report per-fault counters")
+    p_tlm.add_argument("--max-wall-seconds", type=float, default=None,
+                       metavar="SECS",
+                       help="watchdog: abort the simulation after this "
+                            "much real time")
+    p_tlm.add_argument("--max-cycles", type=int, default=None, metavar="N",
+                       help="watchdog: abort when simulated time passes "
+                            "N reference cycles")
+    p_tlm.add_argument("--max-stalled", type=int, default=None, metavar="N",
+                       help="watchdog: abort after N process activations "
+                            "with no simulated-time progress (livelock)")
     p_tlm.set_defaults(func=cmd_tlm)
 
     return parser
@@ -373,7 +453,18 @@ def main(argv=None, out=None):
     out = out or sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args, out)
+    from .explore import CheckpointError
+    from .faults import FaultScenarioError
+    from .simkernel import SimulationError
+
+    try:
+        return args.func(args, out)
+    except (PUMError, FaultScenarioError, CheckpointError) as exc:
+        out.write("error: %s\n" % exc)
+        return 2
+    except SimulationError as exc:
+        out.write("simulation aborted: %s\n" % exc)
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -48,7 +48,7 @@ class BoardResult:
     """Outcome of one PCAM (board) run."""
 
     def __init__(self, design_name, end_time_ns, wall_seconds, pes, cycle_ns,
-                 buses=None, kernel_stats=None):
+                 buses=None, kernel_stats=None, fault_stats=None):
         self.design_name = design_name
         self.end_time_ns = end_time_ns
         self.wall_seconds = wall_seconds
@@ -59,6 +59,9 @@ class BoardResult:
         #: scheduler counters of the run (``activations``,
         #: ``events_scheduled``, ``channel_fastpath_hits``)
         self.kernel_stats = kernel_stats or {}
+        #: fault-injection counters when the run had a
+        #: :class:`~repro.faults.FaultScenario` attached (``{}`` otherwise)
+        self.fault_stats = fault_stats or {}
 
     @property
     def makespan_cycles(self):
@@ -111,7 +114,8 @@ class _HWComm:
 
 
 def run_pcam(design, cache_schedules=True, reference_cycle_ns=10.0,
-             max_instrs=500_000_000, stack_words=None):
+             max_instrs=500_000_000, stack_words=None, faults=None,
+             watchdog=None):
     """Run the cycle-accurate co-simulation of ``design``.
 
     Args:
@@ -124,6 +128,10 @@ def run_pcam(design, cache_schedules=True, reference_cycle_ns=10.0,
             cycles.
         max_instrs: per-CPU runaway guard.
         stack_words: optional CPU stack-size override.
+        faults: optional :class:`~repro.faults.FaultScenario`; counters end
+            up on ``BoardResult.fault_stats``.  ``None`` leaves the
+            co-simulation untouched.
+        watchdog: optional :class:`~repro.simkernel.Watchdog` run limits.
 
     Returns:
         a :class:`BoardResult`.
@@ -144,6 +152,14 @@ def run_pcam(design, cache_schedules=True, reference_cycle_ns=10.0,
             chan_id,
             BusChannel(kernel, chan_decl.name, buses[chan_decl.bus_name]),
         )
+    active = None
+    if faults is not None:
+        active = faults.activate(reference_cycle_ns)
+        active.validate(
+            [(chan_id, channel.name) for chan_id, channel in channel_map],
+            list(design.processes),
+        )
+        channel_map = active.wrap_channel_map(channel_map)
 
     cpus = {}
     hw_units = {}
@@ -183,10 +199,12 @@ def run_pcam(design, cache_schedules=True, reference_cycle_ns=10.0,
             hw_units[name] = unit
             target = _make_hw_target(unit, channel_map, pe.cycle_ns, returns,
                                      name)
+        if active is not None:
+            target = active.wrap_target(target)
         kernel.add_process(name, target)
 
     wall_start = time.perf_counter()
-    end_time = kernel.run()
+    end_time = kernel.run(watchdog=watchdog)
     wall_seconds = time.perf_counter() - wall_start
 
     pes = {}
@@ -205,7 +223,9 @@ def run_pcam(design, cache_schedules=True, reference_cycle_ns=10.0,
     }
     return BoardResult(design.name, end_time, wall_seconds, pes,
                        reference_cycle_ns, buses=bus_stats,
-                       kernel_stats=kernel.kernel_stats())
+                       kernel_stats=kernel.kernel_stats(),
+                       fault_stats=(active.counters() if active is not None
+                                    else None))
 
 
 def _make_cpu_target(cpu, channel_map, cycle_ns, returns, name):

@@ -36,6 +36,8 @@ import json
 import os
 from collections import OrderedDict
 
+from ..ioutil import atomic_write_json
+
 #: Cache-format version for the on-disk JSON form.
 DISK_FORMAT_VERSION = 1
 
@@ -172,7 +174,12 @@ class ScheduleCache:
     # -- disk form ----------------------------------------------------------
 
     def save(self, path=None):
-        """Write the cache as JSON to ``path`` (default: ``self.path``)."""
+        """Write the cache as JSON to ``path`` (default: ``self.path``).
+
+        The write is atomic (same-directory temp file + ``os.replace``), so
+        a reader — or a crash mid-write — never observes a truncated cache
+        file; :meth:`load` either sees the old complete file or the new one.
+        """
         path = path or self.path
         if path is None:
             raise ValueError("no path given and cache has no backing file")
@@ -183,8 +190,7 @@ class ScheduleCache:
                 for key, (delay, issue, finish) in self._entries.items()
             },
         }
-        with open(path, "w") as handle:
-            json.dump(data, handle)
+        atomic_write_json(path, data)
         return path
 
     def load(self, path=None):

@@ -13,15 +13,36 @@ Points are independent, so :func:`explore` can fan them out over a
 ``concurrent.futures`` process pool (``workers=N``); results come back in
 submission order regardless of completion order, so rankings are
 deterministic (see docs/performance.md).
+
+Long sweeps are treated as production jobs (see docs/robustness.md):
+
+* a worker killed mid-sweep (OOM, SIGKILL) breaks only its own points —
+  the pool is rebuilt and the lost points retried with exponential backoff,
+  degrading to in-process sequential evaluation when pools keep dying;
+* ``point_timeout`` bounds how long any single point may hang; a stuck
+  point is recorded as a failed :class:`PointResult` instead of wedging the
+  sweep;
+* ``checkpoint=<path>`` persists every completed point to an atomic JSON
+  file, so an interrupted sweep resumes without re-evaluating anything.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
+import os
 import time
+from concurrent.futures.process import BrokenProcessPool
 
+from .ioutil import atomic_write_json
 from .tlm.generator import generate_tlm
+
+#: Checkpoint-file format version.
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+class CheckpointError(Exception):
+    """Raised for unreadable or mismatched exploration checkpoints."""
 
 
 class DesignPoint:
@@ -52,13 +73,19 @@ class PointResult:
     evaluated in-process; points evaluated in a worker process carry only
     the cycle summary (``tlm_result is None``), since simulation state does
     not cross the process boundary.
+
+    ``error`` is ``None`` for a successful evaluation; a failed point (its
+    evaluation raised, timed out, or was lost beyond retry) carries a
+    one-line description instead of cycle numbers and is excluded from
+    rankings.  ``cached`` marks results restored from a checkpoint file.
     """
 
     __slots__ = ("point", "makespan_cycles", "per_process_cycles",
-                 "wall_seconds", "tlm_result")
+                 "wall_seconds", "tlm_result", "error", "cached")
 
     def __init__(self, point, tlm_result=None, wall_seconds=0.0,
-                 makespan_cycles=None, per_process_cycles=None):
+                 makespan_cycles=None, per_process_cycles=None,
+                 error=None, cached=False):
         self.point = point
         if tlm_result is not None:
             self.makespan_cycles = tlm_result.makespan_cycles
@@ -70,8 +97,18 @@ class PointResult:
             self.per_process_cycles = dict(per_process_cycles or {})
         self.wall_seconds = wall_seconds
         self.tlm_result = tlm_result
+        self.error = error
+        self.cached = cached
+
+    @property
+    def ok(self):
+        return self.error is None
 
     def __repr__(self):
+        if self.error is not None:
+            return "PointResult(%r: failed: %s)" % (
+                self.point.name, self.error,
+            )
         return "PointResult(%r: %d cycles)" % (
             self.point.name, self.makespan_cycles,
         )
@@ -85,11 +122,16 @@ class ExplorationResult:
         self.total_seconds = total_seconds
         self.workers = workers
 
+    @property
+    def failures(self):
+        """Points whose evaluation failed (empty on a clean sweep)."""
+        return [r for r in self.results if not r.ok]
+
     def ranked(self, objective=None):
-        """Points sorted best-first by ``objective(result)`` (default:
-        makespan cycles)."""
+        """Successful points sorted best-first by ``objective(result)``
+        (default: makespan cycles); failed points are excluded."""
         key = objective or (lambda r: r.makespan_cycles)
-        return sorted(self.results, key=key)
+        return sorted((r for r in self.results if r.ok), key=key)
 
     def best(self, objective=None, constraint=None):
         """The best point satisfying ``constraint(result)`` (or ``None``)."""
@@ -99,11 +141,15 @@ class ExplorationResult:
         return None
 
     def pareto_front(self):
-        """Points not dominated in (makespan, area) — the classic DSE view."""
+        """Points not dominated in (makespan, area) — the classic DSE view.
+
+        Failed points cannot be compared and are excluded.
+        """
+        candidates = [r for r in self.results if r.ok]
         front = []
-        for candidate in self.results:
+        for candidate in candidates:
             dominated = False
-            for other in self.results:
+            for other in candidates:
                 if other is candidate:
                     continue
                 if (other.makespan_cycles <= candidate.makespan_cycles
@@ -118,6 +164,79 @@ class ExplorationResult:
 
     def __len__(self):
         return len(self.results)
+
+
+class ExplorationCheckpoint:
+    """Atomic JSON persistence of completed design points.
+
+    Every completed point is recorded (and the file rewritten atomically)
+    as soon as its result reaches the parent process, so a sweep killed at
+    any moment leaves a loadable checkpoint behind.  Re-running with the
+    same path restores those points without re-evaluating them.
+
+    The file binds to the sweep's wait granularity: resuming a checkpoint
+    written under a different granularity would silently mix cycle counts
+    from different simulation configurations, so that raises
+    :class:`CheckpointError` instead.
+    """
+
+    def __init__(self, path, granularity="transaction"):
+        self.path = path
+        self.granularity = granularity
+        self.completed = {}  # point name -> payload dict
+        self._load()
+
+    def _load(self):
+        if not os.path.exists(self.path):
+            return
+        import json
+
+        try:
+            with open(self.path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                "checkpoint %s is unreadable: %s" % (self.path, exc)
+            ) from None
+        if not isinstance(data, dict) or (
+            data.get("version") != CHECKPOINT_FORMAT_VERSION
+        ):
+            raise CheckpointError(
+                "checkpoint %s has an unsupported format (version %r)"
+                % (self.path, data.get("version") if isinstance(data, dict)
+                   else None)
+            )
+        if data.get("granularity") != self.granularity:
+            raise CheckpointError(
+                "checkpoint %s was written for granularity %r, this sweep "
+                "uses %r — delete the file or match the granularity"
+                % (self.path, data.get("granularity"), self.granularity)
+            )
+        for name, entry in data.get("points", {}).items():
+            if (isinstance(entry, dict)
+                    and "makespan_cycles" in entry
+                    and "per_process_cycles" in entry):
+                self.completed[name] = entry
+
+    def record(self, name, makespan_cycles, per_process_cycles,
+               wall_seconds):
+        """Persist one completed point (atomic rewrite)."""
+        self.completed[name] = {
+            "makespan_cycles": makespan_cycles,
+            "per_process_cycles": dict(per_process_cycles),
+            "wall_seconds": wall_seconds,
+        }
+        self.save()
+
+    def save(self):
+        atomic_write_json(self.path, {
+            "version": CHECKPOINT_FORMAT_VERSION,
+            "granularity": self.granularity,
+            "points": self.completed,
+        })
+
+    def __len__(self):
+        return len(self.completed)
 
 
 # Pre-fork hand-off to worker processes.  Design-point builders are
@@ -142,12 +261,41 @@ def _evaluate_point_index(index):
     return index, tlm_result.makespan_cycles, per_process, wall
 
 
-def _explore_parallel(points, granularity, workers):
-    """Fan the points out over a process pool; ``None`` = not available.
+def _kill_pool(pool):
+    """Tear a pool down without waiting on hung workers.
 
-    Requires the ``fork`` start method (closure-based builders cannot be
-    pickled for ``spawn``); callers fall back to the sequential path when it
-    is missing or the pool cannot be created.
+    ``shutdown(wait=True)`` would block forever behind a wedged point, and
+    even ``wait=False`` leaves the interpreter joining the worker at exit —
+    so the workers are killed outright.  Reaching into ``_processes`` is
+    unavoidable: the executor API offers no kill.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except (OSError, AttributeError):
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _explore_parallel(points, granularity, workers, indices,
+                      point_timeout=None, retries=2, retry_backoff=0.5,
+                      on_result=None):
+    """Evaluate ``indices`` of ``points`` on a process pool.
+
+    Returns ``{index: payload}`` where payload is
+    ``("ok", makespan, per_process, wall)`` or ``("error", message)``.
+    Indices missing from the dict were lost beyond ``retries`` pool
+    breakages (e.g. workers repeatedly OOM-killed) and are the caller's to
+    evaluate sequentially — graceful degradation, never an unhandled
+    ``BrokenProcessPool``.  Returns ``None`` when no pool could be created
+    at all (fork-less platform or resource exhaustion).
+
+    ``point_timeout`` bounds each point's wall time; a stuck point is
+    recorded as failed (its worker is killed) and is *not* retried — a
+    deterministic hang would just hang again.  ``on_result`` is called as
+    ``on_result(index, payload)`` the moment each point completes, which is
+    what keeps checkpoints current mid-sweep.
     """
     try:
         mp_context = multiprocessing.get_context("fork")
@@ -155,23 +303,109 @@ def _explore_parallel(points, granularity, workers):
         return None
     _fork_payload["points"] = points
     _fork_payload["granularity"] = granularity
+    results = {}
+    pending = list(indices)
+    breakages = 0
+    pool_ever_created = False
     try:
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(workers, len(points)),
-            mp_context=mp_context,
-        ) as pool:
-            payloads = list(
-                pool.map(_evaluate_point_index, range(len(points)))
-            )
-    except (OSError, PermissionError, NotImplementedError):
-        return None
+        while pending:
+            try:
+                pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(workers, len(pending)),
+                    mp_context=mp_context,
+                )
+            except (OSError, PermissionError, NotImplementedError):
+                break
+            pool_ever_created = True
+            broken = False
+            timed_out = False
+            still_pending = []
+            try:
+                try:
+                    futures = [
+                        (index, pool.submit(_evaluate_point_index, index))
+                        for index in pending
+                    ]
+                except BrokenProcessPool:
+                    broken = True
+                    futures = []
+                    still_pending = list(pending)
+                for index, future in futures:
+                    try:
+                        payload = future.result(timeout=point_timeout)
+                    except concurrent.futures.TimeoutError:
+                        # This point is wedged: record it as failed (no
+                        # retry — a deterministic hang would hang again),
+                        # kill the pool and re-run whatever else was left.
+                        results[index] = (
+                            "error",
+                            "timeout: exceeded %.1f s" % point_timeout,
+                        )
+                        if on_result is not None:
+                            on_result(index, results[index])
+                        timed_out = True
+                        still_pending = [
+                            i for i, _ in futures if i not in results
+                        ]
+                        break
+                    except BrokenProcessPool:
+                        broken = True
+                        still_pending = [
+                            i for i, _ in futures if i not in results
+                        ]
+                        break
+                    except Exception as exc:
+                        results[index] = (
+                            "error", "%s: %s" % (type(exc).__name__, exc),
+                        )
+                        if on_result is not None:
+                            on_result(index, results[index])
+                    else:
+                        results[index] = ("ok",) + tuple(payload[1:])
+                        if on_result is not None:
+                            on_result(index, results[index])
+            finally:
+                if timed_out or broken:
+                    _kill_pool(pool)
+                else:
+                    pool.shutdown(wait=True)
+            pending = [i for i in still_pending if i not in results]
+            if broken:
+                breakages += 1
+                if breakages > retries:
+                    break  # degrade: caller evaluates the rest sequentially
+                # Exponential backoff before rebuilding the pool: if workers
+                # died to memory pressure, give the host a moment.
+                time.sleep(retry_backoff * (2 ** (breakages - 1)))
     finally:
         _fork_payload.clear()
-    # Deterministic ordering: results in submission (= input) order.
-    return sorted(payloads, key=lambda payload: payload[0])
+    if not pool_ever_created and not results:
+        return None
+    return results
 
 
-def explore(points, granularity="transaction", workers=1):
+def _evaluate_sequential(point, granularity):
+    """In-process evaluation of one point; never raises for point-local
+    failures (returns a failed :class:`PointResult` instead)."""
+    wall_start = time.perf_counter()
+    try:
+        design = point.build()
+        model = generate_tlm(design, timed=True, granularity=granularity)
+        tlm_result = model.run()
+    except Exception as exc:
+        return PointResult(
+            point,
+            wall_seconds=time.perf_counter() - wall_start,
+            error="%s: %s" % (type(exc).__name__, exc),
+        )
+    return PointResult(
+        point, tlm_result, time.perf_counter() - wall_start,
+    )
+
+
+def explore(points, granularity="transaction", workers=1,
+            point_timeout=None, retries=2, retry_backoff=0.5,
+            checkpoint=None):
     """Evaluate every design point with a timed TLM.
 
     Args:
@@ -184,36 +418,97 @@ def explore(points, granularity="transaction", workers=1):
             platforms without ``fork``.  Either way the result list is in
             input order and every cycle count is identical (simulation is
             deterministic), so rankings do not depend on ``workers``.
+        point_timeout: optional per-point wall-clock bound (seconds) for
+            pool evaluation; a stuck point is recorded as a failed result
+            instead of wedging the sweep.
+        retries: pool rebuilds tolerated after worker crashes
+            (``BrokenProcessPool``) before degrading the remaining points
+            to sequential evaluation.
+        retry_backoff: base of the exponential backoff (seconds) between
+            pool rebuilds.
+        checkpoint: optional path (or :class:`ExplorationCheckpoint`) —
+            completed points are persisted as they finish and restored on
+            the next run instead of being re-evaluated.  Requires unique
+            point names.
 
     Returns:
-        an :class:`ExplorationResult`.
+        an :class:`ExplorationResult` with one result per input point, in
+        input order; failed points carry ``error`` and are excluded from
+        rankings (see ``ExplorationResult.failures``).
     """
     points = list(points)
     start = time.perf_counter()
-    if workers > 1 and len(points) > 1:
-        payloads = _explore_parallel(points, granularity, workers)
-        if payloads is not None:
-            results = [
-                PointResult(
-                    points[index],
-                    wall_seconds=wall,
-                    makespan_cycles=makespan,
-                    per_process_cycles=per_process,
-                )
-                for index, makespan, per_process, wall in payloads
-            ]
-            return ExplorationResult(
-                results, time.perf_counter() - start, workers=workers,
+
+    ckpt = None
+    if checkpoint is not None:
+        names = [p.name for p in points]
+        if len(set(names)) != len(names):
+            raise CheckpointError(
+                "checkpointed sweeps need unique point names"
             )
-    results = []
-    for point in points:
-        design = point.build()
-        model = generate_tlm(design, timed=True, granularity=granularity)
-        wall_start = time.perf_counter()
-        tlm_result = model.run()
-        wall = time.perf_counter() - wall_start
-        results.append(PointResult(point, tlm_result, wall))
-    return ExplorationResult(results, time.perf_counter() - start)
+        ckpt = (
+            checkpoint if isinstance(checkpoint, ExplorationCheckpoint)
+            else ExplorationCheckpoint(checkpoint, granularity)
+        )
+
+    slots = [None] * len(points)
+    todo = []
+    for index, point in enumerate(points):
+        entry = ckpt.completed.get(point.name) if ckpt is not None else None
+        if entry is not None:
+            slots[index] = PointResult(
+                point,
+                makespan_cycles=entry["makespan_cycles"],
+                per_process_cycles=entry["per_process_cycles"],
+                wall_seconds=entry.get("wall_seconds", 0.0),
+                cached=True,
+            )
+        else:
+            todo.append(index)
+
+    def on_parallel_result(index, payload):
+        if ckpt is not None and payload[0] == "ok":
+            _, makespan, per_process, wall = payload
+            ckpt.record(points[index].name, makespan, per_process, wall)
+
+    used_workers = 1
+    if workers > 1 and len(todo) > 1:
+        payloads = _explore_parallel(
+            points, granularity, workers, todo,
+            point_timeout=point_timeout, retries=retries,
+            retry_backoff=retry_backoff, on_result=on_parallel_result,
+        )
+        if payloads is not None:
+            used_workers = workers
+            for index, payload in payloads.items():
+                point = points[index]
+                if payload[0] == "ok":
+                    _, makespan, per_process, wall = payload
+                    slots[index] = PointResult(
+                        point,
+                        wall_seconds=wall,
+                        makespan_cycles=makespan,
+                        per_process_cycles=per_process,
+                    )
+                else:
+                    slots[index] = PointResult(point, error=payload[1])
+
+    # Sequential path: everything parallel evaluation did not cover —
+    # the workers=1 default, fork-less platforms, and the degradation
+    # path for points lost to repeated pool breakage.
+    for index in range(len(points)):
+        if slots[index] is not None:
+            continue
+        result = _evaluate_sequential(points[index], granularity)
+        slots[index] = result
+        if ckpt is not None and result.ok:
+            ckpt.record(
+                points[index].name, result.makespan_cycles,
+                result.per_process_cycles, result.wall_seconds,
+            )
+    return ExplorationResult(
+        slots, time.perf_counter() - start, workers=used_workers,
+    )
 
 
 def mp3_design_points(params=None, n_frames=2, seed=7, cache_configs=None,

@@ -1,0 +1,44 @@
+"""Deterministic, seeded fault injection for TLM and PCAM simulations.
+
+The resilience layer's chaos-engineering half: declarative
+:class:`FaultScenario` objects (see :mod:`repro.faults.scenario`) attach to
+any TLM or PCAM run and deterministically corrupt, drop or delay bus
+transactions, and stall or crash PEs — with per-fault counters surfaced on
+``TLMResult.fault_stats`` / ``BoardResult.fault_stats``.  With no scenario
+attached the simulation paths are untouched (strictly pay-for-what-you-use;
+cycle counts stay bit-identical to the fault-free goldens).
+
+See docs/robustness.md for the fault model and the scenario file format.
+"""
+
+from .inject import ActiveScenario, FaultInjectedError, FaultyChannel
+from .scenario import (
+    CHANNEL_FAULT_KINDS,
+    CRASH_MODES,
+    PROCESS_FAULT_KINDS,
+    SCENARIO_FORMAT_VERSION,
+    ChannelFault,
+    FaultScenario,
+    FaultScenarioError,
+    ProcessFault,
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+)
+
+__all__ = [
+    "ActiveScenario",
+    "CHANNEL_FAULT_KINDS",
+    "CRASH_MODES",
+    "ChannelFault",
+    "FaultInjectedError",
+    "FaultScenario",
+    "FaultScenarioError",
+    "FaultyChannel",
+    "PROCESS_FAULT_KINDS",
+    "ProcessFault",
+    "SCENARIO_FORMAT_VERSION",
+    "load_scenario",
+    "save_scenario",
+    "scenario_from_dict",
+]

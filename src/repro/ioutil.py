@@ -1,0 +1,35 @@
+"""Small I/O helpers shared by the persistence layers.
+
+Every on-disk JSON artifact in this repo (schedule cache, exploration
+checkpoints, fault scenarios) is written through :func:`atomic_write_json`:
+the data lands in a same-directory temporary file first and is moved into
+place with ``os.replace``, which is atomic on POSIX.  A reader — or a
+concurrent writer — can therefore never observe a truncated file, and an
+interrupted writer leaves the previous version intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+
+def atomic_write_json(path, data, indent=None):
+    """Write ``data`` as JSON to ``path`` atomically.
+
+    The temporary file lives next to the target (``os.replace`` requires
+    the same filesystem) and is removed if serialisation or the rename
+    fails.  Returns ``path``.
+    """
+    tmp = "%s.tmp.%d" % (path, os.getpid())
+    try:
+        with open(tmp, "w") as handle:
+            json.dump(data, handle, indent=indent)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path

@@ -18,7 +18,43 @@ from .model import (
     OpMapping,
     Pipeline,
     PUM,
+    PUMError,
 )
+
+
+class PUMFormatError(PUMError):
+    """A PUM file / dict could not be parsed.
+
+    Carries the offending field (dotted path into the document) and, when
+    the document came from disk, the file path — so a bad hand-edited JSON
+    produces one actionable line instead of a raw ``KeyError`` traceback.
+    """
+
+    def __init__(self, message, field=None, path=None):
+        self.message = message
+        self.field = field
+        self.path = path
+        parts = []
+        if path is not None:
+            parts.append("%s: " % path)
+        parts.append(message)
+        if field is not None:
+            parts.append(" (at %r)" % field)
+        super().__init__("".join(parts))
+
+
+def _require(mapping, key, where):
+    if not isinstance(mapping, dict):
+        raise PUMFormatError(
+            "expected an object, got %s" % type(mapping).__name__,
+            field=where,
+        )
+    if key not in mapping:
+        raise PUMFormatError(
+            "missing required field %r" % key,
+            field="%s.%s" % (where, key) if where else key,
+        )
+    return mapping[key]
 
 
 def pum_to_dict(pum):
@@ -77,33 +113,76 @@ def pum_to_dict(pum):
 
 
 def pum_from_dict(data):
-    """Reconstruct a PUM from :func:`pum_to_dict` output."""
+    """Reconstruct a PUM from :func:`pum_to_dict` output.
+
+    Raises:
+        PUMFormatError: when a required field is missing or has the wrong
+            shape; the error names the offending dotted field path.
+    """
+    exec_data = _require(data, "execution", "")
     mappings = {}
-    for opclass, m in data["execution"]["op_mappings"].items():
-        usage = {int(stage): tuple(fu) for stage, fu in m["usage"].items()}
-        mappings[opclass] = OpMapping(m["demand"], m["commit"], usage)
-    execution = ExecutionModel(data["execution"]["policy"], mappings)
+    raw_mappings = _require(exec_data, "op_mappings", "execution")
+    if not isinstance(raw_mappings, dict):
+        raise PUMFormatError(
+            "expected an object, got %s" % type(raw_mappings).__name__,
+            field="execution.op_mappings",
+        )
+    for opclass, m in raw_mappings.items():
+        where = "execution.op_mappings.%s" % opclass
+        raw_usage = _require(m, "usage", where)
+        try:
+            usage = {int(stage): tuple(fu) for stage, fu in raw_usage.items()}
+        except (AttributeError, TypeError, ValueError):
+            raise PUMFormatError(
+                "malformed stage-usage table", field="%s.usage" % where
+            ) from None
+        mappings[opclass] = OpMapping(
+            _require(m, "demand", where), _require(m, "commit", where), usage
+        )
+    execution = ExecutionModel(_require(exec_data, "policy", "execution"),
+                               mappings)
     units = [
-        FunctionalUnit(u["uid"], u["kind"], u["quantity"], u["modes"])
-        for u in data["units"]
+        FunctionalUnit(
+            _require(u, "uid", "units[%d]" % i),
+            _require(u, "kind", "units[%d]" % i),
+            _require(u, "quantity", "units[%d]" % i),
+            _require(u, "modes", "units[%d]" % i),
+        )
+        for i, u in enumerate(_require(data, "units", ""))
     ]
     pipelines = [
-        Pipeline(p["name"], p["stages"], p["width"]) for p in data["pipelines"]
+        Pipeline(
+            _require(p, "name", "pipelines[%d]" % i),
+            _require(p, "stages", "pipelines[%d]" % i),
+            _require(p, "width", "pipelines[%d]" % i),
+        )
+        for i, p in enumerate(_require(data, "pipelines", ""))
     ]
     branch = None
     if "branch" in data:
         b = data["branch"]
-        branch = BranchModel(b["policy"], b["penalty"], b["miss_rate"])
+        branch = BranchModel(
+            _require(b, "policy", "branch"),
+            _require(b, "penalty", "branch"),
+            _require(b, "miss_rate", "branch"),
+        )
     memory = None
     if "memory" in data:
         m = data["memory"]
-        memory = MemoryModel(
-            {int(s): CachePoint(*pt) for s, pt in m["icache"].items()},
-            {int(s): CachePoint(*pt) for s, pt in m["dcache"].items()},
-            m["ext_latency"],
-        )
+        try:
+            memory = MemoryModel(
+                {int(s): CachePoint(*pt)
+                 for s, pt in _require(m, "icache", "memory").items()},
+                {int(s): CachePoint(*pt)
+                 for s, pt in _require(m, "dcache", "memory").items()},
+                _require(m, "ext_latency", "memory"),
+            )
+        except (AttributeError, TypeError, ValueError):
+            raise PUMFormatError(
+                "malformed cache point table", field="memory"
+            ) from None
     return PUM(
-        data["name"],
+        _require(data, "name", ""),
         execution,
         units,
         pipelines,
@@ -138,7 +217,11 @@ def pum_to_json(pum, indent=2):
 
 
 def pum_from_json(text):
-    return pum_from_dict(json.loads(text))
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise PUMFormatError("invalid JSON: %s" % exc) from exc
+    return pum_from_dict(data)
 
 
 def save_pum(pum, path):
@@ -147,5 +230,20 @@ def save_pum(pum, path):
 
 
 def load_pum(path):
-    with open(path) as handle:
-        return pum_from_json(handle.read())
+    """Load a PUM from a JSON file.
+
+    Raises:
+        PUMFormatError: on unreadable files, invalid JSON, or a document
+            missing required fields — always naming ``path``.
+    """
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise PUMFormatError("cannot read PUM file: %s" % exc,
+                             path=str(path)) from exc
+    try:
+        return pum_from_json(text)
+    except PUMFormatError as exc:
+        raise PUMFormatError(exc.message, field=exc.field,
+                             path=str(path)) from exc

@@ -4,9 +4,14 @@ from .channel import Bus, BusChannel, ChannelMap
 from .kernel import (
     DeadlockError,
     GeneratorProcess,
+    HorizonExceeded,
     Kernel,
+    LivelockError,
     SimProcess,
     SimulationError,
+    WallClockExceeded,
+    Watchdog,
+    WatchdogError,
 )
 
 __all__ = [
@@ -15,7 +20,12 @@ __all__ = [
     "ChannelMap",
     "DeadlockError",
     "GeneratorProcess",
+    "HorizonExceeded",
     "Kernel",
+    "LivelockError",
     "SimProcess",
     "SimulationError",
+    "WallClockExceeded",
+    "Watchdog",
+    "WatchdogError",
 ]

@@ -28,6 +28,7 @@ from __future__ import annotations
 import heapq
 import inspect
 import threading
+import time
 from collections import deque
 
 
@@ -37,6 +38,67 @@ class SimulationError(Exception):
 
 class DeadlockError(SimulationError):
     """Raised when processes remain blocked but no timed event is pending."""
+
+
+class WatchdogError(SimulationError):
+    """Base class for watchdog-triggered aborts (see :class:`Watchdog`)."""
+
+
+class WallClockExceeded(WatchdogError):
+    """The run exceeded the watchdog's real-time budget."""
+
+
+class HorizonExceeded(WatchdogError):
+    """Simulated time passed the watchdog's hard horizon."""
+
+
+class LivelockError(WatchdogError):
+    """Processes keep activating without simulated time advancing."""
+
+
+class Watchdog:
+    """Run limits for :meth:`Kernel.run` — all optional, all off by default.
+
+    Args:
+        max_wall_seconds: abort with :class:`WallClockExceeded` when the run
+            has consumed this much real time.  Checked every
+            ``wall_check_interval`` activations to keep the hot loop cheap.
+        max_sim_time: abort with :class:`HorizonExceeded` when simulated
+            time passes this value (kernel time units).  Unlike
+            ``run(until=...)`` — which stops quietly and can be resumed —
+            crossing this horizon is treated as a failure.
+        max_stalled_activations: abort with :class:`LivelockError` after
+            this many consecutive activations with no simulated-time
+            progress; the error names the processes active in the stall
+            window.  Legitimate same-time bursts (channel wake chains) are
+            usually short, so set this comfortably above the design's fan-out.
+        wall_check_interval: activations between wall-clock checks.
+    """
+
+    __slots__ = ("max_wall_seconds", "max_sim_time",
+                 "max_stalled_activations", "wall_check_interval")
+
+    def __init__(self, max_wall_seconds=None, max_sim_time=None,
+                 max_stalled_activations=None, wall_check_interval=1024):
+        if max_wall_seconds is not None and max_wall_seconds <= 0:
+            raise ValueError("max_wall_seconds must be positive")
+        if max_sim_time is not None and max_sim_time <= 0:
+            raise ValueError("max_sim_time must be positive")
+        if (max_stalled_activations is not None
+                and max_stalled_activations < 1):
+            raise ValueError("max_stalled_activations must be >= 1")
+        if wall_check_interval < 1:
+            raise ValueError("wall_check_interval must be >= 1")
+        self.max_wall_seconds = max_wall_seconds
+        self.max_sim_time = max_sim_time
+        self.max_stalled_activations = max_stalled_activations
+        self.wall_check_interval = wall_check_interval
+
+    def __repr__(self):
+        return ("Watchdog(max_wall_seconds=%r, max_sim_time=%r, "
+                "max_stalled_activations=%r)" % (
+                    self.max_wall_seconds, self.max_sim_time,
+                    self.max_stalled_activations))
 
 
 class _ProcessExit(Exception):
@@ -264,7 +326,7 @@ class Kernel:
             "channel_fastpath_hits": self.channel_fastpath_hits,
         }
 
-    def run(self, until=None):
+    def run(self, until=None, watchdog=None):
         """Run until no events remain (or simulated time exceeds ``until``).
 
         Returns the final simulation time.  Raises :class:`DeadlockError` if
@@ -272,7 +334,29 @@ class Kernel:
         ``until`` horizon cuts the run short, the first over-horizon event is
         requeued and processes stay suspended, so a later ``run()`` resumes
         the simulation exactly where it stopped.
+
+        ``watchdog`` (a :class:`Watchdog`) arms wall-clock / sim-horizon /
+        livelock limits; each fires as a structured :class:`WatchdogError`
+        naming the unfinished processes.  With no watchdog the scheduling
+        loop is exactly the unguarded fast path.
         """
+        if watchdog is None:
+            cut = self._run_loop(until)
+        else:
+            cut = self._run_loop_guarded(until, watchdog)
+        if cut:
+            return self.now
+        blocked = [p for p in self.processes if not p.finished]
+        if blocked:
+            self._shutdown()
+            raise DeadlockError(
+                "deadlock: processes blocked forever: %s"
+                % self._process_summary(blocked)
+            )
+        return self.now
+
+    def _run_loop(self, until):
+        """The unguarded scheduling loop; True when cut by ``until``."""
         queue = self._queue
         ready = self._ready
         while queue or ready:
@@ -287,7 +371,7 @@ class Kernel:
                 if until is not None and when > until:
                     heapq.heappush(queue, (when, seq, process))
                     self.now = until
-                    return self.now
+                    return True
                 self.now = when
             if process.finished:
                 continue
@@ -295,14 +379,97 @@ class Kernel:
                 self.trace(self.now, process.name)
             self.activations += 1
             process._resume()
-        blocked = [p for p in self.processes if not p.finished]
-        if blocked:
-            self._shutdown()
-            raise DeadlockError(
-                "deadlock: processes blocked forever: %s"
-                % ", ".join("%s (%s)" % (p.name, p.blocked_on) for p in blocked)
-            )
-        return self.now
+        return False
+
+    def _run_loop_guarded(self, until, watchdog):
+        """The scheduling loop with watchdog checks woven in.
+
+        Kept separate from :meth:`_run_loop` so simulations that do not arm
+        a watchdog pay nothing for it (this is the repo's hottest loop).
+        """
+        queue = self._queue
+        ready = self._ready
+        horizon = watchdog.max_sim_time
+        stall_limit = watchdog.max_stalled_activations
+        wall_budget = watchdog.max_wall_seconds
+        wall_interval = watchdog.wall_check_interval
+        wall_deadline = (
+            time.perf_counter() + wall_budget
+            if wall_budget is not None else None
+        )
+        wall_countdown = wall_interval
+        last_progress_time = self.now
+        stalled = 0
+        stall_names = []
+        while queue or ready:
+            if ready and (
+                not queue
+                or queue[0][0] > self.now
+                or (queue[0][0] == self.now and queue[0][1] > ready[0][0])
+            ):
+                _, process = ready.popleft()
+            else:
+                when, seq, process = heapq.heappop(queue)
+                if until is not None and when > until:
+                    heapq.heappush(queue, (when, seq, process))
+                    self.now = until
+                    return True
+                self.now = when
+            if process.finished:
+                continue
+            if horizon is not None and self.now > horizon:
+                self._shutdown()
+                raise HorizonExceeded(
+                    "watchdog: simulated time %.1f passed the horizon %.1f; "
+                    "unfinished: %s"
+                    % (self.now, horizon, self._unfinished_summary())
+                )
+            if stall_limit is not None:
+                if self.now != last_progress_time:
+                    last_progress_time = self.now
+                    stalled = 0
+                    del stall_names[:]
+                else:
+                    stalled += 1
+                    if len(stall_names) < 8 and (
+                        process.name not in stall_names
+                    ):
+                        stall_names.append(process.name)
+                    if stalled > stall_limit:
+                        self._shutdown()
+                        raise LivelockError(
+                            "watchdog: livelock suspected — %d activations "
+                            "with no time progress at t=%.1f; recently "
+                            "active: %s"
+                            % (stalled, self.now, ", ".join(stall_names))
+                        )
+            if wall_deadline is not None:
+                wall_countdown -= 1
+                if wall_countdown <= 0:
+                    wall_countdown = wall_interval
+                    if time.perf_counter() > wall_deadline:
+                        self._shutdown()
+                        raise WallClockExceeded(
+                            "watchdog: run exceeded %.3f s of wall-clock "
+                            "time at t=%.1f; unfinished: %s"
+                            % (wall_budget, self.now,
+                               self._unfinished_summary())
+                        )
+            if self.trace is not None:
+                self.trace(self.now, process.name)
+            self.activations += 1
+            process._resume()
+        return False
+
+    @staticmethod
+    def _process_summary(processes):
+        return ", ".join(
+            "%s (%s)" % (p.name, p.blocked_on or "ready") for p in processes
+        )
+
+    def _unfinished_summary(self):
+        unfinished = [p for p in self.processes if not p.finished]
+        return self._process_summary(unfinished) or "none"
 
     def stop(self):
         """Terminate all unfinished processes.

@@ -74,7 +74,7 @@ class TLMResult:
     """Outcome of one TLM simulation."""
 
     def __init__(self, design_name, timed, end_time_ns, wall_seconds,
-                 processes, cycle_ns, kernel_stats=None):
+                 processes, cycle_ns, kernel_stats=None, fault_stats=None):
         self.design_name = design_name
         self.timed = timed
         self.end_time_ns = end_time_ns
@@ -84,6 +84,9 @@ class TLMResult:
         #: scheduler counters of the run (``activations``,
         #: ``events_scheduled``, ``channel_fastpath_hits``, ``engine``)
         self.kernel_stats = kernel_stats or {}
+        #: fault-injection counters when the run had a
+        #: :class:`~repro.faults.FaultScenario` attached (``{}`` otherwise)
+        self.fault_stats = fault_stats or {}
 
     @property
     def makespan_cycles(self):
@@ -140,11 +143,20 @@ class TLModel:
 
     # -- execution -----------------------------------------------------------
 
-    def run(self, until=None):
+    def run(self, until=None, faults=None, watchdog=None):
         """Simulate the model once; returns a :class:`TLMResult`.
 
         Each call builds a fresh kernel and fresh per-process global stores,
         so ``run`` is repeatable.
+
+        Args:
+            until: optional quiet simulated-time horizon (resumable).
+            faults: optional :class:`~repro.faults.FaultScenario`; the run
+                then injects the scenario's faults and reports counters on
+                ``TLMResult.fault_stats``.  ``None`` (default) leaves every
+                simulation path untouched.
+            watchdog: optional :class:`~repro.simkernel.Watchdog` arming
+                wall-clock / horizon / livelock limits on the kernel.
         """
         kernel = Kernel()
         channel_map = ChannelMap()
@@ -161,6 +173,14 @@ class TLModel:
                 chan_id,
                 BusChannel(kernel, chan_decl.name, buses[chan_decl.bus_name]),
             )
+        active = None
+        if faults is not None:
+            active = faults.activate(self.reference_cycle_ns)
+            active.validate(
+                [(chan_id, channel.name) for chan_id, channel in channel_map],
+                list(self.programs),
+            )
+            channel_map = active.wrap_channel_map(channel_map)
         binding = ChannelBinding(channel_map)
 
         shares = {}
@@ -197,11 +217,13 @@ class TLModel:
             target = self._make_target(
                 generated, decl, ctx, returns, as_generator
             )
+            if active is not None:
+                target = active.wrap_target(target)
             sim_process = kernel.add_process(name, target)
             ctx.sim_process = sim_process
 
         wall_start = time.perf_counter()
-        end_time = kernel.run(until=until)
+        end_time = kernel.run(until=until, watchdog=watchdog)
         wall_seconds = time.perf_counter() - wall_start
 
         processes = {}
@@ -224,6 +246,7 @@ class TLModel:
             processes,
             self.reference_cycle_ns,
             kernel_stats=stats,
+            fault_stats=active.counters() if active is not None else None,
         )
 
     @staticmethod

@@ -216,6 +216,32 @@ class TestDiskCache:
         with pytest.raises(ValueError):
             ScheduleCache().save()
 
+    def test_save_is_atomic(self, tmp_path, monkeypatch):
+        import json
+        import os as os_module
+
+        path = str(tmp_path / "sched.json")
+        cache = ScheduleCache()
+        cache.put("fp", "hash", 3, [0, 1], [1, 2])
+        cache.save(path)
+        before = open(path).read()
+
+        # A crash mid-write must leave the previous complete file intact:
+        # fail the final rename and confirm the target is untouched and no
+        # temp litter remains readable as the cache.
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash during replace")
+
+        monkeypatch.setattr("repro.ioutil.os.replace", exploding_replace)
+        cache.put("fp2", "hash2", 4, [0], [1])
+        with pytest.raises(OSError):
+            cache.save(path)
+        assert open(path).read() == before
+        assert json.loads(before)["entries"]  # still complete JSON
+        leftovers = [n for n in os_module.listdir(str(tmp_path))
+                     if n.startswith("sched.json.tmp")]
+        assert leftovers == []  # temp file cleaned up on failure
+
 
 class TestDefaultCache:
     def test_env_opt_out(self, monkeypatch):

@@ -1,0 +1,146 @@
+"""Scenario construction, validation and JSON round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    ChannelFault,
+    FaultScenario,
+    FaultScenarioError,
+    ProcessFault,
+    SCENARIO_FORMAT_VERSION,
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+)
+
+
+class TestChannelFault:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultScenarioError):
+            ChannelFault("mangle", "c0")
+
+    def test_rate_out_of_range(self):
+        with pytest.raises(FaultScenarioError):
+            ChannelFault("corrupt", "c0", rate=1.5)
+        with pytest.raises(FaultScenarioError):
+            ChannelFault("corrupt", "c0", rate=-0.1)
+
+    def test_delay_needs_cycles(self):
+        with pytest.raises(FaultScenarioError):
+            ChannelFault("delay", "c0", cycles=0)
+
+    def test_max_events_positive(self):
+        with pytest.raises(FaultScenarioError):
+            ChannelFault("drop", "c0", max_events=0)
+
+    def test_matches_name_or_id(self):
+        by_name = ChannelFault("corrupt", "req")
+        assert by_name.matches(1, "req")
+        assert not by_name.matches(1, "rsp")
+        by_id = ChannelFault("corrupt", 2)
+        assert by_id.matches(2, "rsp")
+        assert not by_id.matches(1, "req")
+
+
+class TestProcessFault:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultScenarioError):
+            ProcessFault("explode", "cpu")
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(FaultScenarioError):
+            ProcessFault("stall", "cpu", at_cycle=-1, cycles=10)
+
+    def test_stall_needs_cycles(self):
+        with pytest.raises(FaultScenarioError):
+            ProcessFault("stall", "cpu", cycles=0)
+
+    def test_crash_mode_validated(self):
+        with pytest.raises(FaultScenarioError):
+            ProcessFault("crash", "cpu", mode="segfault")
+        for mode in ("error", "halt"):
+            ProcessFault("crash", "cpu", mode=mode)
+
+
+class TestScenario:
+    def test_rejects_non_fault_entries(self):
+        with pytest.raises(FaultScenarioError):
+            FaultScenario(faults=["corrupt everything"])
+
+    def test_fault_family_accessors(self):
+        scenario = FaultScenario(faults=[
+            ChannelFault("drop", "c0"),
+            ProcessFault("stall", "cpu", cycles=5),
+        ])
+        assert len(scenario.channel_faults) == 1
+        assert len(scenario.process_faults) == 1
+
+    def test_dict_round_trip(self):
+        scenario = FaultScenario("chaos", seed=7, faults=[
+            ChannelFault("corrupt", "req", rate=0.25, xor_mask=0xFF),
+            ChannelFault("delay", 2, cycles=20, max_events=3),
+            ChannelFault("drop", "rsp", rate=0.1),
+            ProcessFault("stall", "cpu", at_cycle=100, cycles=50),
+            ProcessFault("crash", "hw0", at_cycle=500, mode="halt"),
+        ])
+        restored = scenario_from_dict(scenario.to_dict())
+        assert restored.name == "chaos" and restored.seed == 7
+        assert restored.to_dict() == scenario.to_dict()
+
+    def test_json_file_round_trip(self, tmp_path):
+        scenario = FaultScenario("disk", seed=3, faults=[
+            ChannelFault("delay", "req", rate=0.5, cycles=10),
+        ])
+        path = str(tmp_path / "scenario.json")
+        save_scenario(scenario, path)
+        loaded = load_scenario(path)
+        assert loaded.to_dict() == scenario.to_dict()
+        # the on-disk form is plain versioned JSON
+        data = json.loads(open(path).read())
+        assert data["version"] == SCENARIO_FORMAT_VERSION
+
+
+class TestScenarioErrors:
+    def test_missing_file(self, tmp_path):
+        path = str(tmp_path / "nope.json")
+        with pytest.raises(FaultScenarioError) as exc_info:
+            load_scenario(path)
+        assert path in str(exc_info.value)
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        with pytest.raises(FaultScenarioError) as exc_info:
+            load_scenario(str(path))
+        assert "not valid JSON" in str(exc_info.value)
+
+    def test_unknown_fault_type_names_index(self, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "faults": [{"type": "drop", "channel": "c0"},
+                       {"type": "gremlin", "channel": "c0"}],
+        }))
+        with pytest.raises(FaultScenarioError) as exc_info:
+            load_scenario(str(path))
+        assert "faults[1]" in str(exc_info.value)
+
+    def test_missing_field_names_index(self):
+        with pytest.raises(FaultScenarioError) as exc_info:
+            scenario_from_dict({"faults": [{"type": "drop"}]})
+        assert "channel" in str(exc_info.value)
+        assert "faults[0]" in str(exc_info.value)
+
+    def test_unsupported_version(self):
+        with pytest.raises(FaultScenarioError):
+            scenario_from_dict({"version": 99, "faults": []})
+
+    def test_non_integer_seed(self):
+        with pytest.raises(FaultScenarioError):
+            scenario_from_dict({"seed": "lucky", "faults": []})
+
+    def test_faults_must_be_list(self):
+        with pytest.raises(FaultScenarioError):
+            scenario_from_dict({"faults": {"type": "drop"}})

@@ -3,7 +3,14 @@ loudly, not with silently-wrong models."""
 
 import pytest
 
-from repro.pum import pum_from_dict, pum_to_dict, microblaze
+from repro.pum import (
+    PUMFormatError,
+    load_pum,
+    pum_from_dict,
+    pum_from_json,
+    pum_to_dict,
+    microblaze,
+)
 from repro.pum.model import PUMError
 
 
@@ -15,8 +22,19 @@ class TestMalformedPUMs:
     def test_missing_required_key(self):
         data = valid()
         del data["execution"]
-        with pytest.raises(KeyError):
+        with pytest.raises(PUMFormatError) as exc_info:
             pum_from_dict(data)
+        assert "execution" in str(exc_info.value)
+
+    def test_missing_nested_key_names_field(self):
+        data = valid()
+        del data["execution"]["op_mappings"]["alu"]["demand"]
+        with pytest.raises(PUMFormatError) as exc_info:
+            pum_from_dict(data)
+        assert "op_mappings.alu" in str(exc_info.value)
+
+    def test_format_error_is_pum_error(self):
+        assert issubclass(PUMFormatError, PUMError)
 
     def test_bad_policy(self):
         data = valid()
@@ -75,3 +93,35 @@ class TestMalformedPUMs:
         data["units"].append(dict(data["units"][0], uid="alu_dup"))
         with pytest.raises(PUMError):
             pum_from_dict(data)
+
+
+class TestLoadPum:
+    def test_missing_file_names_path(self, tmp_path):
+        path = str(tmp_path / "nope.json")
+        with pytest.raises(PUMFormatError) as exc_info:
+            load_pum(path)
+        assert path in str(exc_info.value)
+
+    def test_invalid_json_names_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(PUMFormatError) as exc_info:
+            load_pum(str(path))
+        assert str(path) in str(exc_info.value)
+        assert "invalid JSON" in str(exc_info.value)
+
+    def test_missing_field_names_path_and_field(self, tmp_path):
+        import json
+
+        data = valid()
+        del data["pipelines"]
+        path = tmp_path / "incomplete.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(PUMFormatError) as exc_info:
+            load_pum(str(path))
+        message = str(exc_info.value)
+        assert str(path) in message and "pipelines" in message
+
+    def test_invalid_json_text(self):
+        with pytest.raises(PUMFormatError):
+            pum_from_json("[1, 2")

@@ -159,6 +159,107 @@ class TestErrors:
             run_cli(["frobnicate"])
 
 
+class TestResilienceFlags:
+    @pytest.fixture()
+    def design_file(self, tmp_path):
+        from repro.pum import dct_hw, microblaze
+        from repro.tlm import Design, save_design
+
+        design = Design("cli-faults")
+        design.add_pe("cpu", microblaze(2048, 2048))
+        design.add_pe("hw0", dct_hw())
+        design.add_bus("bus0")
+        design.add_channel(1, "req", "bus0")
+        design.add_channel(2, "rsp", "bus0")
+        design.add_process("sw", """
+        int buf[4];
+        int main(void) {
+          for (int i = 0; i < 4; i++) buf[i] = i;
+          send(1, buf, 4);
+          recv(2, buf, 4);
+          return buf[0];
+        }""", "main", "cpu")
+        design.add_process("acc", """
+        int d[4];
+        void main(void) {
+          recv(1, d, 4);
+          for (int i = 0; i < 4; i++) d[i] = d[i] + 1;
+          send(2, d, 4);
+        }""", "main", "hw0")
+        path = tmp_path / "design.json"
+        save_design(design, str(path))
+        return str(path)
+
+    def _scenario_file(self, tmp_path, faults):
+        import json
+
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(
+            {"version": 1, "name": "cli", "seed": 3, "faults": faults}
+        ))
+        return str(path)
+
+    def test_simulate_with_faults_reports_counters(self, design_file,
+                                                   tmp_path):
+        scenario = self._scenario_file(tmp_path, [
+            {"type": "delay", "channel": "req", "cycles": 20},
+        ])
+        code, text = run_cli(["simulate", design_file, "--faults", scenario])
+        assert code == 0
+        assert "faults: scenario 'cli'" in text
+        assert "1 delayed" in text
+
+    def test_missing_scenario_is_one_line_error(self, design_file):
+        code, text = run_cli([
+            "simulate", design_file, "--faults", "/nonexistent/scenario.json",
+        ])
+        assert code == 2
+        assert text.startswith("error:")
+        assert "Traceback" not in text
+
+    def test_crash_fault_exits_with_simulation_error(self, design_file,
+                                                     tmp_path):
+        scenario = self._scenario_file(tmp_path, [
+            {"type": "crash", "process": "sw", "at_cycle": 0},
+        ])
+        code, text = run_cli(["simulate", design_file, "--faults", scenario])
+        assert code == 3
+        assert "simulation aborted" in text
+
+    def test_watchdog_horizon_aborts(self, design_file):
+        code, text = run_cli(["simulate", design_file, "--max-cycles", "1"])
+        assert code == 3
+        assert "simulation aborted" in text
+
+    def test_watchdog_flags_allow_clean_run(self, design_file):
+        code, text = run_cli([
+            "simulate", design_file,
+            "--max-cycles", "1000000", "--max-stalled", "100000",
+        ])
+        assert code == 0
+        assert "makespan" in text
+
+    def test_bad_pum_json_is_one_line_error(self, source_file, tmp_path):
+        bad = tmp_path / "bad-pum.json"
+        bad.write_text("{not json")
+        code, text = run_cli(
+            ["estimate", source_file, "--pum-json", str(bad)]
+        )
+        assert code == 2
+        assert text.startswith("error:")
+        assert "invalid JSON" in text
+
+    def test_explore_checkpoint_restores(self, tmp_path):
+        ckpt = str(tmp_path / "sweep.json")
+        args = ["explore", "--small", "--cache-config", "2048:2048",
+                "--checkpoint", ckpt]
+        code, _ = run_cli(args)
+        assert code == 0
+        code, text = run_cli(args)
+        assert code == 0
+        assert "restored from checkpoint" in text
+
+
 class TestPum:
     def test_preset_dump(self):
         code, text = run_cli(["pum", "microblaze"])

@@ -1,0 +1,231 @@
+"""Resilience tests for design-space exploration: crashed workers, stuck
+points, degradation to sequential evaluation, and checkpoint resume."""
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.explore import (
+    CheckpointError,
+    DesignPoint,
+    ExplorationCheckpoint,
+    explore,
+)
+from repro.pum import microblaze
+from repro.tlm import Design
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="resilience tests exercise forked pools"
+)
+
+
+def _make_design(name, n_iters=60):
+    design = Design(name)
+    design.add_pe("cpu", microblaze(8192, 4096))
+    design.add_process("p", """
+    int main(void) {
+      int s = 0;
+      for (int i = 0; i < %d; i++) s += i * 3;
+      return s;
+    }""" % n_iters, "main", "cpu")
+    return design
+
+
+def _plain_point(name, n_iters=60, log=None):
+    def build():
+        if log is not None:
+            with open(log, "a") as handle:
+                handle.write(name + "\n")
+        return _make_design(name, n_iters)
+
+    return DesignPoint(name, build, area=1)
+
+
+def _kill_once_point(name, flag_path):
+    """Dies by SIGKILL on its first evaluation (simulating an OOM-killed
+    worker); evaluates normally on any later attempt."""
+
+    def build():
+        if not os.path.exists(flag_path):
+            open(flag_path, "w").close()
+            os.kill(os.getpid(), signal.SIGKILL)
+        return _make_design(name)
+
+    return DesignPoint(name, build, area=1)
+
+
+def _kill_always_in_worker_point(name):
+    """Dies by SIGKILL on every evaluation in a forked worker, but evaluates
+    normally in the parent — forcing degradation to the sequential path."""
+    parent_pid = os.getpid()
+
+    def build():
+        if os.getpid() != parent_pid:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return _make_design(name)
+
+    return DesignPoint(name, build, area=1)
+
+
+def _hang_point(name):
+    def build():
+        time.sleep(120.0)
+        return _make_design(name)
+
+    return DesignPoint(name, build, area=1)
+
+
+def _raise_point(name):
+    def build():
+        raise RuntimeError("synthetic build failure")
+
+    return DesignPoint(name, build, area=1)
+
+
+class TestWorkerCrash:
+    def test_killed_worker_results_still_complete_and_ordered(self, tmp_path):
+        flag = str(tmp_path / "died-once")
+        points = [
+            _plain_point("a"),
+            _kill_once_point("victim", flag),
+            _plain_point("b"),
+        ]
+        result = explore(points, workers=2)
+        assert [r.point.name for r in result.results] == ["a", "victim", "b"]
+        assert all(r.ok for r in result.results)
+        assert all(r.makespan_cycles > 0 for r in result.results)
+        assert os.path.exists(flag)  # the kill really happened
+
+    def test_persistent_crashes_degrade_to_sequential(self):
+        points = [
+            _plain_point("a"),
+            _kill_always_in_worker_point("poison"),
+            _plain_point("b"),
+        ]
+        # Every pool dies; after `retries` rebuilds the leftovers are
+        # evaluated in-process — no unhandled BrokenProcessPool, complete
+        # input-ordered results.
+        result = explore(points, workers=2, retries=1, retry_backoff=0.01)
+        assert [r.point.name for r in result.results] == ["a", "poison", "b"]
+        assert all(r.ok for r in result.results)
+
+    def test_point_exception_is_isolated(self):
+        points = [
+            _plain_point("a"),
+            _raise_point("broken"),
+            _plain_point("b"),
+        ]
+        result = explore(points, workers=2)
+        assert [r.point.name for r in result.results] == ["a", "broken", "b"]
+        failed = result.results[1]
+        assert not failed.ok and "synthetic build failure" in failed.error
+        assert [r.point.name for r in result.failures] == ["broken"]
+        # Rankings and the Pareto front skip the failure.
+        assert {r.point.name for r in result.ranked()} == {"a", "b"}
+
+    def test_sequential_point_exception_is_isolated(self):
+        result = explore([_raise_point("broken"), _plain_point("a")])
+        assert not result.results[0].ok
+        assert result.results[1].ok
+
+
+class TestPointTimeout:
+    def test_stuck_point_reported_not_wedged(self):
+        points = [
+            _hang_point("stuck"),
+            _plain_point("a"),
+            _plain_point("b"),
+        ]
+        start = time.perf_counter()
+        result = explore(points, workers=2, point_timeout=2.0)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 60.0  # nowhere near the 120 s hang
+        assert [r.point.name for r in result.results] == ["stuck", "a", "b"]
+        stuck = result.results[0]
+        assert not stuck.ok and "timeout" in stuck.error
+        assert result.results[1].ok and result.results[2].ok
+
+
+class TestCheckpoint:
+    def test_resume_skips_completed_points(self, tmp_path):
+        log = str(tmp_path / "evals.log")
+        ckpt = str(tmp_path / "sweep.json")
+        points = [_plain_point(name, log=log) for name in ("a", "b", "c")]
+
+        first = explore(points, checkpoint=ckpt)
+        assert all(r.ok and not r.cached for r in first.results)
+        assert open(log).read().splitlines() == ["a", "b", "c"]
+
+        second = explore(points, checkpoint=ckpt)
+        # Zero re-evaluations: the log did not grow, every result is cached.
+        assert open(log).read().splitlines() == ["a", "b", "c"]
+        assert all(r.cached for r in second.results)
+        assert (
+            [r.makespan_cycles for r in second.results]
+            == [r.makespan_cycles for r in first.results]
+        )
+
+    def test_partial_checkpoint_only_evaluates_missing(self, tmp_path):
+        log = str(tmp_path / "evals.log")
+        ckpt_path = str(tmp_path / "sweep.json")
+        points = [_plain_point(name, log=log) for name in ("a", "b")]
+        explore(points[:1], checkpoint=ckpt_path)
+        result = explore(points, checkpoint=ckpt_path)
+        assert open(log).read().splitlines() == ["a", "b"]
+        assert result.results[0].cached and not result.results[1].cached
+
+    def test_checkpoint_written_during_parallel_sweep(self, tmp_path):
+        ckpt_path = str(tmp_path / "sweep.json")
+        points = [_plain_point(name) for name in ("a", "b", "c")]
+        explore(points, workers=2, checkpoint=ckpt_path)
+        data = json.load(open(ckpt_path))
+        assert set(data["points"]) == {"a", "b", "c"}
+        for entry in data["points"].values():
+            assert entry["makespan_cycles"] > 0
+            assert entry["per_process_cycles"]
+
+    def test_failed_points_are_not_checkpointed(self, tmp_path):
+        ckpt_path = str(tmp_path / "sweep.json")
+        explore([_raise_point("broken"), _plain_point("a")],
+                checkpoint=ckpt_path)
+        restored = ExplorationCheckpoint(ckpt_path)
+        assert set(restored.completed) == {"a"}
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        points = [_plain_point("dup"), _plain_point("dup")]
+        with pytest.raises(CheckpointError):
+            explore(points, checkpoint=str(tmp_path / "c.json"))
+
+    def test_corrupt_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{torn write")
+        with pytest.raises(CheckpointError):
+            explore([_plain_point("a")], checkpoint=str(path))
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"version": 99, "points": {}}))
+        with pytest.raises(CheckpointError):
+            explore([_plain_point("a")], checkpoint=str(path))
+
+    def test_granularity_mismatch_rejected(self, tmp_path):
+        ckpt_path = str(tmp_path / "sweep.json")
+        explore([_plain_point("a")], checkpoint=ckpt_path,
+                granularity="transaction")
+        with pytest.raises(CheckpointError) as exc_info:
+            explore([_plain_point("a")], checkpoint=ckpt_path,
+                    granularity="block")
+        assert "granularity" in str(exc_info.value)
+
+    def test_checkpoint_survives_killed_sweep(self, tmp_path):
+        # Simulate the interrupted sweep by checkpointing a prefix, then
+        # confirm a fresh ExplorationCheckpoint reads it back (the file is
+        # rewritten atomically after every point, so any interruption point
+        # leaves a loadable file).
+        ckpt = ExplorationCheckpoint(str(tmp_path / "sweep.json"))
+        ckpt.record("done-point", 1234, {"p": 1234}, 0.5)
+        restored = ExplorationCheckpoint(str(tmp_path / "sweep.json"))
+        assert restored.completed["done-point"]["makespan_cycles"] == 1234
