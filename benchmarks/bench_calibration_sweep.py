@@ -1,0 +1,148 @@
+"""Calibration-sweep benchmark for the reference-model fast path.
+
+The paper's calibration step measures cache statistics on a reference
+simulation of the training workload for every cache configuration of
+interest.  The fast path captures the (configuration-independent) access
+trace once and evaluates all geometries with the stack-distance evaluator,
+so the sweep does exactly one reference run instead of one per config.
+
+This bench times both paths on the MP3 training workload over the paper's
+five cache configurations, asserts the headline >= 5x speedup, and pins
+bit-identity: every per-config hit rate and both calibrated model tables
+must match the per-config replay exactly.  Results land in
+``results/calibration_sweep.txt`` and ``results/BENCH_calibration_sweep.json``.
+
+CI runs the identity subset via ``-k identical`` on a reduced workload.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.apps.mp3 import Mp3Params, build_design
+from repro.calibration import calibrate_pum
+from repro.pum import PAPER_CACHE_CONFIGS, microblaze
+from repro.reporting import Table, fmt_seconds
+
+TRAIN_FRAMES = int(os.environ.get("REPRO_TRAIN_FRAMES", "1"))
+TRAIN_SEED = 99  # matches conftest's calibration fixture
+
+SPEEDUP_FLOOR = 5.0
+
+_walls = {}
+
+
+def _train_design(isize, dsize):
+    design, _ = build_design(
+        "SW", Mp3Params(), n_frames=TRAIN_FRAMES, seed=TRAIN_SEED,
+        icache_size=isize, dcache_size=dsize,
+    )
+    return design
+
+
+def _timed(trace_cache, rounds):
+    """Best-of-N wall time (returns the last result): the sweep is
+    deterministic, so the minimum is the least noise-contaminated sample."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = calibrate_pum(microblaze(), _train_design,
+                               PAPER_CACHE_CONFIGS, trace_cache=trace_cache)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def warmup():
+    """Untimed single-config run of each path so one-time compile caches
+    (the replay and trace routes compile through different entry points)
+    don't skew whichever timed path happens to execute first."""
+    calibrate_pum(microblaze(), _train_design, PAPER_CACHE_CONFIGS[:1],
+                  trace_cache=False)
+    calibrate_pum(microblaze(), _train_design, PAPER_CACHE_CONFIGS[:1],
+                  trace_cache=True)
+
+
+@pytest.fixture(scope="module")
+def replay(warmup):
+    """Baseline: one full reference simulation per cache configuration."""
+    wall, result = _timed(trace_cache=False, rounds=2)
+    _walls["replay"] = wall
+    return result
+
+
+@pytest.fixture(scope="module")
+def traced(warmup):
+    """Fast path: trace once, evaluate every geometry from the trace."""
+    wall, result = _timed(trace_cache=True, rounds=3)
+    _walls["traced"] = wall
+    return result
+
+
+def _model_tables(result):
+    memory = result.memory_model
+    return (
+        {s: (p.hit_rate, p.hit_delay) for s, p in memory.icache.items()},
+        {s: (p.hit_rate, p.hit_delay) for s, p in memory.dcache.items()},
+        memory.ext_latency,
+        (result.branch_model.policy, result.branch_model.penalty,
+         result.branch_model.miss_rate),
+    )
+
+
+def test_reference_run_counts(traced, replay):
+    assert traced.traced and traced.reference_runs == 1
+    assert not replay.traced
+    assert replay.reference_runs == len(PAPER_CACHE_CONFIGS)
+
+
+def test_measurements_identical(traced, replay):
+    assert set(traced.measurements) == set(replay.measurements)
+    for config, slow_stats in replay.measurements.items():
+        slow_stats = dict(slow_stats)
+        slow_stats.pop("cycles")  # timing: the one thing a trace omits
+        assert traced.measurements[config] == slow_stats, config
+
+
+def test_model_tables_identical(traced, replay):
+    assert _model_tables(traced) == _model_tables(replay)
+
+
+def test_speedup_exceeds_5x(traced, replay):
+    speedup = _walls["replay"] / _walls["traced"]
+    assert speedup >= SPEEDUP_FLOOR, (
+        "calibration sweep speedup %.2fx below %.1fx floor "
+        "(replay %.3fs, traced %.3fs)"
+        % (speedup, SPEEDUP_FLOOR, _walls["replay"], _walls["traced"])
+    )
+
+
+def test_render_calibration_sweep(tables, metrics, traced, replay):
+    speedup = _walls["replay"] / _walls["traced"]
+    table = Table(
+        ["Path", "Reference runs", "Wall", "Speedup"],
+        title="Calibration sweep — %d cache configs, MP3 (%d frame(s))"
+        % (len(PAPER_CACHE_CONFIGS), TRAIN_FRAMES),
+    )
+    table.add_row("per-config replay", str(replay.reference_runs),
+                  fmt_seconds(_walls["replay"]), "1.00x")
+    table.add_row("trace once + stack distances", str(traced.reference_runs),
+                  fmt_seconds(_walls["traced"]), "%.2fx" % speedup)
+    tables["calibration_sweep"] = table.render() + (
+        "\n(Hit rates and calibrated MemoryModel/BranchModel tables are "
+        "bit-identical between the two paths.)"
+    )
+    metrics["calibration_sweep"] = {
+        "frames": TRAIN_FRAMES,
+        "configs": len(PAPER_CACHE_CONFIGS),
+        "replay_reference_runs": replay.reference_runs,
+        "traced_reference_runs": traced.reference_runs,
+        "replay_wall_seconds": _walls["replay"],
+        "traced_wall_seconds": _walls["traced"],
+        "speedup": speedup,
+        "wall_seconds": _walls["replay"] + _walls["traced"],
+    }

@@ -12,6 +12,8 @@ Environment knobs:
 
 * ``REPRO_EVAL_FRAMES`` (default 2) — frames decoded in evaluation runs.
 * ``REPRO_TRAIN_FRAMES`` (default 1) — frames in the calibration run.
+* ``REPRO_TRACE_CAL`` (default 1) — use the trace-once/evaluate-many
+  calibration fast path; set to 0 to replay every cache config directly.
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ from repro.pum import PAPER_CACHE_CONFIGS, microblaze
 
 EVAL_FRAMES = int(os.environ.get("REPRO_EVAL_FRAMES", "2"))
 TRAIN_FRAMES = int(os.environ.get("REPRO_TRAIN_FRAMES", "1"))
+TRACE_CAL = os.environ.get("REPRO_TRACE_CAL", "1") != "0"
 TRAIN_SEED = 99
 EVAL_SEED = 7
 
@@ -126,7 +129,8 @@ def calibration(mp3_params):
         )
         return design
 
-    return calibrate_pum(microblaze(), train_design, PAPER_CACHE_CONFIGS)
+    return calibrate_pum(microblaze(), train_design, PAPER_CACHE_CONFIGS,
+                         trace_cache=TRACE_CAL)
 
 
 @pytest.fixture(scope="session")

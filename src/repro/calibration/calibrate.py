@@ -10,25 +10,52 @@ instances from the observed rates.
 Estimation benchmarks calibrate on a training input and evaluate on a
 different input, so the reported accuracy is honest about the statistical
 nature of the PUM (the same honesty gap the paper's Tables 2/3 measure).
+
+The sweep has a fast path (the default, see docs/performance.md): the
+memory-access streams and branch outcomes of the training run do not depend
+on the cache configuration — caches change *timing*, never values — so one
+*traced* reference run plus a single-pass stack-distance evaluation
+(:mod:`repro.trace`) replaces the per-configuration re-simulation, with
+bit-identical hit rates and model tables.  Configurations the trace cannot
+answer (``TraceError``, e.g. a mismatched line size) fall back to direct
+per-config simulation, which can additionally be fanned out over the
+shared fork pool (``workers=N``).
 """
 
 from __future__ import annotations
 
 from ..cycle.pcam import run_pcam
+from ..parallel import fork_map, get_payload
 from ..pum.model import BranchModel, CachePoint, MemoryModel
+from ..trace import CacheGeometry, TraceError, capture_design_trace, \
+    evaluate_stream
 
 
 class CalibrationResult:
     """Everything a calibration sweep measured."""
 
-    def __init__(self, memory_model, branch_model, measurements):
+    def __init__(self, memory_model, branch_model, measurements,
+                 reference_runs=None, traced=False):
         self.memory_model = memory_model
         self.branch_model = branch_model
-        #: {(icache_size, dcache_size): merged cpu stats dict}
+        #: {(icache_size, dcache_size): merged cpu stats dict}.  On the
+        #: traced fast path the dicts carry no ``cycles`` key (timing is
+        #: exactly what the trace does not re-simulate); every other key is
+        #: bit-identical to the per-config replay path.
         self.measurements = measurements
+        #: cycle-accurate reference executions the sweep performed
+        #: (1 on the traced fast path, one per config otherwise)
+        self.reference_runs = (
+            reference_runs if reference_runs is not None
+            else len(measurements)
+        )
+        #: True when the traced fast path produced the measurements
+        self.traced = traced
 
     def __repr__(self):
-        return "CalibrationResult(%d configs)" % len(self.measurements)
+        return "CalibrationResult(%d configs, %d reference runs)" % (
+            len(self.measurements), self.reference_runs,
+        )
 
 
 def measure_design(design):
@@ -80,7 +107,85 @@ def build_branch_model(measurements, policy, penalty):
     return BranchModel(policy, penalty, miss_rate)
 
 
-def calibrate_pum(base_pum, make_design, cache_configs):
+def _trace_measurements(traces, configs):
+    """Synthesize every config's merged CPU stats from captured traces.
+
+    Each stream is evaluated *once* for all the distinct cache sizes the
+    sweep asks about (the single-pass stack-distance evaluator answers them
+    together); the per-config dicts then replicate, key for key and float
+    for float, what ``run_pcam(design).cpu_stats()`` reports for that
+    configuration — per-PE stats built with :meth:`CycleCPU.stats`'s exact
+    arithmetic, then summed across PEs — except for ``cycles``, which a
+    trace deliberately does not carry.
+    """
+    i_sizes = sorted({isize for isize, _ in configs})
+    d_sizes = sorted({dsize for _, dsize in configs})
+    counts = []  # per trace: ({isize: (hits, misses)}, {dsize: ...})
+    for trace in traces.values():
+        i_counts = dict(zip(i_sizes, evaluate_stream(
+            trace.ifetch, [CacheGeometry(size) for size in i_sizes])))
+        d_counts = dict(zip(d_sizes, evaluate_stream(
+            trace.daccess, [CacheGeometry(size) for size in d_sizes])))
+        counts.append((i_counts, d_counts))
+    measurements = {}
+    for isize, dsize in configs:
+        merged = {}
+        for trace, (i_counts, d_counts) in zip(traces.values(), counts):
+            i_hits, i_misses = i_counts[isize]
+            d_hits, d_misses = d_counts[dsize]
+            i_total = i_hits + i_misses
+            d_total = d_hits + d_misses
+            detail = {
+                "instrs": trace.instrs,
+                "icache_hits": i_hits,
+                "icache_misses": i_misses,
+                "icache_hit_rate": i_hits / i_total if i_total else 0.0,
+                "dcache_hits": d_hits,
+                "dcache_misses": d_misses,
+                "dcache_hit_rate": d_hits / d_total if d_total else 0.0,
+                "branch_predictions": trace.branch_predictions,
+                "branch_miss_rate": trace.branch_miss_rate,
+            }
+            for key, value in detail.items():
+                merged[key] = merged.get(key, 0) + value
+        measurements[(isize, dsize)] = merged
+    return measurements
+
+
+def _measure_config_index(index):
+    """Worker-side reference run of one cache config (forked child)."""
+    payload = get_payload()
+    isize, dsize = payload["configs"][index]
+    return measure_design(payload["make_design"](isize, dsize))
+
+
+def _measure_per_config(make_design, configs, workers):
+    """The per-config replay path: one reference run per configuration,
+    optionally fanned out over the shared fork pool.  Results are keyed by
+    config in input order regardless of completion order; configs a broken
+    pool lost (or ``workers=1``) run sequentially in-process."""
+    stats = [None] * len(configs)
+    if workers > 1 and len(configs) > 1:
+        payloads = fork_map(
+            _measure_config_index, range(len(configs)), workers,
+            payload={"make_design": make_design, "configs": configs},
+        )
+        for index, payload in (payloads or {}).items():
+            if payload[0] == "ok":
+                stats[index] = payload[1]
+            # errors fall through to the sequential retry below: a config
+            # that genuinely cannot run will raise there, in-process, with
+            # a real traceback
+    for index, (isize, dsize) in enumerate(configs):
+        if stats[index] is None:
+            stats[index] = measure_design(make_design(isize, dsize))
+    return {
+        config: stats[index] for index, config in enumerate(configs)
+    }
+
+
+def calibrate_pum(base_pum, make_design, cache_configs, trace_cache=True,
+                  workers=1):
     """Calibrate a CPU PUM over a set of cache configurations.
 
     Args:
@@ -88,17 +193,38 @@ def calibrate_pum(base_pum, make_design, cache_configs):
             datapath/execution models are kept as-is).
         make_design: callable ``(icache_size, dcache_size) -> Design``
             building the *training* design for one cache configuration.
+            The designs must differ only in their cache sizes (the
+            calibration contract this function has always had; the fast
+            path additionally relies on it).
         cache_configs: iterable of ``(icache_size, dcache_size)`` tuples.
+        trace_cache: use the trace-once/evaluate-many fast path (one traced
+            reference run, stack-distance evaluation for every config).
+            Falls back to per-config simulation when the trace cannot
+            answer a config (``TraceError``).  ``False`` forces per-config
+            replay.
+        workers: fork-pool width for the per-config path (ignored by the
+            fast path, which performs a single reference run).
 
     Returns:
         a :class:`CalibrationResult`; ``result.memory_model`` /
         ``result.branch_model`` plug into ``PUM`` via the library factories
         (e.g. ``microblaze(memory_model=..., branch_model=...)``).
     """
-    measurements = {}
-    for isize, dsize in cache_configs:
-        design = make_design(isize, dsize)
-        measurements[(isize, dsize)] = measure_design(design)
+    configs = [tuple(config) for config in cache_configs]
+    measurements = None
+    reference_runs = 0
+    traced = False
+    if trace_cache and configs:
+        try:
+            traces = capture_design_trace(make_design(*configs[0]))
+            measurements = _trace_measurements(traces, configs)
+            reference_runs = 1
+            traced = True
+        except TraceError:
+            measurements = None
+    if measurements is None:
+        measurements = _measure_per_config(make_design, configs, workers)
+        reference_runs = len(configs)
     ext_latency = base_pum.memory.ext_latency if base_pum.memory else 0
     memory_model = build_memory_model(measurements, ext_latency)
     if base_pum.branch is not None:
@@ -107,4 +233,5 @@ def calibrate_pum(base_pum, make_design, cache_configs):
         )
     else:
         branch_model = None
-    return CalibrationResult(memory_model, branch_model, measurements)
+    return CalibrationResult(memory_model, branch_model, measurements,
+                             reference_runs=reference_runs, traced=traced)

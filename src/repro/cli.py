@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     python -m repro disasm app.cmini
     python -m repro pum microblaze
     python -m repro explore --workers 4 --frames 1
+    python -m repro calibrate --small --cache-config 8192:4096
     python -m repro simulate design.json --kernel-stats
 
 Subcommands:
@@ -19,6 +20,12 @@ Subcommands:
     Sweep the MP3 design space (mappings × cache configurations) with
     generated timed TLMs and print the ranking; ``--workers N`` evaluates
     points on a process pool.
+``calibrate``
+    Measure cache hit rates and branch misprediction on the MP3 training
+    workload and print the calibrated ``MemoryModel``/``BranchModel``.
+    The default trace-once/evaluate-many fast path performs a single
+    reference run for any number of cache configs (``--no-trace-cache``
+    forces per-config replay, ``--workers N`` fans the replays out).
 ``run``
     Execute a program: reference interpreter by default, or the generated
     timed code (``--timed``) which also reports the cycle estimate.
@@ -315,6 +322,67 @@ def cmd_explore(args, out):
     return 0 if not failures else 4
 
 
+def cmd_calibrate(args, out):
+    import time
+
+    from .apps.mp3 import Mp3Params, build_design
+    from .calibration import calibrate_pum
+    from .pum import PAPER_CACHE_CONFIGS, microblaze
+
+    params = (
+        Mp3Params(n_subbands=4, n_slots=4, n_phases=4, n_alias=2)
+        if args.small else Mp3Params()
+    )
+    cache_configs = (
+        _parse_cache_configs(args.cache_config)
+        if args.cache_config else PAPER_CACHE_CONFIGS
+    )
+
+    def make_design(icache, dcache):
+        design, _ = build_design(
+            args.variant, params, n_frames=args.frames, seed=args.seed,
+            icache_size=icache, dcache_size=dcache,
+        )
+        return design
+
+    wall_start = time.perf_counter()
+    result = calibrate_pum(
+        microblaze(), make_design, cache_configs,
+        trace_cache=args.trace_cache, workers=args.workers,
+    )
+    wall = time.perf_counter() - wall_start
+    out.write(
+        "Calibrated %r on %d cache configs in %.2f s "
+        "(%d reference run%s, %s)\n\n" % (
+            args.variant, len(cache_configs), wall, result.reference_runs,
+            "" if result.reference_runs == 1 else "s",
+            "traced fast path" if result.traced else "per-config replay",
+        )
+    )
+    out.write("%-8s %-8s %12s %12s %12s\n"
+              % ("icache", "dcache", "i hit rate", "d hit rate", "br miss"))
+    for (isize, dsize) in cache_configs:
+        stats = result.measurements[(isize, dsize)]
+        out.write("%-8d %-8d %12.4f %12.4f %12.4f\n" % (
+            isize, dsize, stats.get("icache_hit_rate", 0.0),
+            stats.get("dcache_hit_rate", 0.0),
+            stats.get("branch_miss_rate", 0.0),
+        ))
+    out.write("\nMemoryModel (ext_latency=%d):\n"
+              % result.memory_model.ext_latency)
+    for which, table in (("i", result.memory_model.icache),
+                         ("d", result.memory_model.dcache)):
+        for size in sorted(table):
+            out.write("  %s %6d B: hit rate %.4f\n"
+                      % (which, size, table[size].hit_rate))
+    if result.branch_model is not None:
+        out.write("BranchModel: policy=%s penalty=%d miss_rate=%.4f\n" % (
+            result.branch_model.policy, result.branch_model.penalty,
+            result.branch_model.miss_rate,
+        ))
+    return 0
+
+
 def cmd_pum(args, out):
     if args.name.endswith(".json"):
         pum = load_pum(args.name)
@@ -404,6 +472,30 @@ def build_parser():
     _add_pum_options(p_prof)
     p_prof.set_defaults(func=cmd_profile)
 
+    p_cal = sub.add_parser("calibrate",
+                           help="calibrate the microblaze PUM's statistical "
+                                "models on the MP3 training workload")
+    p_cal.add_argument("--variant", default="SW",
+                       help="MP3 mapping variant to train on (default: SW)")
+    p_cal.add_argument("--frames", type=int, default=1,
+                       help="MP3 frames in the training run (default: 1)")
+    p_cal.add_argument("--seed", type=int, default=99,
+                       help="training workload seed (default: 99)")
+    p_cal.add_argument("--small", action="store_true",
+                       help="use a reduced MP3 parameter set (fast smoke)")
+    p_cal.add_argument("--cache-config", action="append", metavar="I:D",
+                       help="i-cache:d-cache sizes in bytes; repeatable "
+                            "(default: the paper's five configurations)")
+    p_cal.add_argument("--trace-cache", default=True,
+                       action=argparse.BooleanOptionalAction,
+                       help="trace-once/evaluate-many fast path (one traced "
+                            "reference run answers every config; "
+                            "--no-trace-cache forces per-config replay)")
+    p_cal.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="fork-pool width for per-config reference runs "
+                            "(replay path only; default: 1 = sequential)")
+    p_cal.set_defaults(func=cmd_calibrate)
+
     p_pum = sub.add_parser("pum", help="print a PUM preset (or JSON file) "
                                        "as JSON")
     p_pum.add_argument("name", help="preset name or .json path")
@@ -453,13 +545,16 @@ def main(argv=None, out=None):
     out = out or sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    from .cycle.caches import CacheError
     from .explore import CheckpointError
     from .faults import FaultScenarioError
     from .simkernel import SimulationError
+    from .trace import TraceError
 
     try:
         return args.func(args, out)
-    except (PUMError, FaultScenarioError, CheckpointError) as exc:
+    except (PUMError, FaultScenarioError, CheckpointError, CacheError,
+            TraceError) as exc:
         out.write("error: %s\n" % exc)
         return 2
     except SimulationError as exc:

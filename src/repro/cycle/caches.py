@@ -44,30 +44,28 @@ class Cache:
         self.line_words = line_words
         self.assoc = assoc
         self.n_sets = size_bytes // (line_bytes * assoc)
-        # Each set is an MRU-ordered list of tags (front = most recent).
-        self._sets = [[] for _ in range(self.n_sets)]
+        # Each set is an LRU-ordered dict of resident lines (insertion
+        # order = recency, most recent last): membership is a hash probe
+        # instead of a list scan, and move-to-front is two O(1) dict ops.
+        self._sets = [{} for _ in range(self.n_sets)]
         self.hits = 0
         self.misses = 0
 
     def access(self, word_addr):
         """Touch ``word_addr``; returns True on hit.  Loads the line on miss."""
         line = word_addr // self.line_words
-        index = line % self.n_sets
-        tag = line // self.n_sets
-        ways = self._sets[index]
-        try:
-            pos = ways.index(tag)
-        except ValueError:
-            self.misses += 1
-            ways.insert(0, tag)
-            if len(ways) > self.assoc:
-                ways.pop()
-            return False
-        if pos:
-            del ways[pos]
-            ways.insert(0, tag)
-        self.hits += 1
-        return True
+        ways = self._sets[line % self.n_sets]
+        if line in ways:
+            self.hits += 1
+            if next(reversed(ways)) != line:
+                del ways[line]
+                ways[line] = True
+            return True
+        self.misses += 1
+        ways[line] = True
+        if len(ways) > self.assoc:
+            del ways[next(iter(ways))]
+        return False
 
     @property
     def accesses(self):
@@ -84,7 +82,7 @@ class Cache:
 
     def flush(self):
         """Invalidate all lines (stats preserved)."""
-        self._sets = [[] for _ in range(self.n_sets)]
+        self._sets = [{} for _ in range(self.n_sets)]
 
     def __repr__(self):
         return "Cache(%s, %dB, %d-way, hit_rate=%.3f)" % (

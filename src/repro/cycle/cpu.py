@@ -109,7 +109,7 @@ class CycleCPU:
     def __init__(self, image, icache_size=0, dcache_size=0,
                  branch_policy="2bit", ext_latency=DEFAULT_EXT_LATENCY,
                  branch_penalty=DEFAULT_BRANCH_PENALTY,
-                 max_instrs=500_000_000):
+                 max_instrs=500_000_000, trace=None):
         self.image = image
         decoded = getattr(image, "_cycle_decoded", None)
         if decoded is None or len(decoded) != len(image.instrs):
@@ -123,6 +123,12 @@ class CycleCPU:
         self.n_instrs = 0
         self.icache = make_cache(icache_size, name="icache")
         self.dcache = make_cache(dcache_size, name="dcache")
+        if trace is not None:
+            # opt-in capture (repro.trace.TraceBuilder): the caches are
+            # wrapped in recording proxies before the hot loop ever binds
+            # them, so trace=None costs literally nothing
+            self.icache = trace.wrap_icache(self.icache)
+            self.dcache = trace.wrap_dcache(self.dcache)
         self.predictor = make_predictor(branch_policy)
         self.ext_latency = ext_latency
         self.branch_penalty = branch_penalty

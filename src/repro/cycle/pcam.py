@@ -48,7 +48,8 @@ class BoardResult:
     """Outcome of one PCAM (board) run."""
 
     def __init__(self, design_name, end_time_ns, wall_seconds, pes, cycle_ns,
-                 buses=None, kernel_stats=None, fault_stats=None):
+                 buses=None, kernel_stats=None, fault_stats=None,
+                 traces=None):
         self.design_name = design_name
         self.end_time_ns = end_time_ns
         self.wall_seconds = wall_seconds
@@ -62,6 +63,9 @@ class BoardResult:
         #: fault-injection counters when the run had a
         #: :class:`~repro.faults.FaultScenario` attached (``{}`` otherwise)
         self.fault_stats = fault_stats or {}
+        #: process name -> :class:`~repro.trace.capture.CPUTrace` when the
+        #: run was traced (``{}`` otherwise)
+        self.traces = traces or {}
 
     @property
     def makespan_cycles(self):
@@ -115,7 +119,7 @@ class _HWComm:
 
 def run_pcam(design, cache_schedules=True, reference_cycle_ns=10.0,
              max_instrs=500_000_000, stack_words=None, faults=None,
-             watchdog=None):
+             watchdog=None, trace=False):
     """Run the cycle-accurate co-simulation of ``design``.
 
     Args:
@@ -132,10 +136,20 @@ def run_pcam(design, cache_schedules=True, reference_cycle_ns=10.0,
             up on ``BoardResult.fault_stats``.  ``None`` leaves the
             co-simulation untouched.
         watchdog: optional :class:`~repro.simkernel.Watchdog` run limits.
+        trace: record per-CPU memory-reference streams (``True`` for the
+            default line size, or an integer line size in words); traced
+            streams land on ``BoardResult.traces``.  ``False`` (the
+            default) changes nothing about the run.
 
     Returns:
         a :class:`BoardResult`.
     """
+    trace_builders = {}
+    if trace:
+        from ..trace.capture import TraceBuilder
+        from .caches import DEFAULT_LINE_WORDS
+
+        trace_line_words = DEFAULT_LINE_WORDS if trace is True else int(trace)
     design.validate()
     kernel = Kernel()
     channel_map = ChannelMap()
@@ -177,6 +191,9 @@ def run_pcam(design, cache_schedules=True, reference_cycle_ns=10.0,
                 ir_program, decl.entry, decl.args, **kwargs
             )
             policy = pum.branch.policy if pum.branch is not None else "2bit"
+            builder = None
+            if trace:
+                builder = trace_builders[name] = TraceBuilder(trace_line_words)
             cpu = CycleCPU(
                 image,
                 icache_size=pum.icache_size,
@@ -187,6 +204,7 @@ def run_pcam(design, cache_schedules=True, reference_cycle_ns=10.0,
                     pum.branch.penalty if pum.branch is not None else 0
                 ),
                 max_instrs=max_instrs,
+                trace=builder,
             )
             cpus[name] = cpu
             target = _make_cpu_target(cpu, channel_map, pe.cycle_ns, returns,
@@ -221,11 +239,17 @@ def run_pcam(design, cache_schedules=True, reference_cycle_ns=10.0,
                "words": bus.total_words}
         for name, bus in buses.items()
     }
+    traces = {
+        name: builder.finish(cpus[name].n_instrs,
+                             predictor=cpus[name].predictor)
+        for name, builder in trace_builders.items()
+    }
     return BoardResult(design.name, end_time, wall_seconds, pes,
                        reference_cycle_ns, buses=bus_stats,
                        kernel_stats=kernel.kernel_stats(),
                        fault_stats=(active.counters() if active is not None
-                                    else None))
+                                    else None),
+                       traces=traces)
 
 
 def _make_cpu_target(cpu, channel_map, cycle_ns, returns, name):

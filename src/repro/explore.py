@@ -28,13 +28,11 @@ Long sweeps are treated as production jobs (see docs/robustness.md):
 
 from __future__ import annotations
 
-import concurrent.futures
-import multiprocessing
 import os
 import time
-from concurrent.futures.process import BrokenProcessPool
 
 from .ioutil import atomic_write_json
+from .parallel import fork_map, get_payload
 from .tlm.generator import generate_tlm
 
 #: Checkpoint-file format version.
@@ -239,149 +237,42 @@ class ExplorationCheckpoint:
         return len(self.completed)
 
 
-# Pre-fork hand-off to worker processes.  Design-point builders are
-# closures (not picklable), so the parallel path relies on fork semantics:
-# the parent publishes the point list here, forked children inherit it, and
-# only integer indices cross the process boundary.
-_fork_payload = {}
-
-
 def _evaluate_point_index(index):
-    """Worker-side evaluation of one design point (runs in a forked child)."""
-    point = _fork_payload["points"][index]
-    granularity = _fork_payload["granularity"]
+    """Worker-side evaluation of one design point (runs in a forked child).
+
+    Design-point builders are closures (not picklable), so the point list
+    travels through :func:`repro.parallel.fork_map`'s pre-fork payload and
+    only this index crosses the process boundary.
+    """
+    payload = get_payload()
+    point = payload["points"][index]
     design = point.build()
-    model = generate_tlm(design, timed=True, granularity=granularity)
+    model = generate_tlm(design, timed=True,
+                         granularity=payload["granularity"])
     wall_start = time.perf_counter()
     tlm_result = model.run()
     wall = time.perf_counter() - wall_start
     per_process = {
         name: p.cycles for name, p in tlm_result.processes.items()
     }
-    return index, tlm_result.makespan_cycles, per_process, wall
-
-
-def _kill_pool(pool):
-    """Tear a pool down without waiting on hung workers.
-
-    ``shutdown(wait=True)`` would block forever behind a wedged point, and
-    even ``wait=False`` leaves the interpreter joining the worker at exit —
-    so the workers are killed outright.  Reaching into ``_processes`` is
-    unavoidable: the executor API offers no kill.
-    """
-    processes = getattr(pool, "_processes", None) or {}
-    for process in list(processes.values()):
-        try:
-            process.kill()
-        except (OSError, AttributeError):
-            pass
-    pool.shutdown(wait=False, cancel_futures=True)
+    return tlm_result.makespan_cycles, per_process, wall
 
 
 def _explore_parallel(points, granularity, workers, indices,
                       point_timeout=None, retries=2, retry_backoff=0.5,
                       on_result=None):
-    """Evaluate ``indices`` of ``points`` on a process pool.
+    """Evaluate ``indices`` of ``points`` through the shared fork pool.
 
-    Returns ``{index: payload}`` where payload is
-    ``("ok", makespan, per_process, wall)`` or ``("error", message)``.
-    Indices missing from the dict were lost beyond ``retries`` pool
-    breakages (e.g. workers repeatedly OOM-killed) and are the caller's to
-    evaluate sequentially — graceful degradation, never an unhandled
-    ``BrokenProcessPool``.  Returns ``None`` when no pool could be created
-    at all (fork-less platform or resource exhaustion).
-
-    ``point_timeout`` bounds each point's wall time; a stuck point is
-    recorded as failed (its worker is killed) and is *not* retried — a
-    deterministic hang would just hang again.  ``on_result`` is called as
-    ``on_result(index, payload)`` the moment each point completes, which is
-    what keeps checkpoints current mid-sweep.
+    Returns ``{index: ("ok", (makespan, per_process, wall)) |
+    ("error", message)}`` with :func:`repro.parallel.fork_map`'s
+    degradation semantics (missing indices / ``None``: see there).
     """
-    try:
-        mp_context = multiprocessing.get_context("fork")
-    except ValueError:
-        return None
-    _fork_payload["points"] = points
-    _fork_payload["granularity"] = granularity
-    results = {}
-    pending = list(indices)
-    breakages = 0
-    pool_ever_created = False
-    try:
-        while pending:
-            try:
-                pool = concurrent.futures.ProcessPoolExecutor(
-                    max_workers=min(workers, len(pending)),
-                    mp_context=mp_context,
-                )
-            except (OSError, PermissionError, NotImplementedError):
-                break
-            pool_ever_created = True
-            broken = False
-            timed_out = False
-            still_pending = []
-            try:
-                try:
-                    futures = [
-                        (index, pool.submit(_evaluate_point_index, index))
-                        for index in pending
-                    ]
-                except BrokenProcessPool:
-                    broken = True
-                    futures = []
-                    still_pending = list(pending)
-                for index, future in futures:
-                    try:
-                        payload = future.result(timeout=point_timeout)
-                    except concurrent.futures.TimeoutError:
-                        # This point is wedged: record it as failed (no
-                        # retry — a deterministic hang would hang again),
-                        # kill the pool and re-run whatever else was left.
-                        results[index] = (
-                            "error",
-                            "timeout: exceeded %.1f s" % point_timeout,
-                        )
-                        if on_result is not None:
-                            on_result(index, results[index])
-                        timed_out = True
-                        still_pending = [
-                            i for i, _ in futures if i not in results
-                        ]
-                        break
-                    except BrokenProcessPool:
-                        broken = True
-                        still_pending = [
-                            i for i, _ in futures if i not in results
-                        ]
-                        break
-                    except Exception as exc:
-                        results[index] = (
-                            "error", "%s: %s" % (type(exc).__name__, exc),
-                        )
-                        if on_result is not None:
-                            on_result(index, results[index])
-                    else:
-                        results[index] = ("ok",) + tuple(payload[1:])
-                        if on_result is not None:
-                            on_result(index, results[index])
-            finally:
-                if timed_out or broken:
-                    _kill_pool(pool)
-                else:
-                    pool.shutdown(wait=True)
-            pending = [i for i in still_pending if i not in results]
-            if broken:
-                breakages += 1
-                if breakages > retries:
-                    break  # degrade: caller evaluates the rest sequentially
-                # Exponential backoff before rebuilding the pool: if workers
-                # died to memory pressure, give the host a moment.
-                time.sleep(retry_backoff * (2 ** (breakages - 1)))
-    finally:
-        _fork_payload.clear()
-    if not pool_ever_created and not results:
-        return None
-    return results
+    return fork_map(
+        _evaluate_point_index, indices, workers,
+        payload={"points": points, "granularity": granularity},
+        task_timeout=point_timeout, retries=retries,
+        retry_backoff=retry_backoff, on_result=on_result,
+    )
 
 
 def _evaluate_sequential(point, granularity):
@@ -468,7 +359,7 @@ def explore(points, granularity="transaction", workers=1,
 
     def on_parallel_result(index, payload):
         if ckpt is not None and payload[0] == "ok":
-            _, makespan, per_process, wall = payload
+            makespan, per_process, wall = payload[1]
             ckpt.record(points[index].name, makespan, per_process, wall)
 
     used_workers = 1
@@ -483,7 +374,7 @@ def explore(points, granularity="transaction", workers=1,
             for index, payload in payloads.items():
                 point = points[index]
                 if payload[0] == "ok":
-                    _, makespan, per_process, wall = payload
+                    makespan, per_process, wall = payload[1]
                     slots[index] = PointResult(
                         point,
                         wall_seconds=wall,

@@ -102,13 +102,19 @@ class ISS:
         comm: optional object with ``send(chan, values)`` /
             ``recv(chan, count)`` backing the comm instructions.
         max_instrs: runaway guard.
+        trace: optional :class:`~repro.trace.capture.TraceBuilder`.  When
+            set, :meth:`run` takes a recording twin of the interpreter loop
+            that captures the fetch/data line streams (and branch outcomes
+            through the builder's predictor) while computing the exact same
+            :class:`ISSResult`.  ``None`` leaves the hot loop untouched.
     """
 
     def __init__(self, image, icache_size=0, dcache_size=0, comm=None,
-                 max_instrs=500_000_000):
+                 max_instrs=500_000_000, trace=None):
         self.image = image
         self.comm = comm
         self.max_instrs = max_instrs
+        self.trace = trace
         self.ifetch_overhead = assumed_miss_rate(icache_size) * ISS_MISS_PENALTY
         self.dmem_overhead = assumed_miss_rate(dcache_size) * ISS_MISS_PENALTY
         self._decoded = None
@@ -154,6 +160,9 @@ class ISS:
     def run(self):
         """Execute from the bootstrap to ``halt``; returns :class:`ISSResult`."""
         import time as _time
+
+        if self.trace is not None:
+            return self._run_traced()
 
         decoded = self._decoded or self._decode()
         dec, kid_names = decoded
@@ -286,6 +295,260 @@ class ISS:
 
             regs[0] = 0  # r0 stays hardwired to zero
             pc = next_pc
+
+        wall_seconds = _time.perf_counter() - wall_start
+        class_counts = {
+            name: counts[kid]
+            for kid, name in enumerate(kid_names)
+            if counts[kid]
+        }
+        return ISSResult(
+            int(round(cycles)), n_instrs, class_counts, regs[1], wall_seconds
+        )
+
+    def _run_traced(self):
+        """Recording twin of :meth:`run`.
+
+        Same dispatch, same cycle arithmetic, same result — plus inline
+        run-length recording of the instruction-fetch and data-access line
+        streams into ``self.trace`` and branch outcomes into its predictor.
+        The streams are identical to what a traced
+        :class:`~repro.cycle.cpu.CycleCPU` observes for the same image
+        (caches never change functional behaviour): one i-line per executed
+        instruction (``halt`` included), one d-line per memory operand, the
+        word-by-word payload lines of ``send``/``recv``, and one predictor
+        update per conditional branch.  Recording is inlined (the
+        :class:`~repro.trace.stream.StreamRecorder` protocol, run counters
+        kept in locals) because a per-access method call would double the
+        interpreter's cost.
+        """
+        import time as _time
+
+        trace = self.trace
+        if trace.ifetch.deltas or trace.daccess.deltas:
+            raise ISSError("ISS tracing requires fresh trace recorders")
+        line_words = trace.line_words
+        i_dapp = trace.ifetch.deltas.append
+        i_capp = trace.ifetch.counts.append
+        d_dapp = trace.daccess.deltas.append
+        d_capp = trace.daccess.counts.append
+        i_prev = -1
+        i_run = 0
+        d_prev = -1
+        d_run = 0
+        predictor = trace.predictor
+        predict = (predictor.predict_and_update
+                   if predictor is not None else None)
+
+        decoded = self._decoded or self._decode()
+        dec, kid_names = decoded
+        memory = self.image.fresh_memory()
+        regs = [0] * 32
+        pc = 0
+        cycles = 0.0
+        n_instrs = 0
+        counts = [0] * len(kid_names)
+        dmem = self.dmem_overhead
+        max_instrs = self.max_instrs
+        taken_extra = ISS_TAKEN_BRANCH_CYCLES
+        c_add = cnum.c_add
+        c_sub = cnum.c_sub
+        c_mul = cnum.c_mul
+        (LWX, LW, ADDI, ADD, SWX, SW, LI, MUL, BEQZ, BNEZ, SLT, SUB,
+         SHL, SHR, J, MOV, FADD, FSUB, FMUL, FDIV, SLE, SEQ, SNE, SGT,
+         SGE, DIVI, REM, ANDB, ORB, XORB, NEG, FNEG, NOTB, CVTFI, CVTIF,
+         JAL, JR, HALT, SEND, RECV) = opcode_ids(
+            "lwx", "lw", "addi", "add", "swx", "sw", "li", "mul",
+            "beqz", "bnez", "slt", "sub", "shl", "shr", "j", "mov",
+            "fadd", "fsub", "fmul", "fdiv", "sle", "seq", "sne", "sgt",
+            "sge", "divi", "rem", "andb", "orb", "xorb", "neg", "fneg",
+            "notb", "cvtfi", "cvtif", "jal", "jr", "halt", "send", "recv")
+        wall_start = _time.perf_counter()
+
+        while True:
+            if n_instrs >= max_instrs:
+                raise ISSError("instruction budget exhausted (livelock?)")
+            code, rd, ra, rb, ext, cost, kid = dec[pc]
+            n_instrs += 1
+            counts[kid] += 1
+            cycles += cost
+            next_pc = pc + 1
+
+            line = pc // line_words
+            if line != i_prev:
+                if i_run:
+                    i_capp(i_run)
+                i_dapp(line - i_prev)
+                i_prev = line
+                i_run = 1
+            else:
+                i_run += 1
+
+            if code == LWX:
+                cycles += dmem
+                addr = regs[ra] + regs[rb] + ext
+                regs[rd] = memory[addr]
+                line = addr // line_words
+                if line != d_prev:
+                    if d_run:
+                        d_capp(d_run)
+                    d_dapp(line - d_prev)
+                    d_prev = line
+                    d_run = 1
+                else:
+                    d_run += 1
+            elif code == LW:
+                cycles += dmem
+                addr = regs[ra] + ext
+                regs[rd] = memory[addr]
+                line = addr // line_words
+                if line != d_prev:
+                    if d_run:
+                        d_capp(d_run)
+                    d_dapp(line - d_prev)
+                    d_prev = line
+                    d_run = 1
+                else:
+                    d_run += 1
+            elif code == ADDI:
+                regs[rd] = c_add(regs[ra], ext)
+            elif code == ADD:
+                regs[rd] = c_add(regs[ra], regs[rb])
+            elif code == SWX:
+                cycles += dmem
+                addr = regs[ra] + regs[rb] + ext
+                memory[addr] = regs[rd]
+                line = addr // line_words
+                if line != d_prev:
+                    if d_run:
+                        d_capp(d_run)
+                    d_dapp(line - d_prev)
+                    d_prev = line
+                    d_run = 1
+                else:
+                    d_run += 1
+            elif code == SW:
+                cycles += dmem
+                addr = regs[ra] + ext
+                memory[addr] = regs[rd]
+                line = addr // line_words
+                if line != d_prev:
+                    if d_run:
+                        d_capp(d_run)
+                    d_dapp(line - d_prev)
+                    d_prev = line
+                    d_run = 1
+                else:
+                    d_run += 1
+            elif code == LI:
+                regs[rd] = ext
+            elif code == MUL:
+                regs[rd] = c_mul(regs[ra], regs[rb])
+            elif code == BEQZ:
+                taken = regs[ra] == 0
+                if taken:
+                    next_pc = ext
+                    cycles += taken_extra
+                if predict is not None:
+                    predict(pc, ext, taken)
+            elif code == BNEZ:
+                taken = regs[ra] != 0
+                if taken:
+                    next_pc = ext
+                    cycles += taken_extra
+                if predict is not None:
+                    predict(pc, ext, taken)
+            elif code == SLT:
+                regs[rd] = 1 if regs[ra] < regs[rb] else 0
+            elif code == SUB:
+                regs[rd] = c_sub(regs[ra], regs[rb])
+            elif code == SHL:
+                regs[rd] = cnum.c_shl(regs[ra], regs[rb])
+            elif code == SHR:
+                regs[rd] = cnum.c_shr(regs[ra], regs[rb])
+            elif code == J:
+                next_pc = ext
+                cycles += taken_extra
+            elif code == MOV:
+                regs[rd] = regs[ra]
+            elif code == FADD:
+                regs[rd] = regs[ra] + regs[rb]
+            elif code == FSUB:
+                regs[rd] = regs[ra] - regs[rb]
+            elif code == FMUL:
+                regs[rd] = regs[ra] * regs[rb]
+            elif code == FDIV:
+                if regs[rb] == 0.0:
+                    raise ZeroDivisionError("float division by zero")
+                regs[rd] = regs[ra] / regs[rb]
+            elif code == SLE:
+                regs[rd] = 1 if regs[ra] <= regs[rb] else 0
+            elif code == SEQ:
+                regs[rd] = 1 if regs[ra] == regs[rb] else 0
+            elif code == SNE:
+                regs[rd] = 1 if regs[ra] != regs[rb] else 0
+            elif code == SGT:
+                regs[rd] = 1 if regs[ra] > regs[rb] else 0
+            elif code == SGE:
+                regs[rd] = 1 if regs[ra] >= regs[rb] else 0
+            elif code == DIVI:
+                regs[rd] = cnum.c_div(regs[ra], regs[rb])
+            elif code == REM:
+                regs[rd] = cnum.c_rem(regs[ra], regs[rb])
+            elif code == ANDB:
+                regs[rd] = regs[ra] & regs[rb]
+            elif code == ORB:
+                regs[rd] = regs[ra] | regs[rb]
+            elif code == XORB:
+                regs[rd] = regs[ra] ^ regs[rb]
+            elif code == NEG:
+                regs[rd] = cnum.c_neg(regs[ra])
+            elif code == FNEG:
+                regs[rd] = -regs[ra]
+            elif code == NOTB:
+                regs[rd] = cnum.c_not(regs[ra])
+            elif code == CVTFI:
+                regs[rd] = cnum.c_float_to_int(regs[ra])
+            elif code == CVTIF:
+                regs[rd] = float(regs[ra])
+            elif code == JAL:
+                regs[31] = pc + 1
+                next_pc = ext
+            elif code == JR:
+                next_pc = regs[ra]
+            elif code == HALT:
+                break
+            elif code == SEND or code == RECV:
+                if code == SEND:
+                    self._do_send(ext, regs, memory)
+                else:
+                    self._do_recv(ext, regs, memory)
+                # payload d-lines, in the CycleCPU's word-by-word order
+                base = regs[ext.rb]
+                for addr in range(base, base + regs[ext.rc]):
+                    line = addr // line_words
+                    if line != d_prev:
+                        if d_run:
+                            d_capp(d_run)
+                        d_dapp(line - d_prev)
+                        d_prev = line
+                        d_run = 1
+                    else:
+                        d_run += 1
+            else:  # pragma: no cover
+                raise ISSError("unknown opcode id %r" % code)
+
+            regs[0] = 0  # r0 stays hardwired to zero
+            pc = next_pc
+
+        # close the open runs and hand the recorders back in a state the
+        # eager StreamRecorder protocol can continue from
+        if i_run:
+            i_capp(i_run)
+        if d_run:
+            d_capp(d_run)
+        trace.ifetch._prev = i_prev
+        trace.daccess._prev = d_prev
 
         wall_seconds = _time.perf_counter() - wall_start
         class_counts = {

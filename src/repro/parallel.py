@@ -1,0 +1,155 @@
+"""Resilient fork-based task fan-out shared by the sweep machinery.
+
+:func:`fork_map` is the process-pool core extracted from the design-space
+explorer (see docs/robustness.md) so other embarrassingly parallel sweeps —
+the calibration reference runs, notably — get the same production
+behaviour for free:
+
+* closures don't pickle, so tasks cross the process boundary as *indices*
+  into a payload published before the fork (inherited by the children);
+* a killed worker (OOM, SIGKILL) breaks only its own tasks — the pool is
+  rebuilt with exponential backoff and the lost tasks retried, up to
+  ``retries`` breakages, after which the survivors are the caller's to run
+  sequentially (graceful degradation, never an unhandled
+  ``BrokenProcessPool``);
+* ``task_timeout`` bounds any single task; a stuck task is recorded as
+  failed (its worker killed) and not retried — a deterministic hang would
+  just hang again;
+* results are keyed by index, so callers reassemble deterministic,
+  submission-ordered output regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import time
+from concurrent.futures.process import BrokenProcessPool
+
+# Pre-fork hand-off to worker processes: the parent publishes arbitrary
+# (possibly unpicklable) task context here, forked children inherit it,
+# and only integer indices cross the process boundary.
+_fork_payload = {}
+
+
+def get_payload():
+    """Worker-side accessor for the payload published by :func:`fork_map`."""
+    return _fork_payload["payload"]
+
+
+def _kill_pool(pool):
+    """Tear a pool down without waiting on hung workers.
+
+    ``shutdown(wait=True)`` would block forever behind a wedged task, and
+    even ``wait=False`` leaves the interpreter joining the worker at exit —
+    so the workers are killed outright.  Reaching into ``_processes`` is
+    unavoidable: the executor API offers no kill.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except (OSError, AttributeError):
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def fork_map(func, indices, workers, payload=None, task_timeout=None,
+             retries=2, retry_backoff=0.5, on_result=None):
+    """Run ``func(index)`` for every index on a forked process pool.
+
+    ``func`` must be a module-level function (pickled by reference); it
+    reads shared context via :func:`get_payload`.
+
+    Returns ``{index: ("ok", value) | ("error", message)}``.  Indices
+    missing from the dict were lost beyond ``retries`` pool breakages and
+    are the caller's to evaluate sequentially.  Returns ``None`` when no
+    pool could be created at all (fork-less platform or resource
+    exhaustion).  ``on_result`` is called as ``on_result(index, entry)``
+    the moment each task completes — what keeps checkpoints current
+    mid-sweep.
+    """
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+    _fork_payload["payload"] = payload
+    results = {}
+    pending = list(indices)
+    breakages = 0
+    pool_ever_created = False
+    try:
+        while pending:
+            try:
+                pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(workers, len(pending)),
+                    mp_context=mp_context,
+                )
+            except (OSError, PermissionError, NotImplementedError):
+                break
+            pool_ever_created = True
+            broken = False
+            timed_out = False
+            still_pending = []
+            try:
+                try:
+                    futures = [
+                        (index, pool.submit(func, index))
+                        for index in pending
+                    ]
+                except BrokenProcessPool:
+                    broken = True
+                    futures = []
+                    still_pending = list(pending)
+                for index, future in futures:
+                    try:
+                        value = future.result(timeout=task_timeout)
+                    except concurrent.futures.TimeoutError:
+                        # This task is wedged: record it as failed (no
+                        # retry — a deterministic hang would hang again),
+                        # kill the pool and re-run whatever else was left.
+                        results[index] = (
+                            "error",
+                            "timeout: exceeded %.1f s" % task_timeout,
+                        )
+                        if on_result is not None:
+                            on_result(index, results[index])
+                        timed_out = True
+                        still_pending = [
+                            i for i, _ in futures if i not in results
+                        ]
+                        break
+                    except BrokenProcessPool:
+                        broken = True
+                        still_pending = [
+                            i for i, _ in futures if i not in results
+                        ]
+                        break
+                    except Exception as exc:
+                        results[index] = (
+                            "error", "%s: %s" % (type(exc).__name__, exc),
+                        )
+                        if on_result is not None:
+                            on_result(index, results[index])
+                    else:
+                        results[index] = ("ok", value)
+                        if on_result is not None:
+                            on_result(index, results[index])
+            finally:
+                if timed_out or broken:
+                    _kill_pool(pool)
+                else:
+                    pool.shutdown(wait=True)
+            pending = [i for i in still_pending if i not in results]
+            if broken:
+                breakages += 1
+                if breakages > retries:
+                    break  # degrade: caller evaluates the rest sequentially
+                # Exponential backoff before rebuilding the pool: if workers
+                # died to memory pressure, give the host a moment.
+                time.sleep(retry_backoff * (2 ** (breakages - 1)))
+    finally:
+        _fork_payload.clear()
+    if not pool_ever_created and not results:
+        return None
+    return results

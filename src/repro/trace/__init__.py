@@ -1,0 +1,31 @@
+"""Trace-once/evaluate-many cache simulation.
+
+Capture a design's memory-reference streams with one cycle-accurate (or
+ISS) run, then answer "what would the hit rate be?" for any number of LRU
+cache geometries in a single stack-distance pass — bit-identical to
+re-simulating each configuration.  See ``docs/performance.md``.
+"""
+
+from .capture import (
+    CPUTrace,
+    TraceBuilder,
+    TracingCache,
+    capture_design_trace,
+    iss_capturable,
+)
+from .stackdist import HAVE_NUMPY, CacheGeometry, evaluate_stream
+from .stream import LineStream, StreamRecorder, TraceError
+
+__all__ = [
+    "CPUTrace",
+    "CacheGeometry",
+    "HAVE_NUMPY",
+    "LineStream",
+    "StreamRecorder",
+    "TraceBuilder",
+    "TraceError",
+    "TracingCache",
+    "capture_design_trace",
+    "evaluate_stream",
+    "iss_capturable",
+]

@@ -1,0 +1,186 @@
+"""Opt-in trace capture for the cycle-accurate reference models.
+
+Capture is wired into both reference interpreters:
+
+* the PCAM :class:`~repro.cycle.cpu.CycleCPU` — pass a :class:`TraceBuilder`
+  as ``trace=`` (or ``trace=`` to :func:`~repro.cycle.pcam.run_pcam`) and
+  the CPU's caches are wrapped in recording proxies.  Cycle counts and
+  cache/branch statistics are untouched; with tracing off nothing is
+  wrapped, so the hot loop is byte-for-byte the untraced one.
+* the ISS — ``ISS(image, trace=builder)`` runs a recording twin of the
+  interpreter loop.  Because caches never change *functional* behaviour,
+  the ISS's fetch/data streams and branch outcomes are identical to the
+  CycleCPU's for the same image, at a fraction of the wall time — the
+  preferred capture path for single-CPU designs.
+
+:func:`capture_design_trace` picks the capture route for a design and
+returns one :class:`CPUTrace` per software process.
+"""
+
+from __future__ import annotations
+
+from ..cycle.branch import make_predictor
+from ..cycle.caches import DEFAULT_LINE_WORDS
+from .stream import LineStream, StreamRecorder, TraceError
+
+
+class TracingCache:
+    """Records every access of a real cache, then delegates to it.
+
+    Statistics, flushes and hit/miss results pass straight through, so a
+    traced run is observably identical to an untraced one.
+    """
+
+    __slots__ = ("_cache", "_recorder")
+
+    def __init__(self, cache, recorder):
+        object.__setattr__(self, "_cache", cache)
+        object.__setattr__(self, "_recorder", recorder)
+
+    def access(self, word_addr):
+        self._recorder.add(word_addr)
+        return self._cache.access(word_addr)
+
+    def __getattr__(self, name):
+        return getattr(self._cache, name)
+
+    def __repr__(self):
+        return "TracingCache(%r)" % (self._cache,)
+
+
+class CPUTrace:
+    """Everything one software PE's reference execution left behind:
+    instruction-fetch and data-access line streams, the instruction count,
+    and the branch predictor's outcome counters.
+
+    Cheap to pickle (two ``array('q')`` pairs), so traces cross process
+    pools; cycle counts are deliberately absent — timing is exactly what a
+    trace re-evaluation does *not* need to re-simulate.
+    """
+
+    __slots__ = ("ifetch", "daccess", "instrs", "branch_predictions",
+                 "branch_mispredictions")
+
+    def __init__(self, ifetch, daccess, instrs, branch_predictions,
+                 branch_mispredictions):
+        self.ifetch = ifetch
+        self.daccess = daccess
+        self.instrs = instrs
+        self.branch_predictions = branch_predictions
+        self.branch_mispredictions = branch_mispredictions
+
+    @property
+    def branch_miss_rate(self):
+        # same arithmetic as PredictorBase.miss_rate for bit-identity
+        if self.branch_predictions == 0:
+            return 0.0
+        return self.branch_mispredictions / self.branch_predictions
+
+    @property
+    def line_words(self):
+        return self.ifetch.line_words
+
+    def __eq__(self, other):
+        if not isinstance(other, CPUTrace):
+            return NotImplemented
+        return (self.ifetch == other.ifetch
+                and self.daccess == other.daccess
+                and self.instrs == other.instrs
+                and self.branch_predictions == other.branch_predictions
+                and self.branch_mispredictions == other.branch_mispredictions)
+
+    def __ne__(self, other):
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __repr__(self):
+        return ("CPUTrace(%d instrs, %d ifetch / %d data accesses, "
+                "%d branches)") % (
+                    self.instrs, self.ifetch.accesses, self.daccess.accesses,
+                    self.branch_predictions,
+        )
+
+
+class TraceBuilder:
+    """Accumulates one PE's streams during a reference run.
+
+    ``predictor`` is only set on the ISS capture path, where the builder
+    owns the branch predictor (the CycleCPU path reads the CPU's own
+    predictor instead).
+    """
+
+    __slots__ = ("ifetch", "daccess", "predictor")
+
+    def __init__(self, line_words=DEFAULT_LINE_WORDS, predictor=None):
+        self.ifetch = StreamRecorder(line_words)
+        self.daccess = StreamRecorder(line_words)
+        self.predictor = predictor
+
+    @property
+    def line_words(self):
+        return self.ifetch.line_words
+
+    def wrap_icache(self, cache):
+        return TracingCache(cache, self.ifetch)
+
+    def wrap_dcache(self, cache):
+        return TracingCache(cache, self.daccess)
+
+    def finish(self, instrs, predictor=None):
+        """Freeze the recorded streams into a :class:`CPUTrace`."""
+        predictor = predictor if predictor is not None else self.predictor
+        return CPUTrace(
+            self.ifetch.finish(), self.daccess.finish(), instrs,
+            predictor.predictions if predictor is not None else 0,
+            predictor.mispredictions if predictor is not None else 0,
+        )
+
+
+def iss_capturable(design):
+    """True when the ISS fast-capture route applies: exactly one process,
+    on a software PE, with no channels (nothing to co-simulate)."""
+    if design.channels or len(design.processes) != 1:
+        return False
+    (decl,) = design.processes.values()
+    return design.pes[decl.pe_name].pum.memory is not None
+
+
+def capture_design_trace(design, line_words=DEFAULT_LINE_WORDS,
+                         stack_words=None, max_instrs=500_000_000,
+                         prefer_iss=True):
+    """One traced reference execution of ``design``.
+
+    Returns ``{process name: CPUTrace}`` for every software process.
+    Single-CPU, channel-free designs run on the traced ISS (identical
+    streams, much faster — see module docstring); anything else runs the
+    full traced PCAM co-simulation.
+    """
+    design.validate()
+    if prefer_iss and iss_capturable(design):
+        from ..isa.compiler import compile_program
+        from ..iss.simulator import ISS
+        from ..tlm.generator import compile_process
+
+        (name, decl), = design.processes.items()
+        pum = design.pes[decl.pe_name].pum
+        kwargs = {}
+        if stack_words is not None:
+            kwargs["stack_words"] = stack_words
+        image = compile_program(
+            compile_process(decl), decl.entry, decl.args, **kwargs
+        )
+        policy = pum.branch.policy if pum.branch is not None else "2bit"
+        builder = TraceBuilder(line_words,
+                               predictor=make_predictor(policy))
+        result = ISS(image, max_instrs=max_instrs, trace=builder).run()
+        return {name: builder.finish(result.n_instrs)}
+
+    from ..cycle.pcam import run_pcam  # local import: pcam imports us
+
+    board = run_pcam(design, max_instrs=max_instrs, stack_words=stack_words,
+                     trace=line_words)
+    if not board.traces:
+        raise TraceError(
+            "design %r has no software process to trace" % design.name
+        )
+    return board.traces

@@ -1,0 +1,159 @@
+"""Compact memory-reference streams for trace-driven cache evaluation.
+
+A :class:`LineStream` is the unit of capture: the sequence of *cache lines*
+touched by one reference stream (instruction fetches or data accesses of one
+PE), stored run-length encoded — consecutive accesses to the same line
+collapse into one run — with line numbers delta-encoded between runs.  Both
+arrays are ``array('q')``, so a full MP3 decode (about two million accesses)
+costs a few hundred kilobytes and pickles cheaply across pool workers.
+
+The encoding is lossless for LRU cache evaluation at the captured line
+size: hit/miss decisions only depend on the line sequence, and the repeats
+inside a run are guaranteed hits for every cache with at least one way
+(the line was made most-recently-used by the access before).
+"""
+
+from __future__ import annotations
+
+from array import array
+
+
+class TraceError(Exception):
+    """Raised when a trace cannot serve a requested evaluation (e.g. the
+    cache geometry wants a different line size than the trace recorded)."""
+
+
+#: Delta base of the first run: streams start "before" any real line so the
+#: first access always opens a run (real line numbers are never negative).
+_FIRST_PREV = -1
+
+
+class LineStream:
+    """A run-length/delta encoded cache-line reference stream.
+
+    Args:
+        line_words: words per line used when the stream was recorded.
+        deltas: ``array('q')`` — per run, the signed difference to the
+            previous run's line number (the first run is relative to
+            ``-1``).
+        counts: ``array('q')`` — per run, how many consecutive accesses
+            hit that line (always >= 1).
+    """
+
+    __slots__ = ("line_words", "deltas", "counts", "_accesses")
+
+    def __init__(self, line_words, deltas=None, counts=None):
+        if line_words <= 0:
+            raise TraceError(
+                "line_words must be positive (got %d)" % line_words
+            )
+        self.line_words = line_words
+        self.deltas = deltas if deltas is not None else array("q")
+        self.counts = counts if counts is not None else array("q")
+        if len(self.deltas) != len(self.counts):
+            raise TraceError(
+                "malformed stream: %d deltas vs %d counts"
+                % (len(self.deltas), len(self.counts))
+            )
+        self._accesses = None
+
+    @classmethod
+    def from_lines(cls, lines, line_words):
+        """Encode an explicit line sequence (test/convenience path)."""
+        stream = cls(line_words)
+        deltas = stream.deltas
+        counts = stream.counts
+        prev = _FIRST_PREV
+        for line in lines:
+            if line == prev and counts:
+                counts[-1] += 1
+            else:
+                deltas.append(line - prev)
+                counts.append(1)
+                prev = line
+        return stream
+
+    @classmethod
+    def from_word_addrs(cls, addrs, line_words):
+        """Encode a word-address sequence (divides by the line size)."""
+        return cls.from_lines((a // line_words for a in addrs), line_words)
+
+    @property
+    def n_runs(self):
+        return len(self.deltas)
+
+    @property
+    def accesses(self):
+        """Total number of recorded accesses."""
+        if self._accesses is None:
+            self._accesses = sum(self.counts)
+        return self._accesses
+
+    def lines(self):
+        """Decode the per-run absolute line numbers (length ``n_runs``)."""
+        out = []
+        line = _FIRST_PREV
+        for delta in self.deltas:
+            line += delta
+            out.append(line)
+        return out
+
+    def expand(self):
+        """Decode the full access sequence (one line per access)."""
+        out = []
+        line = _FIRST_PREV
+        for delta, count in zip(self.deltas, self.counts):
+            line += delta
+            out.extend([line] * count)
+        return out
+
+    def __eq__(self, other):
+        if not isinstance(other, LineStream):
+            return NotImplemented
+        return (self.line_words == other.line_words
+                and self.deltas == other.deltas
+                and self.counts == other.counts)
+
+    def __ne__(self, other):
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __len__(self):
+        return self.n_runs
+
+    def __repr__(self):
+        return "LineStream(%d accesses in %d runs, line=%dw)" % (
+            self.accesses, self.n_runs, self.line_words,
+        )
+
+
+class StreamRecorder:
+    """Incremental builder with a per-access :meth:`add` hot path.
+
+    Capture loops that cannot afford a method call per access (the traced
+    ISS) may instead manipulate ``deltas``/``counts`` with the same
+    protocol inline; this class is the reference implementation of that
+    protocol and the recorder behind :class:`~repro.trace.capture.TracingCache`.
+    """
+
+    __slots__ = ("line_words", "deltas", "counts", "_prev")
+
+    def __init__(self, line_words):
+        self.line_words = line_words
+        self.deltas = array("q")
+        self.counts = array("q")
+        self._prev = _FIRST_PREV
+
+    def add(self, word_addr):
+        """Record one access by word address."""
+        line = word_addr // self.line_words
+        if line == self._prev:
+            self.counts[-1] += 1
+        else:
+            self.deltas.append(line - self._prev)
+            self.counts.append(1)
+            self._prev = line
+
+    def finish(self):
+        """Freeze into a :class:`LineStream` (the recorder stays usable)."""
+        return LineStream(self.line_words, self.deltas, self.counts)

@@ -1,0 +1,94 @@
+"""The calibration fast path: trace-once/evaluate-many must be bit-identical
+to per-config replay, do exactly one reference run, and degrade gracefully
+(TraceError fallback, fork-pool replay)."""
+
+import pytest
+
+from repro.calibration import calibrate_pum
+from repro.calibration import calibrate as calibrate_mod
+from repro.pum import microblaze
+from repro.tlm import Design
+from repro.trace import TraceError
+
+SRC = """
+int data[256];
+int main(void) {
+  int s = 0;
+  for (int r = 0; r < 4; r++) {
+    for (int i = 0; i < 256; i++) data[i] = i * r;
+    for (int i = 0; i < 256; i++) {
+      if ((data[i] & 3) == 0) s += data[i];
+    }
+  }
+  return s;
+}
+"""
+
+CONFIGS = [(0, 0), (2048, 2048), (8192, 4096), (16384, 16384),
+           (32768, 2048)]
+
+
+def make_design(icache, dcache):
+    design = Design("cal-%d-%d" % (icache, dcache))
+    design.add_pe("cpu", microblaze(icache, dcache))
+    design.add_process("p", SRC, "main", "cpu")
+    return design
+
+
+def model_tables(result):
+    memory = result.memory_model
+    return (
+        {s: (p.hit_rate, p.hit_delay) for s, p in memory.icache.items()},
+        {s: (p.hit_rate, p.hit_delay) for s, p in memory.dcache.items()},
+        memory.ext_latency,
+        (result.branch_model.policy, result.branch_model.penalty,
+         result.branch_model.miss_rate),
+    )
+
+
+@pytest.fixture(scope="module")
+def replayed():
+    return calibrate_pum(microblaze(), make_design, CONFIGS,
+                         trace_cache=False)
+
+
+class TestFastPath:
+    def test_single_reference_run_and_bit_identity(self, replayed):
+        fast = calibrate_pum(microblaze(), make_design, CONFIGS)
+        assert fast.traced
+        assert fast.reference_runs == 1
+        assert replayed.reference_runs == len(CONFIGS)
+        assert not replayed.traced
+        assert set(fast.measurements) == set(replayed.measurements)
+        for config in CONFIGS:
+            slow_stats = dict(replayed.measurements[config])
+            slow_stats.pop("cycles")  # timing: the one thing a trace omits
+            assert fast.measurements[config] == slow_stats
+        assert model_tables(fast) == model_tables(replayed)
+
+    def test_trace_error_falls_back_to_replay(self, replayed, monkeypatch):
+        def boom(design, **kwargs):
+            raise TraceError("cannot answer this")
+
+        monkeypatch.setattr(calibrate_mod, "capture_design_trace", boom)
+        result = calibrate_pum(microblaze(), make_design, CONFIGS)
+        assert not result.traced
+        assert result.reference_runs == len(CONFIGS)
+        assert result.measurements == replayed.measurements
+
+    def test_trace_cache_false_forces_replay(self, replayed):
+        assert "cycles" in next(iter(replayed.measurements.values()))
+
+    def test_empty_config_list(self):
+        result = calibrate_pum(microblaze(), make_design, [])
+        assert result.measurements == {}
+        assert result.reference_runs == 0
+
+
+class TestParallelReplay:
+    def test_workers_replay_is_identical(self, replayed):
+        parallel = calibrate_pum(microblaze(), make_design, CONFIGS,
+                                 trace_cache=False, workers=2)
+        assert parallel.measurements == replayed.measurements
+        assert parallel.reference_runs == len(CONFIGS)
+        assert model_tables(parallel) == model_tables(replayed)

@@ -113,6 +113,36 @@ class TestExplore:
             run_cli(["explore", "--small", "--cache-config", "bogus"])
 
 
+class TestCalibrate:
+    def test_calibrate_traced_fast_path(self):
+        code, text = run_cli([
+            "calibrate", "--small", "--frames", "1",
+            "--cache-config", "0:0", "--cache-config", "2048:2048",
+        ])
+        assert code == 0
+        assert "1 reference run, traced fast path" in text
+        assert "MemoryModel" in text and "BranchModel" in text
+        assert "2048" in text
+
+    def test_calibrate_no_trace_replays_per_config(self):
+        code, text = run_cli([
+            "calibrate", "--small", "--frames", "1",
+            "--cache-config", "0:0", "--cache-config", "2048:2048",
+            "--no-trace-cache",
+        ])
+        assert code == 0
+        assert "2 reference runs, per-config replay" in text
+
+    def test_calibrate_invalid_geometry_is_one_line_error(self):
+        code, text = run_cli([
+            "calibrate", "--small", "--frames", "1",
+            "--cache-config", "1000:512",
+        ])
+        assert code == 2
+        assert text.startswith("error:")
+        assert len(text.strip().splitlines()) == 1
+
+
 class TestRun:
     def test_run_interpreter(self, source_file):
         code, text = run_cli(["run", source_file, "5"])

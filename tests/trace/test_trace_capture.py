@@ -1,0 +1,177 @@
+"""Trace capture equivalence: traced runs perturb nothing, the ISS and
+CycleCPU capture identical streams, and evaluating a captured trace
+reproduces the live cache counters bit for bit."""
+
+import pytest
+
+from repro.cycle import run_pcam
+from repro.cycle.caches import Cache, NullCache
+from repro.cycle.cpu import CycleCPU, run_to_halt
+from repro.isa import compile_program
+from repro.iss import ISS
+from repro.pum import microblaze
+from repro.tlm import Design
+from repro.trace import (
+    CacheGeometry,
+    TraceBuilder,
+    TracingCache,
+    capture_design_trace,
+    evaluate_stream,
+    iss_capturable,
+)
+from repro.trace.capture import CPUTrace
+
+SRC = """
+int data[256];
+int main(void) {
+  int s = 0;
+  for (int r = 0; r < 4; r++) {
+    for (int i = 0; i < 256; i++) data[i] = i * r;
+    for (int i = 0; i < 256; i++) {
+      if ((data[i] & 3) == 0) s += data[i];
+    }
+  }
+  return s;
+}
+"""
+
+CHAN_SRC = """
+int buf[16];
+int producer(void) {
+  for (int i = 0; i < 16; i++) buf[i] = i * 3;
+  send(1, buf, 16);
+  return 0;
+}
+"""
+
+CHAN_SINK = """
+int buf[16];
+int consumer(void) {
+  recv(1, buf, 16);
+  int s = 0;
+  for (int i = 0; i < 16; i++) s += buf[i];
+  return s;
+}
+"""
+
+
+def make_design(icache=2048, dcache=2048):
+    design = Design("trace-cap")
+    design.add_pe("cpu", microblaze(icache, dcache))
+    design.add_process("p", SRC, "main", "cpu")
+    return design
+
+
+def make_channel_design():
+    design = Design("trace-chan")
+    design.add_pe("cpu0", microblaze(2048, 2048))
+    design.add_pe("cpu1", microblaze(2048, 2048))
+    design.add_bus("bus")
+    design.add_channel(1, "c", "bus")
+    design.add_process("prod", CHAN_SRC, "producer", "cpu0")
+    design.add_process("cons", CHAN_SINK, "consumer", "cpu1")
+    return design
+
+
+def sw_image():
+    from repro.api import compile_cmini
+
+    return compile_program(compile_cmini(SRC), "main", ())
+
+
+class TestTracingCache:
+    def test_records_and_delegates(self):
+        builder = TraceBuilder(line_words=8)
+        cache = builder.wrap_icache(Cache(2048, name="icache"))
+        assert isinstance(cache, TracingCache)
+        assert cache.access(0) is False
+        assert cache.access(1) is True
+        assert cache.hits == 1 and cache.misses == 1  # delegated stats
+        assert builder.ifetch.finish().expand() == [0, 0]
+
+    def test_wraps_null_cache(self):
+        builder = TraceBuilder(line_words=8)
+        cache = builder.wrap_dcache(NullCache())
+        assert cache.access(9) is False
+        assert builder.daccess.finish().expand() == [1]
+
+
+class TestTracedRunsPerturbNothing:
+    def test_cyclecpu_traced_equals_untraced(self):
+        image = sw_image()
+        plain = run_to_halt(image, 2048, 2048)
+        traced_builder = TraceBuilder()
+        traced = run_to_halt(image, 2048, 2048, trace=traced_builder)
+        assert traced.cycle == plain.cycle
+        assert traced.stats() == plain.stats()
+        assert traced.return_value == plain.return_value
+
+    def test_iss_traced_equals_untraced(self):
+        image = sw_image()
+        plain = ISS(image).run()
+        traced = ISS(image, trace=TraceBuilder()).run()
+        assert traced.cycles == plain.cycles
+        assert traced.n_instrs == plain.n_instrs
+        assert traced.class_counts == plain.class_counts
+        assert traced.return_value == plain.return_value
+
+    def test_untraced_cpu_has_bare_caches(self):
+        cpu = CycleCPU(sw_image(), 2048, 2048)
+        assert isinstance(cpu.icache, Cache)
+        assert isinstance(cpu.dcache, Cache)
+
+
+class TestCaptureEquivalence:
+    def test_iss_and_pcam_capture_identical_traces(self):
+        iss_traces = capture_design_trace(make_design())
+        pcam_traces = capture_design_trace(make_design(), prefer_iss=False)
+        assert set(iss_traces) == set(pcam_traces) == {"p"}
+        assert iss_traces["p"] == pcam_traces["p"]
+
+    def test_capture_routes_by_design_shape(self):
+        assert iss_capturable(make_design())
+        assert not iss_capturable(make_channel_design())
+
+    def test_evaluated_trace_matches_live_counters(self):
+        trace = capture_design_trace(make_design())["p"]
+        for icache, dcache in [(0, 0), (2048, 2048), (8192, 4096),
+                               (32768, 2048)]:
+            stats = run_pcam(make_design(icache, dcache)).cpu_stats()
+            (ih, im), = evaluate_stream(trace.ifetch,
+                                        [CacheGeometry(icache)])
+            (dh, dm), = evaluate_stream(trace.daccess,
+                                        [CacheGeometry(dcache)])
+            assert (ih, im) == (stats["icache_hits"], stats["icache_misses"])
+            assert (dh, dm) == (stats["dcache_hits"], stats["dcache_misses"])
+            assert trace.instrs == stats["instrs"]
+            assert trace.branch_predictions == stats["branch_predictions"]
+            assert trace.branch_miss_rate == stats["branch_miss_rate"]
+
+    def test_channel_design_captures_via_pcam(self):
+        traces = capture_design_trace(make_channel_design())
+        assert set(traces) == {"prod", "cons"}
+        board = run_pcam(make_channel_design())
+        for name, trace in traces.items():
+            detail = board.pes[name].detail
+            (hits, misses), = evaluate_stream(trace.daccess,
+                                              [CacheGeometry(2048)])
+            assert (hits, misses) == (detail["dcache_hits"],
+                                      detail["dcache_misses"])
+            assert trace.instrs == detail["instrs"]
+
+    def test_run_pcam_trace_flag(self):
+        board = run_pcam(make_design(), trace=True)
+        assert set(board.traces) == {"p"}
+        assert board.traces["p"].ifetch.accesses == board.pes["p"].detail[
+            "icache_hits"] + board.pes["p"].detail["icache_misses"]
+        untraced = run_pcam(make_design())
+        assert untraced.traces == {}
+        assert board.makespan_cycles == untraced.makespan_cycles
+
+    def test_trace_is_picklable(self):
+        import pickle
+
+        trace = capture_design_trace(make_design())["p"]
+        clone = pickle.loads(pickle.dumps(trace))
+        assert isinstance(clone, CPUTrace)
+        assert clone == trace

@@ -1,0 +1,71 @@
+"""Tests for the run-length/delta encoded line streams."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace import LineStream, StreamRecorder, TraceError
+
+
+class TestLineStream:
+    def test_round_trip_lines(self):
+        lines = [0, 0, 0, 5, 5, 2, 2, 2, 2, 7]
+        stream = LineStream.from_lines(lines, line_words=8)
+        assert stream.expand() == lines
+        assert stream.accesses == len(lines)
+        assert stream.n_runs == 4
+        assert stream.lines() == [0, 5, 2, 7]
+
+    def test_from_word_addrs_divides_by_line_size(self):
+        stream = LineStream.from_word_addrs([0, 1, 7, 8, 16], line_words=8)
+        assert stream.expand() == [0, 0, 0, 1, 2]
+
+    def test_empty_stream(self):
+        stream = LineStream.from_lines([], line_words=8)
+        assert stream.n_runs == 0
+        assert stream.accesses == 0
+        assert stream.expand() == []
+
+    def test_equality(self):
+        a = LineStream.from_lines([1, 2, 2], line_words=4)
+        b = LineStream.from_lines([1, 2, 2], line_words=4)
+        c = LineStream.from_lines([1, 2], line_words=4)
+        assert a == b
+        assert a != c
+        assert a != LineStream.from_lines([1, 2, 2], line_words=8)
+
+    def test_validation(self):
+        from array import array
+
+        with pytest.raises(TraceError):
+            LineStream(0)
+        with pytest.raises(TraceError):
+            LineStream(8, array("q", [1, 2]), array("q", [1]))
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=200),
+           st.sampled_from([1, 2, 8]))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, lines, line_words):
+        stream = LineStream.from_lines(lines, line_words)
+        assert stream.expand() == lines
+        assert stream.accesses == len(lines)
+        # runs really are maximal: consecutive run lines always differ
+        decoded = stream.lines()
+        assert all(a != b for a, b in zip(decoded, decoded[1:]))
+        assert all(count >= 1 for count in stream.counts)
+
+
+class TestStreamRecorder:
+    def test_matches_from_word_addrs(self):
+        addrs = [0, 1, 9, 8, 64, 65, 66, 3]
+        recorder = StreamRecorder(line_words=8)
+        for addr in addrs:
+            recorder.add(addr)
+        assert recorder.finish() == LineStream.from_word_addrs(addrs, 8)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_recorder_equivalence_property(self, addrs):
+        recorder = StreamRecorder(line_words=4)
+        for addr in addrs:
+            recorder.add(addr)
+        assert recorder.finish() == LineStream.from_word_addrs(addrs, 4)
