@@ -1,0 +1,161 @@
+"""Generation fast path — compile-once/explore-many artifact pipeline.
+
+Two claims are demonstrated here (and enforced as assertions):
+
+1. Generating the TLMs of the paper's full 20-point MP3 sweep (4 mappings ×
+   the 5 Table-2 cache configurations) against a *warm* artifact store is at
+   least 3x faster than cold generation — single worker, generation time
+   only (the warm pass pays content hashing, store lookups and ``exec``;
+   parsing, CDFG lowering, Algorithm-1/2 annotation, codegen and
+   ``compile()`` are all served from the store) — and the generated module
+   sources are bit-identical either way.
+2. A warm store changes *no observable result*: the 20-point sweep returns
+   bit-identical makespans and rankings cold-vs-warm, and
+   sequential-vs-parallel (``workers=4``).
+"""
+
+from __future__ import annotations
+
+from repro import artifacts
+from repro.apps.mp3 import Mp3Params
+from repro.artifacts import ArtifactStore
+from repro.explore import explore, mp3_design_points
+from repro.pum import PAPER_CACHE_CONFIGS
+from repro.reporting import Table, fmt_seconds
+from repro.tlm.generator import GenerationReport, generate_tlm
+
+#: Reduced MP3 parameter set for the simulating (equivalence) sweep; the
+#: generation-only speedup measurement uses the full decoder sources.
+SMALL = Mp3Params(n_subbands=4, n_slots=4, n_phases=4, n_alias=2)
+
+_state = {}
+
+
+def _sweep_points(params):
+    """The paper's 20-point design space: 4 mappings × 5 cache configs."""
+    return mp3_design_points(
+        params, n_frames=1, seed=7, cache_configs=PAPER_CACHE_CONFIGS,
+    )
+
+
+def _generate_sweep(points, store):
+    """Generate (not simulate) every point's TLM; returns the aggregate
+    generation seconds — the Table-1 "Anno." quantity — plus source
+    snapshots for the bit-identity check."""
+    total = 0.0
+    hits = 0
+    misses = 0
+    snapshots = []
+    for point in points:
+        report = GenerationReport(point.name, True)
+        model = generate_tlm(point.build(), report=report, store=store)
+        total += report.total_seconds
+        hits += sum(report.stage_hits.values())
+        misses += sum(report.stage_misses.values())
+        snapshots.append({
+            name: generated.source
+            for name, (generated, _) in model.programs.items()
+        })
+    return total, hits, misses, snapshots
+
+
+def test_generation_cache_speedup(benchmark, mp3_params):
+    points = _sweep_points(mp3_params)
+
+    def measure():
+        store = ArtifactStore()
+        cold_seconds, _, cold_misses, cold_src = _generate_sweep(
+            points, store)
+        warm_seconds, warm_hits, warm_misses, warm_src = _generate_sweep(
+            points, store)
+        return {
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": cold_seconds / warm_seconds,
+            "identical_sources": cold_src == warm_src,
+            "cold_misses": cold_misses,
+            "warm_hits": warm_hits,
+            "warm_misses": warm_misses,
+        }
+
+    outcome = benchmark.pedantic(measure, rounds=1, iterations=1)
+    _state["speedup"] = outcome
+    assert outcome["identical_sources"]
+    assert outcome["warm_misses"] == 0
+    # The issue's bar: a warm 20-point sweep generates >= 3x faster than
+    # cold (in practice the margin is much larger).
+    assert outcome["speedup"] >= 3.0
+
+
+def test_warm_cache_equivalence(benchmark):
+    points = _sweep_points(SMALL)
+
+    def sweep_three_ways():
+        artifacts.reset_default_store()
+        try:
+            cold = explore(points, workers=1)       # cold default store
+            warm = explore(points, workers=1)       # same store, warm
+            parallel = explore(points, workers=4)   # warm + fork pool
+        finally:
+            artifacts.reset_default_store()
+        return cold, warm, parallel
+
+    cold, warm, parallel = benchmark.pedantic(
+        sweep_three_ways, rounds=1, iterations=1,
+    )
+    _state["equivalence"] = (cold, warm, parallel)
+
+    def cycles(result):
+        return [(r.point.name, r.makespan_cycles, tuple(sorted(
+            r.per_process_cycles.items()))) for r in result.results]
+
+    def ranking(result):
+        return [r.point.name for r in result.ranked()]
+
+    assert cycles(cold) == cycles(warm) == cycles(parallel)
+    assert ranking(cold) == ranking(warm) == ranking(parallel)
+    # The warm sequential sweep really was served by the store.
+    summary = warm.generation_summary()
+    assert summary["points"] == len(points)
+    assert all(summary["stage_misses"][s] == 0
+               for s in ("frontend", "annotate", "codegen"))
+
+
+def test_render_generation_cache(benchmark, tables, metrics):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    outcome = _state["speedup"]
+    cold, warm, parallel = _state["equivalence"]
+    warm_summary = warm.generation_summary()
+    table = Table(
+        ["measurement", "value"],
+        title="Generation fast path — artifact pipeline (20-point MP3 sweep)",
+    )
+    table.add_row("cold generation (20 points)",
+                  fmt_seconds(outcome["cold_seconds"]))
+    table.add_row("warm generation (20 points)",
+                  fmt_seconds(outcome["warm_seconds"]))
+    table.add_row("warm speedup", "%.1fx" % outcome["speedup"])
+    table.add_row("warm stage lookups (hits/misses)",
+                  "%d / %d" % (outcome["warm_hits"],
+                               outcome["warm_misses"]))
+    table.add_row("generated sources bit-identical", "yes")
+    table.add_row("cold sweep (simulated)", fmt_seconds(cold.total_seconds))
+    table.add_row("warm sweep (simulated)", fmt_seconds(warm.total_seconds))
+    table.add_row("parallel sweep (workers=4)",
+                  fmt_seconds(parallel.total_seconds))
+    table.add_row("makespans & rankings identical", "yes")
+    tables["generation_cache"] = table.render()
+    metrics["generation_cache"] = {
+        "wall_seconds": outcome["cold_seconds"],
+        "cold_seconds": outcome["cold_seconds"],
+        "warm_seconds": outcome["warm_seconds"],
+        "speedup": outcome["speedup"],
+        "cold_misses": outcome["cold_misses"],
+        "warm_hits": outcome["warm_hits"],
+        "warm_misses": outcome["warm_misses"],
+        "warm_stage_seconds": warm_summary["stage_seconds"],
+        "sweep_points": len(cold),
+        "sweep_cold_seconds": cold.total_seconds,
+        "sweep_warm_seconds": warm.total_seconds,
+        "sweep_parallel_seconds": parallel.total_seconds,
+    }

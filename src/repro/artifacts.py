@@ -1,0 +1,361 @@
+"""Content-addressed artifact store — the compile-once/explore-many core.
+
+Every cacheable product of the TLM generation pipeline (lowered IR,
+per-block delay maps, generated module source, compiled code objects, and
+the estimation layer's block schedules) lives in one :class:`ArtifactStore`
+keyed by content hashes.  A design-space sweep then re-runs only the stages
+whose inputs actually changed; everything else is a dictionary lookup.
+
+The store is organised as *kinds* — independent namespaces with their own
+LRU bound, hit/miss counters and (optionally) an on-disk form:
+
+* every kind keeps a bounded in-memory LRU (:class:`CacheStats` counters);
+* kinds registered with ``disk=True`` additionally persist each entry as
+  one JSON file under ``<directory>/<kind>/<hash>.json``, written through
+  :func:`repro.ioutil.atomic_write_json` so concurrent sweep workers (or a
+  crash mid-write) never corrupt an entry;
+* disk entries are *versioned*: each file records the store format and the
+  kind's schema version, and a reader rejects anything it does not
+  recognise — a format bump therefore invalidates cleanly (stale entries
+  become misses, never wrong answers).
+
+Environment knobs (see docs/performance.md):
+
+* ``REPRO_ARTIFACTS=0`` (also ``off``/``false``/``no``) disables the
+  process-wide default store — every generation stage is recomputed.
+* ``REPRO_ARTIFACTS_DIR=<dir>`` backs the default store with an on-disk
+  store so artifacts survive across processes and runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+
+from .ioutil import atomic_write_json
+
+#: On-disk entry format version (the envelope around every entry file).
+DISK_FORMAT_VERSION = 1
+
+#: Default per-kind LRU capacity.
+DEFAULT_MAX_ENTRIES = 100_000
+
+_FALSEY = ("0", "off", "false", "no")
+
+
+def content_key(*parts):
+    """A compact stable digest of the given string parts (key helper)."""
+    digest = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        digest.update(part.encode("utf-8", "replace"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class CacheStats:
+    """Hit/miss/stored/evicted counters of one cache kind."""
+
+    __slots__ = ("hits", "misses", "stored", "evicted")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self.hits = 0
+        self.misses = 0
+        self.stored = 0
+        self.evicted = 0
+
+    @property
+    def lookups(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stored": self.stored,
+            "evicted": self.evicted,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self):
+        return "CacheStats(hits=%d, misses=%d, stored=%d, evicted=%d)" % (
+            self.hits, self.misses, self.stored, self.evicted,
+        )
+
+
+class KindSpec:
+    """Registration record for one artifact kind.
+
+    ``version`` is the kind's schema version: bumping it orphans every
+    existing disk entry of that kind (they stop validating) without
+    touching other kinds.  ``encode``/``decode`` map between the in-memory
+    value and its JSON-compatible disk form (identity by default, so only
+    kinds whose values are not plain JSON need them).
+    """
+
+    __slots__ = ("name", "version", "disk", "max_entries", "encode", "decode")
+
+    def __init__(self, name, version=1, disk=False, max_entries=None,
+                 encode=None, decode=None):
+        self.name = name
+        self.version = version
+        self.disk = disk
+        self.max_entries = max_entries
+        self.encode = encode
+        self.decode = decode
+
+
+#: Process-wide kind registry; importing a subsystem registers its kinds.
+_KINDS = {}
+
+
+def register_kind(name, version=1, disk=False, max_entries=None,
+                  encode=None, decode=None):
+    """Register (or re-register) an artifact kind; returns its spec."""
+    spec = KindSpec(name, version=version, disk=disk,
+                    max_entries=max_entries, encode=encode, decode=decode)
+    _KINDS[name] = spec
+    return spec
+
+
+def kind_spec(name):
+    """The registered spec for ``name`` (auto-registers a memory-only
+    default for unknown kinds, so ad-hoc kinds just work)."""
+    spec = _KINDS.get(name)
+    if spec is None:
+        spec = register_kind(name)
+    return spec
+
+
+class _Kind:
+    """One kind's in-memory state inside a store."""
+
+    __slots__ = ("spec", "entries", "stats", "max_entries",
+                 "disk_hits", "disk_misses")
+
+    def __init__(self, spec, default_max):
+        self.spec = spec
+        self.entries = OrderedDict()
+        self.stats = CacheStats()
+        self.max_entries = spec.max_entries or default_max
+        self.disk_hits = 0
+        self.disk_misses = 0
+
+
+class ArtifactStore:
+    """Content-addressed, kind-namespaced artifact cache.
+
+    Args:
+        directory: optional root for the on-disk form; only kinds
+            registered with ``disk=True`` persist there.
+        max_entries: default per-kind LRU bound (kind specs may override).
+    """
+
+    def __init__(self, directory=None, max_entries=DEFAULT_MAX_ENTRIES):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.directory = directory
+        self.default_max_entries = max_entries
+        self._kinds = {}
+
+    # -- kind bookkeeping ----------------------------------------------------
+
+    def _kind(self, name):
+        state = self._kinds.get(name)
+        if state is None:
+            state = _Kind(kind_spec(name), self.default_max_entries)
+            self._kinds[name] = state
+        return state
+
+    def stats(self, kind):
+        """The :class:`CacheStats` of ``kind`` (created on first touch)."""
+        return self._kind(kind).stats
+
+    def size(self, kind):
+        return len(self._kind(kind).entries)
+
+    def capacity(self, kind):
+        return self._kind(kind).max_entries
+
+    def contains(self, kind, key):
+        return key in self._kind(kind).entries
+
+    def items(self, kind):
+        """``(key, value)`` pairs in LRU order; does not touch stats."""
+        return list(self._kind(kind).entries.items())
+
+    def kinds(self):
+        return sorted(self._kinds)
+
+    def counters(self):
+        """Per-kind counter dicts — the one stats surface for reports."""
+        out = {}
+        for name in sorted(self._kinds):
+            state = self._kinds[name]
+            entry = state.stats.as_dict()
+            entry["entries"] = len(state.entries)
+            if state.spec.disk and self.directory is not None:
+                entry["disk_hits"] = state.disk_hits
+                entry["disk_misses"] = state.disk_misses
+            out[name] = entry
+        return out
+
+    def clear(self, kind=None):
+        """Drop entries (and reset stats) for one kind, or for all."""
+        if kind is not None:
+            state = self._kinds.get(kind)
+            if state is not None:
+                state.entries.clear()
+                state.stats.reset()
+            return
+        for state in self._kinds.values():
+            state.entries.clear()
+            state.stats.reset()
+
+    # -- core get/put --------------------------------------------------------
+
+    def get(self, kind, key):
+        """The cached value, or ``None`` (counts a hit or a miss).
+
+        Memory first; disk-backed kinds fall back to their entry file and
+        re-warm the memory LRU on a disk hit.  A missing, corrupt, stale or
+        mismatched disk entry is a plain miss — never an error.
+        """
+        state = self._kind(kind)
+        entry = state.entries.get(key)
+        if entry is not None:
+            state.entries.move_to_end(key)
+            state.stats.hits += 1
+            return entry
+        value = self._disk_read(state, key)
+        if value is not None:
+            self._insert(state, key, value)
+            state.stats.hits += 1
+            return value
+        state.stats.misses += 1
+        return None
+
+    def put(self, kind, key, value):
+        """Insert a value (idempotent for an existing key; LRU-evicts)."""
+        state = self._kind(kind)
+        if key in state.entries:
+            state.entries.move_to_end(key)
+            return
+        self._insert(state, key, value)
+        state.stats.stored += 1
+        self._disk_write(state, key, value)
+
+    def _insert(self, state, key, value):
+        while len(state.entries) >= state.max_entries:
+            state.entries.popitem(last=False)
+            state.stats.evicted += 1
+        state.entries[key] = value
+
+    # -- disk form -----------------------------------------------------------
+
+    def _disk_path(self, state, key):
+        return os.path.join(
+            self.directory, state.spec.name, content_key(key) + ".json"
+        )
+
+    def _disk_read(self, state, key):
+        if self.directory is None or not state.spec.disk:
+            return None
+        try:
+            with open(self._disk_path(state, key)) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            state.disk_misses += 1
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("format") != DISK_FORMAT_VERSION
+            or data.get("kind") != state.spec.name
+            or data.get("kind_version") != state.spec.version
+            or data.get("key") != key
+            or "value" not in data
+        ):
+            state.disk_misses += 1
+            return None
+        value = data["value"]
+        if state.spec.decode is not None:
+            try:
+                value = state.spec.decode(value)
+            except (TypeError, ValueError, KeyError, IndexError):
+                state.disk_misses += 1
+                return None
+        state.disk_hits += 1
+        return value
+
+    def _disk_write(self, state, key, value):
+        if self.directory is None or not state.spec.disk:
+            return
+        if state.spec.encode is not None:
+            value = state.spec.encode(value)
+        path = self._disk_path(state, key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            atomic_write_json(path, {
+                "format": DISK_FORMAT_VERSION,
+                "kind": state.spec.name,
+                "kind_version": state.spec.version,
+                "key": key,
+                "value": value,
+            })
+        except (OSError, TypeError, ValueError):
+            # A full disk or an unserialisable value must never break the
+            # pipeline; the entry simply stays memory-only.
+            pass
+
+    def __repr__(self):
+        return "ArtifactStore(%d kinds%s)" % (
+            len(self._kinds),
+            ", dir=%r" % self.directory if self.directory else "",
+        )
+
+
+# -- process-wide default store ----------------------------------------------
+
+_default_store = None
+_default_initialized = False
+
+
+def store_enabled():
+    """False when ``REPRO_ARTIFACTS`` opts out of the default store."""
+    return os.environ.get("REPRO_ARTIFACTS", "1").strip().lower() not in _FALSEY
+
+
+def default_store():
+    """The process-wide artifact store, or ``None`` when opted out.
+
+    Created lazily on first use; honours ``REPRO_ARTIFACTS`` and
+    ``REPRO_ARTIFACTS_DIR`` at creation time (use
+    :func:`reset_default_store` to re-read the environment, e.g. in tests).
+    """
+    global _default_store, _default_initialized
+    if not _default_initialized:
+        _default_store = (
+            ArtifactStore(
+                directory=os.environ.get("REPRO_ARTIFACTS_DIR") or None
+            )
+            if store_enabled()
+            else None
+        )
+        _default_initialized = True
+    return _default_store
+
+
+def reset_default_store():
+    """Drop the default store so the next use re-reads the environment."""
+    global _default_store, _default_initialized
+    _default_store = None
+    _default_initialized = False

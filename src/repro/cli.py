@@ -19,7 +19,8 @@ Subcommands:
 ``explore``
     Sweep the MP3 design space (mappings × cache configurations) with
     generated timed TLMs and print the ranking; ``--workers N`` evaluates
-    points on a process pool.
+    points on a process pool, ``--report`` prints per-stage generation
+    seconds and artifact-cache hit/miss counters (sequential or pooled).
 ``calibrate``
     Measure cache hit rates and branch misprediction on the MP3 training
     workload and print the calibrated ``MemoryModel``/``BranchModel``.
@@ -36,7 +37,9 @@ Subcommands:
 ``tlm`` / ``simulate``
     Generate and run a TLM from a design JSON file.  ``--engine`` picks the
     scheduler backend, ``--granularity``/``--quantum`` control wait
-    batching, and ``--kernel-stats`` prints the scheduler counters.
+    batching, ``--kernel-stats`` prints the scheduler counters, and
+    ``--gen-stats`` prints the generation pipeline's per-stage seconds
+    and artifact-cache counters.
     ``--faults scenario.json`` injects a deterministic fault scenario;
     ``--max-wall-seconds`` / ``--max-cycles`` / ``--max-stalled`` arm the
     kernel watchdog (see docs/robustness.md).
@@ -128,6 +131,24 @@ def _write_cache_stats(out):
         out.write("schedule cache: saved to %s\n" % saved)
 
 
+def _write_generation_stages(out, stage_seconds, stage_hits, stage_misses,
+                             label="generation"):
+    """Per-stage artifact-pipeline lines (shared by explore and simulate)."""
+    from .tlm.generator import STAGES
+
+    for stage in STAGES:
+        hits = stage_hits.get(stage, 0)
+        misses = stage_misses.get(stage, 0)
+        lookups = hits + misses
+        out.write(
+            "  %-10s %8.3f s  %4d hits  %4d misses  (%3.0f%% hit rate)\n"
+            % (stage, stage_seconds.get(stage, 0.0), hits, misses,
+               100.0 * hits / lookups if lookups else 0.0)
+        )
+    out.write("  %-10s %8.3f s\n"
+              % ("total", sum(stage_seconds.values())))
+
+
 def cmd_run(args, out):
     with open(args.source) as handle:
         source = handle.read()
@@ -217,6 +238,13 @@ def cmd_tlm(args, out):
         _write_fault_stats(out, scenario, result.fault_stats)
     if args.kernel_stats:
         _write_kernel_stats(out, result.kernel_stats)
+    if args.gen_stats:
+        report = model.report
+        out.write("generation stages (artifact pipeline):\n")
+        _write_generation_stages(
+            out, report.stage_seconds, report.stage_hits,
+            report.stage_misses,
+        )
     return 0
 
 
@@ -317,6 +345,16 @@ def cmd_explore(args, out):
     front = result.pareto_front()
     out.write("\nPareto front (cycles vs HW units): %s\n"
               % " / ".join(r.point.name for r in front))
+    if args.report:
+        summary = result.generation_summary()
+        out.write(
+            "\nGeneration report (%d points, artifact pipeline):\n"
+            % summary["points"]
+        )
+        _write_generation_stages(
+            out, summary["stage_seconds"], summary["stage_hits"],
+            summary["stage_misses"],
+        )
     if args.cache_stats:
         _write_cache_stats(out)
     return 0 if not failures else 4
@@ -431,6 +469,10 @@ def build_parser():
                        help="use a reduced MP3 parameter set (fast smoke)")
     p_exp.add_argument("--cache-stats", action="store_true",
                        help="print schedule-cache hit/miss/entry counters")
+    p_exp.add_argument("--report", action="store_true",
+                       help="print per-stage TLM-generation seconds and "
+                            "artifact-cache hit/miss counters (works for "
+                            "any --workers value)")
     p_exp.add_argument("--checkpoint", metavar="PATH",
                        help="persist completed points to PATH and resume "
                             "from it (atomic JSON; see docs/robustness.md)")
@@ -523,6 +565,9 @@ def build_parser():
                             "equivalence baseline)")
     p_tlm.add_argument("--kernel-stats", action="store_true",
                        help="print scheduler activation/event counters")
+    p_tlm.add_argument("--gen-stats", action="store_true",
+                       help="print per-stage TLM-generation seconds and "
+                            "artifact-cache hit/miss counters")
     p_tlm.add_argument("--faults", metavar="PATH",
                        help="inject the fault scenario from a JSON file "
                             "and report per-fault counters")

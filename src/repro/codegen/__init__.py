@@ -1,6 +1,12 @@
 """Timed native code generation (paper Section 4.3) and its runtime."""
 
-from .pygen import CodegenError, GeneratedProgram, generate_program, generate_source
+from .pygen import (
+    CodegenError,
+    GeneratedProgram,
+    generate_program,
+    generate_source,
+    program_from_source,
+)
 from .runtime import GRANULARITIES, ProcessContext
 
 __all__ = [
@@ -10,4 +16,5 @@ __all__ = [
     "ProcessContext",
     "generate_program",
     "generate_source",
+    "program_from_source",
 ]

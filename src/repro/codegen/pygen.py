@@ -128,15 +128,35 @@ def generate_program(ir_program, timed=True, module_name="<generated-tlm>",
         ir_program, timed, coroutine=coroutine, granularity=granularity,
         optimize=optimize,
     )
-    code = compile(source, module_name, "exec")
+    return program_from_source(
+        source, ir_program, timed=timed, module_name=module_name,
+        coroutine=coroutine, granularity=granularity, optimize=optimize,
+    )
+
+
+def program_from_source(source, ir_program, timed=True,
+                        module_name="<generated-tlm>", coroutine=False,
+                        granularity="transaction", optimize=True,
+                        suspending=None, code=None):
+    """Instantiate a :class:`GeneratedProgram` from already-generated source.
+
+    The artifact pipeline (:mod:`repro.tlm.generator`) caches generated
+    source and compiled code objects separately; this is the assembly step
+    it shares with :func:`generate_program`.  ``code`` (optional) skips the
+    ``compile()`` for an already-compiled module; ``suspending`` (optional)
+    skips recomputing the generator-function set in coroutine mode.
+    """
+    if code is None:
+        code = compile(source, module_name, "exec")
     namespace = {}
     exec(code, namespace)  # noqa: S102 - executing our own generated code
-    suspending = _suspending_functions(ir_program, timed, granularity) \
-        if coroutine else frozenset()
+    if suspending is None:
+        suspending = _suspending_functions(ir_program, timed, granularity) \
+            if coroutine else frozenset()
     return GeneratedProgram(
         source, namespace, ir_program, timed,
         coroutine=coroutine, granularity=granularity, optimize=optimize,
-        suspending=suspending,
+        suspending=frozenset(suspending),
     )
 
 

@@ -17,10 +17,15 @@ where
   dependency shape — op *indices*, never temp or variable names — so two
   blocks that are the same computation modulo renaming share one entry.
 
-The cache is a bounded in-memory LRU with hit/miss/stored/evicted counters
-(:class:`CacheStats`) and an optional JSON on-disk form for cross-run reuse.
+Storage, LRU bounding, statistics and atomic persistence are delegated to
+the content-addressed artifact store (:mod:`repro.artifacts`, kind
+``"sched"``), so the schedule memo, the TLM generation stages and every
+other cache share one subsystem, one stats surface and one atomic-write
+path.  :class:`ScheduleCache` keeps its original API on top — including
+the single-JSON-file ``save``/``load`` form used for cross-run reuse.
 
-Environment knobs (see docs/performance.md):
+Environment knobs (see docs/performance.md; these remain the schedule
+memo's own switches, independent of ``REPRO_ARTIFACTS``):
 
 * ``REPRO_SCHED_CACHE=0`` (also ``off``/``false``/``no``) disables the
   process-wide default cache entirely — every schedule is recomputed.
@@ -34,11 +39,15 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from collections import OrderedDict
 
+from ..artifacts import (
+    ArtifactStore,
+    CacheStats,
+    register_kind,
+)
 from ..ioutil import atomic_write_json
 
-#: Cache-format version for the on-disk JSON form.
+#: Cache-format version for the bulk on-disk JSON form (``save``/``load``).
 DISK_FORMAT_VERSION = 1
 
 #: Default LRU capacity — a full MP3-decoder annotation needs a few hundred
@@ -46,6 +55,29 @@ DISK_FORMAT_VERSION = 1
 DEFAULT_MAX_ENTRIES = 100_000
 
 _FALSEY = ("0", "off", "false", "no")
+
+#: Artifact-store kind holding schedule results.  Values are
+#: ``(delay, issue_cycles, finish_cycles)`` tuples; the per-entry disk form
+#: stores them as JSON lists.
+SCHED_KIND = "sched"
+
+register_kind(
+    SCHED_KIND,
+    version=1,
+    disk=True,
+    encode=lambda value: [value[0], list(value[1]), list(value[2])],
+    decode=lambda value: (value[0], tuple(value[1]), tuple(value[2])),
+)
+
+__all__ = [
+    "CacheStats",
+    "ScheduleCache",
+    "cache_enabled",
+    "default_cache",
+    "dfg_structural_hash",
+    "reset_default_cache",
+    "save_default_cache",
+]
 
 
 def dfg_structural_hash(dfg):
@@ -70,63 +102,38 @@ def dfg_structural_hash(dfg):
     return digest.hexdigest()
 
 
-class CacheStats:
-    """Hit/miss/stored/evicted counters of one :class:`ScheduleCache`."""
-
-    __slots__ = ("hits", "misses", "stored", "evicted")
-
-    def __init__(self):
-        self.reset()
-
-    def reset(self):
-        self.hits = 0
-        self.misses = 0
-        self.stored = 0
-        self.evicted = 0
-
-    @property
-    def lookups(self):
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self):
-        lookups = self.lookups
-        return self.hits / lookups if lookups else 0.0
-
-    def as_dict(self):
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "stored": self.stored,
-            "evicted": self.evicted,
-            "hit_rate": self.hit_rate,
-        }
-
-    def __repr__(self):
-        return "CacheStats(hits=%d, misses=%d, stored=%d, evicted=%d)" % (
-            self.hits, self.misses, self.stored, self.evicted,
-        )
-
-
 class ScheduleCache:
-    """Bounded LRU of schedule results keyed by (fingerprint, dfg hash).
+    """Schedule results keyed by (fingerprint, dfg hash), stored in an
+    artifact store.
 
     Values are ``(delay, issue_cycles, finish_cycles)`` tuples — plain data,
-    JSON-serialisable for the on-disk form.  ``path`` (optional) names a
-    JSON file to warm from immediately; :meth:`save` writes back.
+    JSON-serialisable for the on-disk forms.  ``path`` (optional) names a
+    JSON file to warm from immediately; :meth:`save` writes back.  ``store``
+    (optional) shares an existing :class:`~repro.artifacts.ArtifactStore`
+    (the process default cache shares the default store, so generation and
+    schedule counters surface together); by default each cache gets a
+    private store, preserving the original isolation semantics.
     """
 
-    def __init__(self, max_entries=DEFAULT_MAX_ENTRIES, path=None):
+    def __init__(self, max_entries=DEFAULT_MAX_ENTRIES, path=None,
+                 store=None):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self.path = path
-        self.stats = CacheStats()
-        self._entries = OrderedDict()
+        self.store = (
+            store if store is not None
+            else ArtifactStore(max_entries=max_entries)
+        )
         if path is not None and os.path.exists(path):
             self.load(path)
 
-    # -- core LRU -----------------------------------------------------------
+    @property
+    def stats(self):
+        """The ``sched`` kind's :class:`~repro.artifacts.CacheStats`."""
+        return self.store.stats(SCHED_KIND)
+
+    # -- core lookups --------------------------------------------------------
 
     @staticmethod
     def _key(fingerprint, dfg_hash):
@@ -134,47 +141,34 @@ class ScheduleCache:
 
     def get(self, fingerprint, dfg_hash):
         """The cached ``(delay, issue, finish)`` tuple, or ``None``."""
-        key = self._key(fingerprint, dfg_hash)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+        return self.store.get(SCHED_KIND, self._key(fingerprint, dfg_hash))
 
     def put(self, fingerprint, dfg_hash, delay, issue_cycles, finish_cycles):
-        key = self._key(fingerprint, dfg_hash)
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            return
-        while len(self._entries) >= self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evicted += 1
-        self._entries[key] = (
-            delay, tuple(issue_cycles), tuple(finish_cycles),
+        self.store.put(
+            SCHED_KIND,
+            self._key(fingerprint, dfg_hash),
+            (delay, tuple(issue_cycles), tuple(finish_cycles)),
         )
-        self.stats.stored += 1
 
     def clear(self):
-        self._entries.clear()
-        self.stats.reset()
+        self.store.clear(SCHED_KIND)
 
     def __len__(self):
-        return len(self._entries)
+        return self.store.size(SCHED_KIND)
 
     def __contains__(self, key_pair):
-        return self._key(*key_pair) in self._entries
+        return self.store.contains(SCHED_KIND, self._key(*key_pair))
 
     def __repr__(self):
         return "ScheduleCache(%d/%d entries, %r)" % (
-            len(self._entries), self.max_entries, self.stats,
+            len(self), self.store.capacity(SCHED_KIND), self.stats,
         )
 
-    # -- disk form ----------------------------------------------------------
+    # -- bulk disk form ------------------------------------------------------
 
     def save(self, path=None):
-        """Write the cache as JSON to ``path`` (default: ``self.path``).
+        """Write the cache as one JSON file to ``path`` (default:
+        ``self.path``).
 
         The write is atomic (same-directory temp file + ``os.replace``), so
         a reader — or a crash mid-write — never observes a truncated cache
@@ -187,7 +181,8 @@ class ScheduleCache:
             "version": DISK_FORMAT_VERSION,
             "entries": {
                 key: [delay, list(issue), list(finish)]
-                for key, (delay, issue, finish) in self._entries.items()
+                for key, (delay, issue, finish)
+                in self.store.items(SCHED_KIND)
             },
         }
         atomic_write_json(path, data)
@@ -208,14 +203,18 @@ class ScheduleCache:
             return 0
         if not isinstance(data, dict) or data.get("version") != DISK_FORMAT_VERSION:
             return 0
+        store = self.store
         merged = 0
         for key, value in data.get("entries", {}).items():
             try:
                 delay, issue, finish = value
             except (TypeError, ValueError):
                 continue
-            if key not in self._entries and len(self._entries) < self.max_entries:
-                self._entries[key] = (delay, tuple(issue), tuple(finish))
+            if (not store.contains(SCHED_KIND, key)
+                    and store.size(SCHED_KIND) < store.capacity(SCHED_KIND)):
+                store.put(
+                    SCHED_KIND, key, (delay, tuple(issue), tuple(finish))
+                )
                 merged += 1
         return merged
 
@@ -237,14 +236,21 @@ def default_cache():
     Created lazily on first use; honours ``REPRO_SCHED_CACHE`` and
     ``REPRO_SCHED_CACHE_FILE`` at creation time (use
     :func:`reset_default_cache` to re-read the environment, e.g. in tests).
+    When the default artifact store is enabled, the schedule memo lives
+    inside it, so one stats surface covers schedules and generation
+    artifacts alike.
     """
     global _default_cache, _default_initialized
     if not _default_initialized:
-        _default_cache = (
-            ScheduleCache(path=os.environ.get("REPRO_SCHED_CACHE_FILE"))
-            if cache_enabled()
-            else None
-        )
+        if cache_enabled():
+            from ..artifacts import default_store
+
+            _default_cache = ScheduleCache(
+                path=os.environ.get("REPRO_SCHED_CACHE_FILE") or None,
+                store=default_store(),
+            )
+        else:
+            _default_cache = None
         _default_initialized = True
     return _default_cache
 

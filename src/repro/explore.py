@@ -31,9 +31,22 @@ from __future__ import annotations
 import os
 import time
 
+from .artifacts import default_store
 from .ioutil import atomic_write_json
 from .parallel import fork_map, get_payload
-from .tlm.generator import generate_tlm
+from .tlm.generator import (
+    DELAYS_KIND,
+    GENSRC_KIND,
+    GenerationReport,
+    IR_KIND,
+    generate_tlm,
+    merge_generation_summaries,
+)
+
+#: Artifact kinds a prewarm child ships back to the parent.  ``tlm-code``
+#: is excluded: code objects don't pickle, and workers recompile cached
+#: source in microseconds anyway.
+_PREWARM_KINDS = (IR_KIND, DELAYS_KIND, GENSRC_KIND)
 
 #: Checkpoint-file format version.
 CHECKPOINT_FORMAT_VERSION = 1
@@ -76,14 +89,21 @@ class PointResult:
     evaluation raised, timed out, or was lost beyond retry) carries a
     one-line description instead of cycle numbers and is excluded from
     rankings.  ``cached`` marks results restored from a checkpoint file.
+
+    ``generation`` is the point's compact TLM-generation summary
+    (:meth:`~repro.tlm.generator.GenerationReport.summary`) — unlike the
+    full simulation state, it is plain data and *does* cross the process
+    boundary, so per-stage generation statistics survive ``workers>1``.
+    Checkpoint-restored points carry ``None`` (nothing was generated).
     """
 
     __slots__ = ("point", "makespan_cycles", "per_process_cycles",
-                 "wall_seconds", "tlm_result", "error", "cached")
+                 "wall_seconds", "tlm_result", "error", "cached",
+                 "generation")
 
     def __init__(self, point, tlm_result=None, wall_seconds=0.0,
                  makespan_cycles=None, per_process_cycles=None,
-                 error=None, cached=False):
+                 error=None, cached=False, generation=None):
         self.point = point
         if tlm_result is not None:
             self.makespan_cycles = tlm_result.makespan_cycles
@@ -97,6 +117,7 @@ class PointResult:
         self.tlm_result = tlm_result
         self.error = error
         self.cached = cached
+        self.generation = generation
 
     @property
     def ok(self):
@@ -159,6 +180,15 @@ class ExplorationResult:
             if not dominated:
                 front.append(candidate)
         return sorted(front, key=lambda r: (r.point.area, r.makespan_cycles))
+
+    def generation_summary(self):
+        """Sweep-level TLM-generation statistics (per-stage seconds and
+        hit/miss counts summed over every point that generated a TLM this
+        run, local or in a worker).  ``points`` counts contributing points;
+        checkpoint-restored and failed points contribute nothing."""
+        return merge_generation_summaries(
+            r.generation for r in self.results
+        )
 
     def __len__(self):
         return len(self.results)
@@ -240,48 +270,124 @@ class ExplorationCheckpoint:
 def _evaluate_point_index(index):
     """Worker-side evaluation of one design point (runs in a forked child).
 
-    Design-point builders are closures (not picklable), so the point list
-    travels through :func:`repro.parallel.fork_map`'s pre-fork payload and
-    only this index crosses the process boundary.
+    Design-point builders are closures (not picklable) and the warm
+    artifact store holds live IR and code objects, so both travel through
+    :func:`repro.parallel.fork_map`'s pre-fork payload (inherited by the
+    forked children) and only this index crosses the process boundary.
+    The returned tuple ends with the point's generation summary — plain
+    data, so per-stage statistics survive the trip back to the parent.
     """
     payload = get_payload()
     point = payload["points"][index]
     design = point.build()
+    report = GenerationReport(design.name, True)
     model = generate_tlm(design, timed=True,
-                         granularity=payload["granularity"])
+                         granularity=payload["granularity"],
+                         report=report, store=payload["store"])
     wall_start = time.perf_counter()
     tlm_result = model.run()
     wall = time.perf_counter() - wall_start
     per_process = {
         name: p.cycles for name, p in tlm_result.processes.items()
     }
-    return tlm_result.makespan_cycles, per_process, wall
+    return tlm_result.makespan_cycles, per_process, wall, report.summary()
 
 
-def _explore_parallel(points, granularity, workers, indices,
+def _explore_parallel(points, granularity, workers, indices, store=None,
                       point_timeout=None, retries=2, retry_backoff=0.5,
                       on_result=None):
     """Evaluate ``indices`` of ``points`` through the shared fork pool.
 
-    Returns ``{index: ("ok", (makespan, per_process, wall)) |
+    Returns ``{index: ("ok", (makespan, per_process, wall, gen_summary)) |
     ("error", message)}`` with :func:`repro.parallel.fork_map`'s
     degradation semantics (missing indices / ``None``: see there).
     """
     return fork_map(
         _evaluate_point_index, indices, workers,
-        payload={"points": points, "granularity": granularity},
+        payload={"points": points, "granularity": granularity,
+                 "store": store},
         task_timeout=point_timeout, retries=retries,
         retry_backoff=retry_backoff, on_result=on_result,
     )
 
 
-def _evaluate_sequential(point, granularity):
+def _prewarm_generate(task):
+    """Prewarm-task body (runs in a forked child, see
+    :func:`_prewarm_store`): generate every pending point's TLM against the
+    inherited store copy, then return the picklable entries the parent does
+    not already hold."""
+    payload = get_payload()
+    points = payload["points"]
+    store = payload["store"]
+    for index in payload["indices"]:
+        try:
+            generate_tlm(points[index].build(), timed=True,
+                         granularity=payload["granularity"], store=store)
+        except Exception:
+            pass
+    known = payload["known"]
+    return [
+        (kind, key, value)
+        for kind in _PREWARM_KINDS
+        for key, value in store.items(kind)
+        if key not in known[kind]
+    ]
+
+
+def _prewarm_store(points, indices, granularity, store,
+                   point_timeout=None, retry_backoff=0.5):
+    """Generate (but do not run) the todo points' TLMs once, pre-fork.
+
+    This fills the artifact store — front-end IR, per-block delays and
+    generated source — before the worker pool forks.  Points share sources
+    (and often PUMs), so each distinct stage is paid once; children then
+    inherit the warm store copy-on-write, so workers mostly ``exec`` cached
+    modules instead of re-running the front-end per point.  Simulation, the
+    dominant cost, still fans out.
+
+    Point builders are arbitrary user code that may crash, ``SIGKILL``
+    itself (a worker dying of OOM is the documented failure mode this sweep
+    survives) or hang — so the generation runs in a forked child of its
+    own, shipping picklable store entries back; the parent never executes a
+    builder here.  Best-effort in every failure direction: if the child
+    dies or times out, the sweep proceeds with whatever store warmth exists
+    and the offending point fails (or not) through the normal evaluation
+    paths.
+    """
+    known = {
+        kind: {key for key, _ in store.items(kind)}
+        for kind in _PREWARM_KINDS
+    }
+    timeout = None
+    if point_timeout is not None:
+        # Generation is far cheaper than the simulation point_timeout
+        # bounds, so one point's budget per pending point is generous.
+        timeout = point_timeout * max(1, len(indices))
+    result = fork_map(
+        _prewarm_generate, [0], workers=1,
+        payload={"points": points, "indices": list(indices),
+                 "granularity": granularity, "store": store,
+                 "known": known},
+        task_timeout=timeout, retries=1, retry_backoff=retry_backoff,
+    )
+    if not result or result.get(0, ("error",))[0] != "ok":
+        return
+    for kind, key, value in result[0][1]:
+        try:
+            store.put(kind, key, value)
+        except Exception:
+            pass
+
+
+def _evaluate_sequential(point, granularity, store=None):
     """In-process evaluation of one point; never raises for point-local
     failures (returns a failed :class:`PointResult` instead)."""
     wall_start = time.perf_counter()
+    report = GenerationReport(point.name, True)
     try:
         design = point.build()
-        model = generate_tlm(design, timed=True, granularity=granularity)
+        model = generate_tlm(design, timed=True, granularity=granularity,
+                             report=report, store=store)
         tlm_result = model.run()
     except Exception as exc:
         return PointResult(
@@ -291,6 +397,7 @@ def _evaluate_sequential(point, granularity):
         )
     return PointResult(
         point, tlm_result, time.perf_counter() - wall_start,
+        generation=report.summary(),
     )
 
 
@@ -359,13 +466,18 @@ def explore(points, granularity="transaction", workers=1,
 
     def on_parallel_result(index, payload):
         if ckpt is not None and payload[0] == "ok":
-            makespan, per_process, wall = payload[1]
+            makespan, per_process, wall = payload[1][:3]
             ckpt.record(points[index].name, makespan, per_process, wall)
 
+    store = default_store()
     used_workers = 1
     if workers > 1 and len(todo) > 1:
+        if store is not None:
+            _prewarm_store(points, todo, granularity, store,
+                           point_timeout=point_timeout,
+                           retry_backoff=retry_backoff)
         payloads = _explore_parallel(
-            points, granularity, workers, todo,
+            points, granularity, workers, todo, store=store,
             point_timeout=point_timeout, retries=retries,
             retry_backoff=retry_backoff, on_result=on_parallel_result,
         )
@@ -374,12 +486,13 @@ def explore(points, granularity="transaction", workers=1,
             for index, payload in payloads.items():
                 point = points[index]
                 if payload[0] == "ok":
-                    makespan, per_process, wall = payload[1]
+                    makespan, per_process, wall, gen = payload[1]
                     slots[index] = PointResult(
                         point,
                         wall_seconds=wall,
                         makespan_cycles=makespan,
                         per_process_cycles=per_process,
+                        generation=gen,
                     )
                 else:
                     slots[index] = PointResult(point, error=payload[1])
@@ -390,7 +503,8 @@ def explore(points, granularity="transaction", workers=1,
     for index in range(len(points)):
         if slots[index] is not None:
             continue
-        result = _evaluate_sequential(points[index], granularity)
+        result = _evaluate_sequential(points[index], granularity,
+                                      store=store)
         slots[index] = result
         if ckpt is not None and result.ok:
             ckpt.record(

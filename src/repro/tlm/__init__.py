@@ -1,7 +1,12 @@
 """Transaction-level platform modelling: designs, the TLM generator and the
 executable model."""
 
-from .generator import GenerationReport, compile_process, generate_tlm
+from .generator import (
+    GenerationReport,
+    compile_process,
+    generate_tlm,
+    merge_generation_summaries,
+)
 from .model import ChannelBinding, ProcessResult, TLModel, TLMResult
 from .platform import BusDecl, ChannelDecl, Design, PEDecl, PlatformError, ProcessDecl
 from .serialize import (
@@ -32,5 +37,6 @@ __all__ = [
     "design_to_json",
     "generate_tlm",
     "load_design",
+    "merge_generation_summaries",
     "save_design",
 ]

@@ -9,48 +9,178 @@ This is the flow of the paper's Fig. 2/3 end-to-end:
 
 ``generate_tlm(design, timed=False)`` produces the purely *functional* TLM
 (no annotation, no waits) used as the speed baseline of Table 1.
+
+Compile-once, explore-many
+--------------------------
+
+The pipeline is split into three explicitly cacheable stages, each keyed by
+a content hash of its complete input and backed by an
+:class:`~repro.artifacts.ArtifactStore`:
+
+========== ============================================= ==================
+stage      key                                           value (kind)
+========== ============================================= ==================
+frontend   ``source_fingerprint(source)``                lowered IR + its
+                                                         fingerprint
+                                                         (``tlm-ir``)
+annotate   ``ir_fp / pum_fp / i<icache> / d<dcache>``    per-function block
+                                                         delays (``tlm-delays``)
+codegen    annotation key × timed/coroutine/granularity/ generated module
+           optimize/quantum flags                        source (``tlm-gensrc``),
+                                                         compiled code object
+                                                         (``tlm-code``)
+========== ============================================= ==================
+
+A design-space sweep varies the PUM (cache sizes, datapath widths …) while
+the application sources stay fixed, so after the first point the front-end
+stage is pure lookup; points that share a PUM (e.g. the same cache
+configuration at a different mapping) additionally reuse annotation and
+generated source, leaving only ``exec`` of an already-compiled module.  The
+annotation key includes the configured cache sizes because the Algorithm-2
+cache terms read them — unlike the per-block schedule memo, whose
+Algorithm-1 inputs do not (see :func:`repro.pum.pum_fingerprint`).
+
+``generate_tlm(..., store=False)`` opts a single call out; ``store=None``
+(default) uses the process-wide default store (``REPRO_ARTIFACTS`` /
+``REPRO_ARTIFACTS_DIR``), falling back to a private per-call store so
+intra-design sharing still works when the default store is disabled.
 """
 
 from __future__ import annotations
 
 import time
 
+from ..artifacts import ArtifactStore, content_key, default_store, register_kind
 from ..cdfg.builder import build_program
+from ..cdfg.irhash import ir_fingerprint, source_fingerprint
 from ..cfrontend.semantic import parse_and_analyze
-from ..codegen.pygen import generate_program
-from ..estimation.annotator import annotate_ir_program
+from ..codegen.pygen import (
+    _suspending_functions,
+    generate_source,
+    program_from_source,
+)
+from ..estimation.annotator import AnnotationReport, annotate_ir_program
+from ..pum.loader import pum_fingerprint
 from .model import TLModel
+
+#: The three cacheable stages, in pipeline order.
+STAGES = ("frontend", "annotate", "codegen")
+
+#: Lowered IR programs (plus their content fingerprint), keyed by source
+#: fingerprint.  Memory-only: IR objects are cheap to rebuild and expensive
+#: to serialise.
+IR_KIND = "tlm-ir"
+
+#: Per-function block-delay vectors keyed by IR × PUM (incl. cache sizes).
+DELAYS_KIND = "tlm-delays"
+
+#: Generated module source (and suspending-function set) keyed by annotated
+#: IR × codegen flags.
+GENSRC_KIND = "tlm-gensrc"
+
+#: Compiled code objects keyed by generated-source hash.  Memory-only: code
+#: objects don't serialise to JSON (workers recompile from cached source).
+CODE_KIND = "tlm-code"
+
+register_kind(IR_KIND, version=1, disk=False)
+register_kind(DELAYS_KIND, version=1, disk=True)
+register_kind(GENSRC_KIND, version=1, disk=True)
+register_kind(CODE_KIND, version=1, disk=False)
 
 
 class GenerationReport:
-    """Timing annotation statistics for one TLM generation (Table 1's
-    "Anno." column)."""
+    """Per-stage timing and cache statistics for one TLM generation
+    (Table 1's "Anno." column, now with hit/miss counters).
+
+    The three stage timers are *disjoint* — each stage is wrapped in its own
+    ``perf_counter`` window, so :attr:`total_seconds` is exactly their sum
+    (on a cache hit the window covers the lookup, which is why hit stages
+    still report nonzero but tiny times).
+    """
 
     def __init__(self, design_name, timed):
         self.design_name = design_name
         self.timed = timed
-        self.annotation_seconds = 0.0
-        self.frontend_seconds = 0.0
-        self.codegen_seconds = 0.0
+        self.stage_seconds = dict.fromkeys(STAGES, 0.0)
+        self.stage_hits = dict.fromkeys(STAGES, 0)
+        self.stage_misses = dict.fromkeys(STAGES, 0)
         self.per_process = {}  # process name -> AnnotationReport | None
+
+    # Back-compat accessors (pre-pipeline callers read these fields).
+
+    @property
+    def frontend_seconds(self):
+        return self.stage_seconds["frontend"]
+
+    @property
+    def annotation_seconds(self):
+        return self.stage_seconds["annotate"]
+
+    @property
+    def codegen_seconds(self):
+        return self.stage_seconds["codegen"]
 
     @property
     def total_seconds(self):
-        return (
-            self.frontend_seconds + self.annotation_seconds + self.codegen_seconds
-        )
+        return sum(self.stage_seconds.values())
+
+    def _account(self, stage, seconds, hit):
+        self.stage_seconds[stage] += seconds
+        if hit:
+            self.stage_hits[stage] += 1
+        else:
+            self.stage_misses[stage] += 1
+
+    def summary(self):
+        """A compact, picklable per-stage summary (worker transport form)."""
+        return {
+            "design": self.design_name,
+            "timed": self.timed,
+            "stage_seconds": dict(self.stage_seconds),
+            "stage_hits": dict(self.stage_hits),
+            "stage_misses": dict(self.stage_misses),
+            "total_seconds": self.total_seconds,
+        }
 
     def __repr__(self):
         return (
             "GenerationReport(%r: frontend=%.3fs, annotate=%.3fs, "
-            "codegen=%.3fs)"
+            "codegen=%.3fs, hits=%s)"
             % (
                 self.design_name,
                 self.frontend_seconds,
                 self.annotation_seconds,
                 self.codegen_seconds,
+                self.stage_hits,
             )
         )
+
+
+def merge_generation_summaries(summaries):
+    """Aggregate per-point :meth:`GenerationReport.summary` dicts.
+
+    Used by ``explore`` to fold every point's generation statistics (local
+    or shipped back from workers) into one sweep-level summary.
+    """
+    total = {
+        "points": 0,
+        "stage_seconds": dict.fromkeys(STAGES, 0.0),
+        "stage_hits": dict.fromkeys(STAGES, 0),
+        "stage_misses": dict.fromkeys(STAGES, 0),
+        "total_seconds": 0.0,
+    }
+    for summary in summaries:
+        if not summary:
+            continue
+        total["points"] += 1
+        for stage in STAGES:
+            total["stage_seconds"][stage] += summary["stage_seconds"].get(
+                stage, 0.0)
+            total["stage_hits"][stage] += summary["stage_hits"].get(stage, 0)
+            total["stage_misses"][stage] += summary["stage_misses"].get(
+                stage, 0)
+        total["total_seconds"] += summary.get("total_seconds", 0.0)
+    return total
 
 
 def compile_process(decl):
@@ -59,9 +189,126 @@ def compile_process(decl):
     return build_program(program, info)
 
 
+def _resolve_store(store):
+    """Map the ``store`` argument to an actual :class:`ArtifactStore`.
+
+    ``None`` selects the process default (or, when that is disabled, a
+    private throwaway store so processes sharing a source within one design
+    still share work); ``False`` forces a private store (fully uncached
+    across calls); an explicit store is used as-is.
+    """
+    if store is None:
+        store = default_store()
+    elif store is False:
+        store = None
+    if store is None:
+        store = ArtifactStore()
+    return store
+
+
+def _frontend_stage(store, report, decl):
+    """Source text → (lowered IR, IR fingerprint)."""
+    start = time.perf_counter()
+    key = source_fingerprint(decl.source)
+    cached = store.get(IR_KIND, key)
+    if cached is None:
+        ir_program = compile_process(decl)
+        cached = (ir_program, ir_fingerprint(ir_program))
+        store.put(IR_KIND, key, cached)
+        hit = False
+    else:
+        hit = True
+    report._account("frontend", time.perf_counter() - start, hit)
+    return cached
+
+
+def _delays_key(ir_fp, pum):
+    """Annotation-stage key: IR × PUM *including* the configured cache
+    sizes, which the PUM fingerprint deliberately excludes (Algorithm 1
+    never reads them) but the Algorithm-2 cache terms do."""
+    return "%s/%s/i%d/d%d" % (
+        ir_fp, pum_fingerprint(pum), pum.icache_size, pum.dcache_size,
+    )
+
+
+def _annotate_stage(store, report, ir_program, pum, key):
+    """Annotated IR (block delays applied in place) for one process.
+
+    On a hit the cached per-function delay vectors are re-applied to the
+    (possibly shared) IR's blocks, so a cached IR annotated for a different
+    PUM earlier in the sweep is always re-stamped before codegen.  Returns
+    an :class:`AnnotationReport` either way — synthesised from cached sizes
+    (with the lookup wall time) on a hit.
+    """
+    start = time.perf_counter()
+    cached = store.get(DELAYS_KIND, key)
+    if cached is None:
+        annotation = annotate_ir_program(ir_program, pum)
+        store.put(DELAYS_KIND, key, {
+            "functions": {
+                name: [b.delay for b in ir_program.function(name).blocks]
+                for name in ir_program.functions
+            },
+            "n_functions": annotation.n_functions,
+            "n_blocks": annotation.n_blocks,
+            "n_ops": annotation.n_ops,
+        })
+        report._account("annotate", time.perf_counter() - start, False)
+        return annotation
+    for name, delays in cached["functions"].items():
+        for block, delay in zip(ir_program.function(name).blocks, delays):
+            block.delay = delay
+    seconds = time.perf_counter() - start
+    report._account("annotate", seconds, True)
+    return AnnotationReport(
+        pum.name, cached["n_functions"], cached["n_blocks"],
+        cached["n_ops"], seconds,
+    )
+
+
+def _codegen_stage(store, report, ir_program, key, timed, coroutine,
+                   granularity, optimize, module_name):
+    """Annotated IR → generated source → compiled, executable program.
+
+    The *source* is what the disk store holds (portable, diffable); the
+    compiled code object is memoized in memory keyed by the source hash, so
+    a sweep pays ``compile()`` once per distinct module and only ``exec``
+    (microseconds) per point.
+    """
+    start = time.perf_counter()
+    cached = store.get(GENSRC_KIND, key)
+    if cached is None:
+        source = generate_source(
+            ir_program, timed, coroutine=coroutine, granularity=granularity,
+            optimize=optimize,
+        )
+        suspending = _suspending_functions(ir_program, timed, granularity) \
+            if coroutine else frozenset()
+        store.put(GENSRC_KIND, key, {
+            "source": source, "suspending": sorted(suspending),
+        })
+        hit = False
+    else:
+        source = cached["source"]
+        suspending = frozenset(cached["suspending"])
+        hit = True
+    code_key = content_key(source)
+    code = store.get(CODE_KIND, code_key)
+    if code is None:
+        code = compile(source, module_name, "exec")
+        store.put(CODE_KIND, code_key, code)
+    generated = program_from_source(
+        source, ir_program, timed=timed, coroutine=coroutine,
+        granularity=granularity, optimize=optimize, suspending=suspending,
+        code=code,
+    )
+    report._account("codegen", time.perf_counter() - start, hit)
+    return generated
+
+
 def generate_tlm(design, timed=True, granularity="transaction",
                  n_frames=None, report=None, engine="coroutine",
-                 optimize=True, quantum=None):
+                 optimize=True, quantum=None, store=None):
     """Generate an executable TLM for ``design``.
 
     Args:
@@ -77,12 +324,16 @@ def generate_tlm(design, timed=True, granularity="transaction",
             original unoptimized source (the equivalence baseline).
         quantum: waits coalesced per kernel event under ``"quantum"``
             granularity (``None`` keeps the runtime default).
+        store: artifact store selector — ``None`` (process default),
+            ``False`` (private per-call store; nothing is reused across
+            calls) or an :class:`~repro.artifacts.ArtifactStore`.
 
     Returns:
         a ready-to-run :class:`~repro.tlm.model.TLModel`.
 
     ``makespan_cycles`` of the returned model's runs is independent of
-    ``engine`` and ``optimize``; only wall-clock speed changes.
+    ``engine``, ``optimize`` and cache warmth; only wall-clock speed
+    changes.
     """
     design.validate()
     model = TLModel(design, timed, granularity, engine=engine,
@@ -90,34 +341,30 @@ def generate_tlm(design, timed=True, granularity="transaction",
     if report is None:
         report = GenerationReport(design.name, timed)
     model.report = report
+    store = _resolve_store(store)
+    coroutine = engine == "coroutine"
+    flags = "t%d/co%d/g%s/opt%d/q%s" % (
+        timed, coroutine, granularity, optimize, quantum,
+    )
 
-    ir_cache = {}
     for name, decl in design.processes.items():
-        start = time.perf_counter()
-        cache_key = (id(decl.source), decl.pe_name)
-        ir_program = ir_cache.get(cache_key)
-        if ir_program is None:
-            ir_program = compile_process(decl)
-            ir_cache[cache_key] = ir_program
-        report.frontend_seconds += time.perf_counter() - start
+        ir_program, ir_fp = _frontend_stage(store, report, decl)
 
         if timed:
             pum = design.pes[decl.pe_name].pum
-            start = time.perf_counter()
-            annotation = annotate_ir_program(ir_program, pum)
-            report.annotation_seconds += time.perf_counter() - start
-            report.per_process[name] = annotation
+            delays_key = _delays_key(ir_fp, pum)
+            report.per_process[name] = _annotate_stage(
+                store, report, ir_program, pum, delays_key,
+            )
+            codegen_key = delays_key + "/" + flags
         else:
             report.per_process[name] = None
+            codegen_key = ir_fp + "/untimed/" + flags
 
-        start = time.perf_counter()
-        generated = generate_program(
-            ir_program, timed=timed,
+        generated = _codegen_stage(
+            store, report, ir_program, codegen_key, timed, coroutine,
+            granularity, optimize,
             module_name="<tlm:%s:%s>" % (design.name, name),
-            coroutine=(engine == "coroutine"),
-            granularity=granularity,
-            optimize=optimize,
         )
-        report.codegen_seconds += time.perf_counter() - start
         model.add_generated_process(decl, generated)
     return model

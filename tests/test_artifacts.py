@@ -1,0 +1,221 @@
+"""Tests for the content-addressed artifact store."""
+
+import json
+import os
+
+import pytest
+
+from repro import artifacts
+from repro.artifacts import (
+    ArtifactStore,
+    CacheStats,
+    content_key,
+    default_store,
+    register_kind,
+    reset_default_store,
+    store_enabled,
+)
+
+
+class TestContentKey:
+    def test_stable_and_distinct(self):
+        assert content_key("a", "b") == content_key("a", "b")
+        assert content_key("a", "b") != content_key("b", "a")
+        # Part boundaries matter: ("ab", "c") must not equal ("a", "bc").
+        assert content_key("ab", "c") != content_key("a", "bc")
+
+    def test_hex_digest_shape(self):
+        key = content_key("anything")
+        assert len(key) == 32
+        int(key, 16)  # hex
+
+
+class TestMemoryStore:
+    def test_get_put_and_counters(self):
+        store = ArtifactStore()
+        assert store.get("k", "a") is None
+        store.put("k", "a", 1)
+        assert store.get("k", "a") == 1
+        stats = store.stats("k")
+        assert (stats.hits, stats.misses, stats.stored) == (1, 1, 1)
+        assert stats.lookups == 2
+        assert stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        register_kind("lru-test", max_entries=2)
+        store = ArtifactStore()
+        store.put("lru-test", "a", 1)
+        store.put("lru-test", "b", 2)
+        assert store.get("lru-test", "a") == 1  # refresh 'a'
+        store.put("lru-test", "c", 3)  # evicts 'b', the LRU entry
+        assert store.get("lru-test", "b") is None
+        assert store.get("lru-test", "a") == 1
+        assert store.get("lru-test", "c") == 3
+        assert store.stats("lru-test").evicted == 1
+
+    def test_put_same_key_is_idempotent(self):
+        store = ArtifactStore()
+        store.put("k", "a", 1)
+        store.put("k", "a", 2)  # ignored: content-addressed entries agree
+        assert store.get("k", "a") == 1
+        assert store.stats("k").stored == 1
+
+    def test_clear_resets_entries_and_stats(self):
+        store = ArtifactStore()
+        store.put("k", "a", 1)
+        store.get("k", "a")
+        store.clear("k")
+        assert store.size("k") == 0
+        assert store.stats("k").hits == 0
+        assert store.get("k", "a") is None
+
+    def test_items_does_not_touch_stats(self):
+        store = ArtifactStore()
+        store.put("k", "a", 1)
+        assert store.items("k") == [("a", 1)]
+        assert store.stats("k").hits == 0
+
+    def test_counters_surface(self):
+        store = ArtifactStore()
+        store.put("k", "a", 1)
+        store.get("k", "a")
+        store.get("k", "b")
+        counters = store.counters()
+        assert counters["k"]["hits"] == 1
+        assert counters["k"]["misses"] == 1
+        assert counters["k"]["entries"] == 1
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ArtifactStore(max_entries=0)
+
+
+class TestDiskStore:
+    KIND = "disk-test"
+
+    @pytest.fixture(autouse=True)
+    def _kind(self):
+        register_kind(self.KIND, version=1, disk=True)
+
+    def test_round_trip_across_stores(self, tmp_path):
+        first = ArtifactStore(directory=str(tmp_path))
+        first.put(self.KIND, "a", {"x": 1})
+        # A brand-new store (cold memory) warms itself from the entry file.
+        second = ArtifactStore(directory=str(tmp_path))
+        assert second.get(self.KIND, "a") == {"x": 1}
+        stats = second.stats(self.KIND)
+        assert (stats.hits, stats.misses) == (1, 0)
+        assert second.counters()[self.KIND]["disk_hits"] == 1
+
+    def test_memory_only_kind_writes_nothing(self, tmp_path):
+        register_kind("mem-test", disk=False)
+        store = ArtifactStore(directory=str(tmp_path))
+        store.put("mem-test", "a", 1)
+        assert not os.path.exists(str(tmp_path / "mem-test"))
+
+    def _entry_paths(self, tmp_path):
+        root = tmp_path / self.KIND
+        return sorted(root.iterdir()) if root.exists() else []
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        ArtifactStore(directory=str(tmp_path)).put(self.KIND, "a", 1)
+        for path in self._entry_paths(tmp_path):
+            path.write_text("{not json")
+        store = ArtifactStore(directory=str(tmp_path))
+        assert store.get(self.KIND, "a") is None
+        assert store.stats(self.KIND).misses == 1
+        assert store.counters()[self.KIND]["disk_misses"] == 1
+
+    def test_stale_kind_version_is_a_miss(self, tmp_path):
+        ArtifactStore(directory=str(tmp_path)).put(self.KIND, "a", 1)
+        for path in self._entry_paths(tmp_path):
+            data = json.loads(path.read_text())
+            data["kind_version"] = 999
+            path.write_text(json.dumps(data))
+        store = ArtifactStore(directory=str(tmp_path))
+        assert store.get(self.KIND, "a") is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        # Guards against a (hypothetical) digest collision ever returning
+        # another key's value.
+        ArtifactStore(directory=str(tmp_path)).put(self.KIND, "a", 1)
+        for path in self._entry_paths(tmp_path):
+            data = json.loads(path.read_text())
+            data["key"] = "somebody-else"
+            path.write_text(json.dumps(data))
+        store = ArtifactStore(directory=str(tmp_path))
+        assert store.get(self.KIND, "a") is None
+
+    def test_unserialisable_value_stays_memory_only(self, tmp_path):
+        store = ArtifactStore(directory=str(tmp_path))
+        value = object()
+        store.put(self.KIND, "a", value)  # JSON TypeError swallowed
+        assert store.get(self.KIND, "a") is value
+        assert ArtifactStore(directory=str(tmp_path)).get(
+            self.KIND, "a") is None
+
+    def test_encode_decode_round_trip(self, tmp_path):
+        register_kind(
+            "codec-test", disk=True,
+            encode=lambda v: list(v),
+            decode=lambda v: tuple(v),
+        )
+        ArtifactStore(directory=str(tmp_path)).put("codec-test", "a", (1, 2))
+        assert ArtifactStore(directory=str(tmp_path)).get(
+            "codec-test", "a") == (1, 2)
+
+    def test_broken_decode_is_a_miss(self, tmp_path):
+        register_kind("strict-test", disk=True,
+                      decode=lambda v: v["required-key"])
+        register_kind("loose-test", disk=True)
+        store = ArtifactStore(directory=str(tmp_path))
+        store.put("strict-test", "a", {"other": 1})
+        fresh = ArtifactStore(directory=str(tmp_path))
+        assert fresh.get("strict-test", "a") is None
+
+
+class TestDefaultStore:
+    @pytest.fixture(autouse=True)
+    def _restore(self):
+        reset_default_store()
+        yield
+        reset_default_store()
+
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARTIFACTS", raising=False)
+        monkeypatch.delenv("REPRO_ARTIFACTS_DIR", raising=False)
+        assert store_enabled()
+        store = default_store()
+        assert isinstance(store, ArtifactStore)
+        assert store.directory is None
+        assert default_store() is store  # one instance per process
+
+    def test_opt_out(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACTS", "0")
+        assert not store_enabled()
+        assert default_store() is None
+
+    def test_disk_directory_knob(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_ARTIFACTS", raising=False)
+        monkeypatch.setenv("REPRO_ARTIFACTS_DIR", str(tmp_path))
+        assert default_store().directory == str(tmp_path)
+
+    def test_reset_rereads_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARTIFACTS", raising=False)
+        assert default_store() is not None
+        monkeypatch.setenv("REPRO_ARTIFACTS", "off")
+        reset_default_store()
+        assert default_store() is None
+
+
+class TestCacheStatsExport:
+    def test_schedcache_reexports_artifact_stats(self):
+        from repro.estimation import schedcache
+
+        assert schedcache.CacheStats is CacheStats
+
+    def test_repr(self):
+        stats = CacheStats()
+        stats.hits = 2
+        assert "hits=2" in repr(stats)
+        assert "kinds" in repr(ArtifactStore())

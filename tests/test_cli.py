@@ -112,6 +112,18 @@ class TestExplore:
         with pytest.raises(SystemExit):
             run_cli(["explore", "--small", "--cache-config", "bogus"])
 
+    @pytest.mark.parametrize("workers", ["1", "4"])
+    def test_explore_report_prints_generation_stages(self, workers):
+        code, text = run_cli([
+            "explore", "--small", "--workers", workers,
+            "--cache-config", "2048:2048", "--report",
+        ])
+        assert code == 0
+        assert "Generation report (4 points" in text
+        for stage in ("frontend", "annotate", "codegen", "total"):
+            assert stage in text
+        assert "hits" in text and "misses" in text and "hit rate" in text
+
 
 class TestCalibrate:
     def test_calibrate_traced_fast_path(self):
@@ -268,6 +280,13 @@ class TestResilienceFlags:
         ])
         assert code == 0
         assert "makespan" in text
+
+    def test_simulate_gen_stats(self, design_file):
+        code, text = run_cli(["simulate", design_file, "--gen-stats"])
+        assert code == 0
+        assert "generation stages" in text
+        for stage in ("frontend", "annotate", "codegen", "total"):
+            assert stage in text
 
     def test_bad_pum_json_is_one_line_error(self, source_file, tmp_path):
         bad = tmp_path / "bad-pum.json"

@@ -139,3 +139,63 @@ class TestMp3Points:
         variants = {r.point.meta["variant"] for r in front}
         assert "SW" in variants      # cheapest
         assert "SW+4" in variants    # fastest
+
+
+class TestGenerationSummaries:
+    def _points(self):
+        return [
+            DesignPoint("a", _loop_design(60, "a"), area=1),
+            DesignPoint("b", _loop_design(90, "b"), area=1),
+            DesignPoint("c", _loop_design(120, "c"), area=1),
+        ]
+
+    def test_sequential_points_carry_generation_summaries(self):
+        result = explore(self._points(), workers=1)
+        for r in result.results:
+            assert r.generation is not None
+            assert set(r.generation["stage_seconds"]) == {
+                "frontend", "annotate", "codegen",
+            }
+        summary = result.generation_summary()
+        assert summary["points"] == 3
+        assert summary["total_seconds"] > 0
+
+    def test_parallel_points_carry_generation_summaries(self):
+        # The satellite fix: workers used to drop the GenerationReport
+        # entirely; the compact summary must now survive the pool.
+        result = explore(self._points(), workers=2)
+        if result.workers == 1:
+            pytest.skip("no fork support on this platform")
+        for r in result.results:
+            assert r.generation is not None
+        summary = result.generation_summary()
+        assert summary["points"] == 3
+        for stage in ("frontend", "annotate", "codegen"):
+            lookups = (summary["stage_hits"][stage]
+                       + summary["stage_misses"][stage])
+            assert lookups >= 3
+
+    def test_parallel_workers_hit_prewarmed_store(self):
+        from repro import artifacts
+
+        artifacts.reset_default_store()
+        try:
+            result = explore(self._points(), workers=2)
+            if result.workers == 1:
+                pytest.skip("no fork support on this platform")
+            summary = result.generation_summary()
+            # The parent pre-warms every stage before the fork, so workers
+            # only ever look artifacts up.
+            for stage in ("frontend", "annotate", "codegen"):
+                assert summary["stage_misses"][stage] == 0
+                assert summary["stage_hits"][stage] >= 3
+        finally:
+            artifacts.reset_default_store()
+
+    def test_checkpoint_restored_points_contribute_nothing(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        explore(self._points(), checkpoint=path)
+        rerun = explore(self._points(), checkpoint=path)
+        assert all(r.cached for r in rerun.results)
+        assert all(r.generation is None for r in rerun.results)
+        assert rerun.generation_summary()["points"] == 0

@@ -1,0 +1,185 @@
+"""Cold-vs-warm equivalence of the staged TLM generation pipeline.
+
+The artifact pipeline must be *transparent*: a warm store may only change
+wall-clock time, never the generated source, the suspending-function sets or
+any cycle count.  These tests run every generation twice against one store
+(cold then warm) and require bit-identical outputs, across PUM presets,
+the bundled applications and every wait granularity — plus the disk-store
+round-trip and the corrupted/stale-entry fallback paths.
+"""
+
+import json
+
+import pytest
+
+from repro.apps.jpeg import build_jpeg_design
+from repro.apps.kernels import dct_source, fir_source, sort_source
+from repro.apps.mp3 import Mp3Params, build_design
+from repro.artifacts import ArtifactStore
+from repro.pum import dct_hw, filtercore_hw, imdct_hw, microblaze, superscalar2
+from repro.tlm import Design, generate_tlm
+from repro.tlm.generator import GenerationReport, STAGES
+
+SMALL = Mp3Params(n_subbands=4, n_slots=4, n_phases=4, n_alias=2)
+
+PUM_PRESETS = {
+    "microblaze": lambda: microblaze(2048, 2048),
+    "superscalar2": lambda: superscalar2(2048, 2048),
+    "dct-hw": dct_hw,
+    "filtercore-hw": filtercore_hw,
+    "imdct-hw": imdct_hw,
+}
+
+APP_DESIGNS = {
+    "mp3": lambda: build_design("SW+2", SMALL, n_frames=1, seed=7,
+                                icache_size=2048, dcache_size=2048)[0],
+    "jpeg": lambda: build_jpeg_design(True, n_blocks=2, seed=21,
+                                      icache_size=2048, dcache_size=2048),
+    "kernels": lambda: _kernels_design(),
+}
+
+
+def _kernels_design():
+    design = Design("kernels")
+    for name, source in (("dct", dct_source(n_blocks=1)),
+                         ("fir", fir_source(n_taps=4, n_samples=16)),
+                         ("sort", sort_source(n_items=16))):
+        design.add_pe("cpu_" + name, microblaze(2048, 2048))
+        design.add_process(name, source, "main", "cpu_" + name)
+    return design
+
+
+def _generate(builder, store, **kwargs):
+    report = GenerationReport("t", kwargs.get("timed", True))
+    model = generate_tlm(builder(), report=report, store=store, **kwargs)
+    return model, report
+
+
+def _snapshot(model):
+    """Everything generation produced, in comparable form."""
+    return {
+        name: (generated.source, tuple(sorted(generated.suspending)))
+        for name, (generated, _) in model.programs.items()
+    }
+
+
+def _assert_identical(builder, store, **kwargs):
+    cold_model, cold_report = _generate(builder, store, **kwargs)
+    warm_model, warm_report = _generate(builder, store, **kwargs)
+    assert _snapshot(cold_model) == _snapshot(warm_model)
+    cold = cold_model.run()
+    warm = warm_model.run()
+    assert cold.makespan_cycles == warm.makespan_cycles
+    assert (
+        {n: p.cycles for n, p in cold.processes.items()}
+        == {n: p.cycles for n, p in warm.processes.items()}
+    )
+    # The warm pass must be pure lookup.
+    for stage in STAGES if kwargs.get("timed", True) \
+            else ("frontend", "codegen"):
+        assert warm_report.stage_misses[stage] == 0, stage
+        assert warm_report.stage_hits[stage] > 0, stage
+    return cold, warm
+
+
+class TestColdWarmEquivalence:
+    @pytest.mark.parametrize("preset", sorted(PUM_PRESETS))
+    def test_presets(self, preset):
+        def build():
+            design = Design("preset-" + preset)
+            design.add_pe("pe0", PUM_PRESETS[preset]())
+            design.add_process("p", dct_source(n_blocks=1), "main", "pe0")
+            return design
+
+        _assert_identical(build, ArtifactStore())
+
+    @pytest.mark.parametrize("app", sorted(APP_DESIGNS))
+    @pytest.mark.parametrize("granularity",
+                             ["transaction", "block", "quantum"])
+    def test_apps_across_granularities(self, app, granularity):
+        _assert_identical(APP_DESIGNS[app], ArtifactStore(),
+                          granularity=granularity)
+
+    def test_untimed_generation(self):
+        _assert_identical(APP_DESIGNS["kernels"], ArtifactStore(),
+                          timed=False)
+
+    def test_distinct_pums_do_not_collide(self):
+        # Same source annotated for two different cache sizes must produce
+        # different delays even though the second generation hits the
+        # frontend stage.
+        store = ArtifactStore()
+
+        def build(icache):
+            def _build():
+                design = Design("sized")
+                design.add_pe("cpu", microblaze(icache, 2048))
+                design.add_process("p", dct_source(n_blocks=1), "main",
+                                   "cpu")
+                return design
+            return _build
+
+        small, _ = _generate(build(0), store)
+        big, _ = _generate(build(32 * 1024), store)
+        assert small.run().makespan_cycles > big.run().makespan_cycles
+
+    def test_uncached_matches_cached(self):
+        store = ArtifactStore()
+        cached, _ = _generate(APP_DESIGNS["jpeg"], store)
+        uncached, _ = _generate(APP_DESIGNS["jpeg"], False)
+        assert _snapshot(cached) == _snapshot(uncached)
+        assert (cached.run().makespan_cycles
+                == uncached.run().makespan_cycles)
+
+
+class TestDiskStore:
+    def test_round_trip(self, tmp_path):
+        builder = APP_DESIGNS["kernels"]
+        baseline, _ = _generate(builder, ArtifactStore())
+        _generate(builder, ArtifactStore(directory=str(tmp_path)))
+        # Disk-backed stage kinds left entry files behind...
+        assert list((tmp_path / "tlm-delays").iterdir())
+        assert list((tmp_path / "tlm-gensrc").iterdir())
+        # ... and a cold process (fresh memory, same directory) reuses the
+        # annotation and generated source without re-running those stages.
+        fresh = ArtifactStore(directory=str(tmp_path))
+        model, report = _generate(builder, fresh)
+        assert report.stage_misses["annotate"] == 0
+        assert report.stage_misses["codegen"] == 0
+        assert report.stage_misses["frontend"] > 0  # IR is memory-only
+        assert _snapshot(model) == _snapshot(baseline)
+        assert (model.run().makespan_cycles
+                == baseline.run().makespan_cycles)
+
+    def _mangle(self, tmp_path, mutate):
+        for kind_dir in (tmp_path / "tlm-delays", tmp_path / "tlm-gensrc"):
+            for path in kind_dir.iterdir():
+                mutate(path)
+
+    def test_corrupted_entries_rebuild_cleanly(self, tmp_path):
+        builder = APP_DESIGNS["kernels"]
+        baseline, _ = _generate(builder, ArtifactStore(str(tmp_path)))
+        self._mangle(tmp_path, lambda p: p.write_text("{truncated"))
+        model, report = _generate(
+            builder, ArtifactStore(directory=str(tmp_path)))
+        assert report.stage_hits["annotate"] == 0  # nothing salvaged
+        assert _snapshot(model) == _snapshot(baseline)
+        assert (model.run().makespan_cycles
+                == baseline.run().makespan_cycles)
+
+    def test_stale_version_entries_rebuild_cleanly(self, tmp_path):
+        builder = APP_DESIGNS["kernels"]
+        baseline, _ = _generate(builder, ArtifactStore(str(tmp_path)))
+
+        def stale(path):
+            data = json.loads(path.read_text())
+            data["kind_version"] = 999
+            path.write_text(json.dumps(data))
+
+        self._mangle(tmp_path, stale)
+        model, report = _generate(
+            builder, ArtifactStore(directory=str(tmp_path)))
+        assert report.stage_hits["annotate"] == 0
+        assert _snapshot(model) == _snapshot(baseline)
+        assert (model.run().makespan_cycles
+                == baseline.run().makespan_cycles)

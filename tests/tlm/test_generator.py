@@ -130,3 +130,58 @@ class TestGeneration:
         cheap = generate_tlm(design_with(0), timed=True).run()
         costly = generate_tlm(design_with(50), timed=True).run()
         assert costly.makespan_cycles > cheap.makespan_cycles
+
+
+class TestGenerationReportTimers:
+    def test_total_is_sum_of_disjoint_stage_timers(self):
+        model = generate_tlm(ping_pong_design(), timed=True)
+        report = model.report
+        assert set(report.stage_seconds) == {
+            "frontend", "annotate", "codegen",
+        }
+        # Each stage runs in its own perf_counter window, so the total is
+        # exactly the sum — annotation is no longer folded into frontend.
+        assert report.total_seconds == pytest.approx(
+            sum(report.stage_seconds.values())
+        )
+        assert report.total_seconds == pytest.approx(
+            report.frontend_seconds + report.annotation_seconds
+            + report.codegen_seconds
+        )
+        assert all(s >= 0.0 for s in report.stage_seconds.values())
+
+    def test_stage_counters_cover_every_process(self):
+        model = generate_tlm(ping_pong_design(), timed=True)
+        report = model.report
+        for stage in ("frontend", "annotate", "codegen"):
+            lookups = report.stage_hits[stage] + report.stage_misses[stage]
+            assert lookups == len(model.design.processes)
+
+    def test_summary_round_trips_plain_data(self):
+        import json
+
+        model = generate_tlm(ping_pong_design(), timed=True)
+        summary = model.report.summary()
+        decoded = json.loads(json.dumps(summary))
+        assert decoded == summary
+        assert decoded["total_seconds"] == pytest.approx(
+            model.report.total_seconds
+        )
+
+    def test_merge_generation_summaries(self):
+        from repro.tlm import merge_generation_summaries
+
+        reports = [
+            generate_tlm(ping_pong_design(), timed=True).report
+            for _ in range(2)
+        ]
+        merged = merge_generation_summaries(
+            [r.summary() for r in reports] + [None]
+        )
+        assert merged["points"] == 2
+        assert merged["stage_hits"]["frontend"] == sum(
+            r.stage_hits["frontend"] for r in reports
+        )
+        assert merged["total_seconds"] == pytest.approx(
+            sum(r.total_seconds for r in reports)
+        )
