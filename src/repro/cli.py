@@ -305,7 +305,7 @@ def _parse_cache_configs(specs):
 
 def cmd_explore(args, out):
     from .apps.mp3 import Mp3Params
-    from .explore import explore, mp3_design_points
+    from .explore import explore, mp3_design_points, mp3_platform_points
 
     params = (
         Mp3Params(n_subbands=4, n_slots=4, n_phases=4, n_alias=2)
@@ -315,13 +315,21 @@ def cmd_explore(args, out):
         _parse_cache_configs(args.cache_config)
         if args.cache_config else ((8 * 1024, 4 * 1024),)
     )
-    points = mp3_design_points(
-        params, n_frames=args.frames, seed=args.seed,
-        cache_configs=cache_configs,
-    )
+    if args.sweep == "platform":
+        points = mp3_platform_points(
+            params, variant=args.variant, n_frames=args.frames,
+            seed=args.seed, icache_size=cache_configs[0][0],
+            dcache_size=cache_configs[0][1],
+        )
+    else:
+        points = mp3_design_points(
+            params, n_frames=args.frames, seed=args.seed,
+            cache_configs=cache_configs,
+        )
     result = explore(
         points, workers=args.workers, point_timeout=args.point_timeout,
         retries=args.retries, checkpoint=args.checkpoint,
+        replay=args.replay,
     )
     restored = sum(1 for r in result.results if r.cached)
     out.write(
@@ -329,6 +337,17 @@ def cmd_explore(args, out):
         % (len(result), result.total_seconds, result.workers,
            ", %d restored from checkpoint" % restored if restored else "")
     )
+    if result.replay_stats is not None:
+        stats = result.replay_stats
+        out.write(
+            "Replay fast path (%s): %d traces captured, %d reused; "
+            "%d replayed (%d exact, %d approx), %d simulated\n\n"
+            % (stats["mode"], stats["traces_captured"],
+               stats["traces_reused"],
+               stats["replayed_exact"] + stats["replayed_approx"],
+               stats["replayed_exact"], stats["replayed_approx"],
+               stats["simulated"])
+        )
     out.write("%-4s %-18s %14s %9s\n"
               % ("rank", "design point", "est. cycles", "HW units"))
     for rank, point_result in enumerate(result.ranked(), start=1):
@@ -355,6 +374,21 @@ def cmd_explore(args, out):
             out, summary["stage_seconds"], summary["stage_hits"],
             summary["stage_misses"],
         )
+        if result.replay_stats is not None:
+            stats = result.replay_stats
+            out.write("\nSim-trace replay report:\n")
+            for label, key in (
+                ("traces captured", "traces_captured"),
+                ("traces reused", "traces_reused"),
+                ("replayed exact", "replayed_exact"),
+                ("replayed approx", "replayed_approx"),
+                ("kernel simulations", "simulated"),
+                ("validated vs kernel", "validated"),
+                ("group fallbacks", "fallbacks"),
+                ("vectorized evaluations", "vectorized"),
+                ("scalar evaluations", "scalar"),
+            ):
+                out.write("  %-24s %6d\n" % (label, stats[key]))
     if args.cache_stats:
         _write_cache_stats(out)
     return 0 if not failures else 4
@@ -484,6 +518,19 @@ def build_parser():
     p_exp.add_argument("--retries", type=int, default=2, metavar="N",
                        help="pool rebuilds tolerated after worker crashes "
                             "before degrading to sequential (default: 2)")
+    p_exp.add_argument("--sweep", choices=("mapping", "platform"),
+                       default="mapping",
+                       help="design space: 'mapping' crosses HW/SW variants "
+                            "(default), 'platform' sweeps bus width/"
+                            "arbitration and CPU clock on one variant")
+    p_exp.add_argument("--variant", default="SW+2",
+                       help="MP3 mapping variant for --sweep platform "
+                            "(default: SW+2)")
+    p_exp.add_argument("--replay", choices=("off", "auto", "approx"),
+                       default="off",
+                       help="sim-trace fast path: trace one point per "
+                            "replay group and analytically replay the rest "
+                            "(see docs/performance.md; default: off)")
     p_exp.set_defaults(func=cmd_explore)
 
     p_run = sub.add_parser("run", help="execute a program")

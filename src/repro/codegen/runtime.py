@@ -31,6 +31,7 @@ generator-backed processes.
 from __future__ import annotations
 
 from ..cdfg import cnum
+from ..simkernel.kernel import OP_WAIT
 
 GRANULARITIES = ("transaction", "block", "quantum")
 
@@ -185,3 +186,31 @@ class ProcessContext:
                 "process %r has no communication binding" % self.name
             )
         return (yield from self.comm.recv_gen(self.sim_process, chan, count))
+
+
+class RecordingContext(ProcessContext):
+    """A :class:`ProcessContext` that logs applied delay segments.
+
+    Each sync that actually reaches the kernel is recorded as one
+    ``OP_WAIT`` op carrying the accumulated cycle count — the exact value
+    the kernel (or :class:`~repro.rtos.model.CPUShare`) is about to turn
+    into simulated time.  Channel operations are recorded at the channel
+    layer (:class:`~repro.simkernel.channel.RecordingChannel`), not here,
+    so nothing is double-counted.  Timing, counters and communication pass
+    through ``super()`` untouched; with recording off the plain
+    :class:`ProcessContext` is used and this class never runs.
+    """
+
+    def __init__(self, recorder, **kwargs):
+        super().__init__(**kwargs)
+        self.recorder = recorder
+
+    def sync(self):
+        if self.pending_cycles and self.sim_process is not None:
+            self.recorder.record(self.name, OP_WAIT, self.pending_cycles, 0)
+        super().sync()
+
+    def sync_gen(self):
+        if self.pending_cycles and self.sim_process is not None:
+            self.recorder.record(self.name, OP_WAIT, self.pending_cycles, 0)
+        return (yield from super().sync_gen())

@@ -95,15 +95,21 @@ class PointResult:
     full simulation state, it is plain data and *does* cross the process
     boundary, so per-stage generation statistics survive ``workers>1``.
     Checkpoint-restored points carry ``None`` (nothing was generated).
+
+    ``replayed`` marks points whose cycle counts came from the simtrace
+    replay engines instead of a kernel run (see ``explore(replay=...)``);
+    ``index`` is the point's position in the sweep's input order, the
+    deterministic tie-breaker for :meth:`ExplorationResult.ranked`.
     """
 
     __slots__ = ("point", "makespan_cycles", "per_process_cycles",
                  "wall_seconds", "tlm_result", "error", "cached",
-                 "generation")
+                 "generation", "replayed", "index")
 
     def __init__(self, point, tlm_result=None, wall_seconds=0.0,
                  makespan_cycles=None, per_process_cycles=None,
-                 error=None, cached=False, generation=None):
+                 error=None, cached=False, generation=None,
+                 replayed=False, index=None):
         self.point = point
         if tlm_result is not None:
             self.makespan_cycles = tlm_result.makespan_cycles
@@ -118,6 +124,8 @@ class PointResult:
         self.error = error
         self.cached = cached
         self.generation = generation
+        self.replayed = replayed
+        self.index = index
 
     @property
     def ok(self):
@@ -136,10 +144,14 @@ class PointResult:
 class ExplorationResult:
     """All evaluated points plus ranking helpers."""
 
-    def __init__(self, results, total_seconds, workers=1):
+    def __init__(self, results, total_seconds, workers=1, replay_stats=None):
         self.results = list(results)
         self.total_seconds = total_seconds
         self.workers = workers
+        #: trace-replay counters when the sweep ran with ``replay != "off"``
+        #: (``None`` otherwise): captures, reuses, replays per engine,
+        #: validations and fallbacks — see :func:`explore`.
+        self.replay_stats = replay_stats
 
     @property
     def failures(self):
@@ -148,9 +160,21 @@ class ExplorationResult:
 
     def ranked(self, objective=None):
         """Successful points sorted best-first by ``objective(result)``
-        (default: makespan cycles); failed points are excluded."""
+        (default: makespan cycles); failed points are excluded.
+
+        Objective ties break deterministically by the point's input-order
+        index, not by the order of ``self.results`` (which a checkpoint
+        restore or manual construction may have permuted).
+        """
         key = objective or (lambda r: r.makespan_cycles)
-        return sorted((r for r in self.results if r.ok), key=key)
+        candidates = list(enumerate(r for r in self.results if r.ok))
+
+        def sort_key(entry):
+            pos, result = entry
+            index = result.index if result.index is not None else pos
+            return (key(result), index, pos)
+
+        return [result for _, result in sorted(candidates, key=sort_key)]
 
     def best(self, objective=None, constraint=None):
         """The best point satisfying ``constraint(result)`` (or ``None``)."""
@@ -379,6 +403,226 @@ def _prewarm_store(points, indices, granularity, store,
             pass
 
 
+def _evaluate_with_trace(point, design, granularity, store=None):
+    """In-process evaluation of one *prebuilt* design with trace capture.
+
+    Returns ``(PointResult, SimTrace | None)``; capture failures degrade to
+    a failed result with no trace, exactly like :func:`_evaluate_sequential`.
+    """
+    from .simtrace import capture_tlm_trace
+
+    wall_start = time.perf_counter()
+    report = GenerationReport(point.name, True)
+    try:
+        trace, tlm_result = capture_tlm_trace(
+            design, granularity=granularity, store=store, report=report,
+        )
+    except Exception as exc:
+        return PointResult(
+            point,
+            wall_seconds=time.perf_counter() - wall_start,
+            error="%s: %s" % (type(exc).__name__, exc),
+        ), None
+    return PointResult(
+        point, tlm_result, time.perf_counter() - wall_start,
+        generation=report.summary(),
+    ), trace
+
+
+def _evaluate_design(point, design, granularity, store=None):
+    """In-process evaluation of one *prebuilt* design (no capture)."""
+    wall_start = time.perf_counter()
+    report = GenerationReport(point.name, True)
+    try:
+        model = generate_tlm(design, timed=True, granularity=granularity,
+                             report=report, store=store)
+        tlm_result = model.run()
+    except Exception as exc:
+        return PointResult(
+            point,
+            wall_seconds=time.perf_counter() - wall_start,
+            error="%s: %s" % (type(exc).__name__, exc),
+        )
+    return PointResult(
+        point, tlm_result, time.perf_counter() - wall_start,
+        generation=report.summary(),
+    )
+
+
+def _replay_group(points, indices, designs, trace, scales, granularity,
+                  store, ckpt, validate_n, tolerance, slots, stats):
+    """Replay one signature group against ``trace``; fills ``slots``.
+
+    ``scales`` carries the approximate-tier delay rescales per index
+    (``None`` ⇒ exact tier for that index).  The first ``validate_n``
+    candidates are *also* fully simulated; an exact-tier candidate must
+    match its replay bit-for-bit, an approximate one within ``tolerance``
+    relative makespan error.  Any divergence abandons the whole group —
+    every not-yet-recorded index is left for the normal simulation paths
+    (returned as the unresolved list).
+    """
+    from .simtrace import replay_many
+
+    outcomes, engine_stats = replay_many(
+        trace, [designs[i] for i in indices],
+        delay_scales=[scales.get(i) for i in indices],
+    )
+    stats["vectorized"] += engine_stats["vectorized"]
+    stats["scalar"] += engine_stats["scalar"]
+
+    accepted = []
+    for position, index in enumerate(indices):
+        outcome = outcomes[position]
+        if position < validate_n:
+            reference = _evaluate_design(
+                points[index], designs[index], granularity, store=store,
+            )
+            stats["simulated"] += 1
+            stats["validated"] += 1
+            diverged = True
+            if reference.ok:
+                if scales.get(index) is None:
+                    diverged = (
+                        outcome.makespan_cycles != reference.makespan_cycles
+                        or outcome.per_process_cycles
+                        != reference.per_process_cycles
+                    )
+                else:
+                    span = reference.makespan_cycles or 1
+                    diverged = (
+                        abs(outcome.makespan_cycles - span) / span
+                        > tolerance
+                    )
+            slots[index] = reference  # the kernel run is authoritative
+            if reference.ok and ckpt is not None:
+                ckpt.record(points[index].name, reference.makespan_cycles,
+                            reference.per_process_cycles,
+                            reference.wall_seconds)
+            if diverged:
+                stats["fallbacks"] += 1
+                return [i for i in indices if slots[i] is None]
+        else:
+            accepted.append((index, outcome))
+
+    for index, outcome in accepted:
+        exact = scales.get(index) is None
+        slots[index] = PointResult(
+            points[index],
+            makespan_cycles=outcome.makespan_cycles,
+            per_process_cycles=outcome.per_process_cycles,
+            replayed=True,
+        )
+        stats["replayed_exact" if exact else "replayed_approx"] += 1
+        if ckpt is not None:
+            ckpt.record(points[index].name, outcome.makespan_cycles,
+                        outcome.per_process_cycles, 0.0)
+    return []
+
+
+def _try_replay(points, todo, granularity, store, ckpt, mode, validate_n,
+                tolerance, slots):
+    """The sweep's trace-replay phase (``explore(replay=...)``).
+
+    Classifies the pending ``todo`` points into replay-signature groups,
+    captures (or reuses from the artifact store) one trace per group, and
+    replays the remaining members, validating a per-group subset against
+    the kernel.  Returns ``(remaining_todo, stats)``; every index either
+    got its slot filled or stays in the remaining list for the normal
+    simulation paths — builder or capture failures never abort the sweep
+    here.
+    """
+    from .simtrace import (
+        TRACE_KIND,
+        approx_signature,
+        process_delay_totals,
+        replay_signature,
+    )
+
+    stats = {
+        "mode": mode,
+        "points": len(todo),
+        "traces_captured": 0,
+        "traces_reused": 0,
+        "replayed_exact": 0,
+        "replayed_approx": 0,
+        "simulated": 0,
+        "validated": 0,
+        "fallbacks": 0,
+        "vectorized": 0,
+        "scalar": 0,
+    }
+    designs = {}
+    exact_sigs = {}
+    groups = {}  # group key -> [index]; exact sig (auto) / approx (approx)
+    unresolved = []
+    for index in todo:
+        try:
+            design = points[index].build().validate()
+            exact_sig = replay_signature(design, granularity=granularity)
+            key = (
+                approx_signature(design, granularity=granularity)
+                if mode == "approx" else exact_sig
+            )
+        except Exception:
+            unresolved.append(index)  # surfaces via the normal paths
+            continue
+        designs[index] = design
+        exact_sigs[index] = exact_sig
+        groups.setdefault(key, []).append(index)
+
+    for indices in groups.values():
+        trace = None
+        # Any member's exact signature may name a stored trace.
+        if store is not None:
+            for index in indices:
+                trace = store.get(TRACE_KIND, exact_sigs[index])
+                if trace is not None:
+                    stats["traces_reused"] += 1
+                    break
+        if trace is None:
+            # Capture from the group's first member; its kernel run is the
+            # member's own result.
+            first = indices[0]
+            result, trace = _evaluate_with_trace(
+                points[first], designs[first], granularity, store=store,
+            )
+            slots[first] = result
+            stats["simulated"] += 1
+            if trace is None:
+                unresolved.extend(i for i in indices if slots[i] is None)
+                continue
+            stats["traces_captured"] += 1
+            if result.ok and ckpt is not None:
+                ckpt.record(points[first].name, result.makespan_cycles,
+                            result.per_process_cycles, result.wall_seconds)
+
+        candidates = [i for i in indices if slots[i] is None]
+        if not candidates:
+            continue
+        scales = {}
+        try:
+            for index in candidates:
+                if exact_sigs[index] == trace.signature:
+                    scales[index] = None
+                else:
+                    totals = process_delay_totals(designs[index], store=store)
+                    scales[index] = {
+                        name: totals[name] / trace.delay_totals[name]
+                        if trace.delay_totals.get(name) else 1.0
+                        for name in totals
+                    }
+            unresolved.extend(_replay_group(
+                points, candidates, designs, trace, scales, granularity,
+                store, ckpt, validate_n, tolerance, slots, stats,
+            ))
+        except Exception:
+            # Replay is an optimisation; any failure returns the group to
+            # the kernel paths.
+            stats["fallbacks"] += 1
+            unresolved.extend(i for i in candidates if slots[i] is None)
+    return unresolved, stats
+
+
 def _evaluate_sequential(point, granularity, store=None):
     """In-process evaluation of one point; never raises for point-local
     failures (returns a failed :class:`PointResult` instead)."""
@@ -403,7 +647,8 @@ def _evaluate_sequential(point, granularity, store=None):
 
 def explore(points, granularity="transaction", workers=1,
             point_timeout=None, retries=2, retry_backoff=0.5,
-            checkpoint=None):
+            checkpoint=None, replay="off", replay_validate=1,
+            replay_tolerance=0.05):
     """Evaluate every design point with a timed TLM.
 
     Args:
@@ -428,6 +673,21 @@ def explore(points, granularity="transaction", workers=1,
             completed points are persisted as they finish and restored on
             the next run instead of being re-evaluated.  Requires unique
             point names.
+        replay: the simtrace fast path (see :mod:`repro.simtrace`).
+            ``"off"`` (default) simulates every point.  ``"auto"``
+            classifies points into exact replay-signature groups, runs ONE
+            recorded simulation per group (or reuses a cached trace) and
+            *replays* the remaining members bit-identically.  ``"approx"``
+            additionally groups across PUM changes, rescaling recorded
+            delays by static per-process delay ratios (cycle-approximate).
+            The sweep's counters land on
+            :attr:`ExplorationResult.replay_stats`.
+        replay_validate: per group, how many replayed candidates are also
+            fully simulated and compared — bit-identity for exact-tier
+            candidates, ``replay_tolerance`` relative makespan error for
+            approximate ones.  Divergence falls the whole group back to
+            plain simulation.
+        replay_tolerance: the approximate-tier validation bound.
 
     Returns:
         an :class:`ExplorationResult` with one result per input point, in
@@ -470,6 +730,16 @@ def explore(points, granularity="transaction", workers=1,
             ckpt.record(points[index].name, makespan, per_process, wall)
 
     store = default_store()
+
+    if replay not in ("off", "auto", "approx"):
+        raise ValueError('replay must be "off", "auto" or "approx"')
+    replay_stats = None
+    if replay != "off" and todo:
+        todo, replay_stats = _try_replay(
+            points, todo, granularity, store, ckpt, replay,
+            max(0, int(replay_validate)), replay_tolerance, slots,
+        )
+
     used_workers = 1
     if workers > 1 and len(todo) > 1:
         if store is not None:
@@ -511,8 +781,11 @@ def explore(points, granularity="transaction", workers=1,
                 points[index].name, result.makespan_cycles,
                 result.per_process_cycles, result.wall_seconds,
             )
+    for index, result in enumerate(slots):
+        result.index = index
     return ExplorationResult(
         slots, time.perf_counter() - start, workers=used_workers,
+        replay_stats=replay_stats,
     )
 
 
@@ -545,4 +818,47 @@ def mp3_design_points(params=None, n_frames=2, seed=7, cache_configs=None,
                 area=len(VARIANT_MAPPINGS[variant]),
                 meta={"variant": variant, "icache": icache, "dcache": dcache},
             ))
+    return points
+
+
+def mp3_platform_points(params=None, variant="SW+2", n_frames=1, seed=7,
+                        icache_size=8 * 1024, dcache_size=4 * 1024,
+                        bus_widths=(1, 2, 4), bus_arbitrations=(1, 2, 4),
+                        cpu_mhz=(100.0, 125.0), memory_model=None,
+                        branch_model=None):
+    """A *platform* sweep over one MP3 mapping: bus width × bus arbitration
+    latency × CPU clock, application and caches held fixed.
+
+    This is the sweep shape the simtrace replay fast path is built for —
+    every point shares one exact replay signature, so
+    ``explore(points, replay="auto")`` simulates once and replays the rest
+    (see docs/performance.md).
+    """
+    from .apps.mp3 import build_design
+    from .apps.mp3.source import VARIANT_MAPPINGS
+
+    points = []
+    for width in bus_widths:
+        for arbitration in bus_arbitrations:
+            for mhz in cpu_mhz:
+                def build(width=width, arbitration=arbitration, mhz=mhz):
+                    design, _ = build_design(
+                        variant, params, n_frames=n_frames, seed=seed,
+                        icache_size=icache_size, dcache_size=dcache_size,
+                        memory_model=memory_model,
+                        branch_model=branch_model,
+                    )
+                    for bus in design.buses.values():
+                        bus.words_per_cycle = width
+                        bus.arbitration_cycles = arbitration
+                    design.pes["cpu"].pum.frequency_mhz = mhz
+                    return design
+
+                points.append(DesignPoint(
+                    "%s w%d a%d %gMHz" % (variant, width, arbitration, mhz),
+                    build,
+                    area=len(VARIANT_MAPPINGS[variant]),
+                    meta={"variant": variant, "bus_width": width,
+                          "bus_arbitration": arbitration, "cpu_mhz": mhz},
+                ))
     return points

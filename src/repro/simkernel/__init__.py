@@ -1,7 +1,16 @@
 """Discrete-event simulation kernel and abstract bus channels."""
 
-from .channel import Bus, BusChannel, ChannelMap
+from .channel import (
+    Bus,
+    BusChannel,
+    ChannelMap,
+    RecordingChannel,
+    record_channel_map,
+)
 from .kernel import (
+    OP_RECV,
+    OP_SEND,
+    OP_WAIT,
     DeadlockError,
     GeneratorProcess,
     HorizonExceeded,
@@ -9,6 +18,7 @@ from .kernel import (
     LivelockError,
     SimProcess,
     SimulationError,
+    TraceRecorder,
     WallClockExceeded,
     Watchdog,
     WatchdogError,
@@ -23,9 +33,15 @@ __all__ = [
     "HorizonExceeded",
     "Kernel",
     "LivelockError",
+    "OP_RECV",
+    "OP_SEND",
+    "OP_WAIT",
+    "RecordingChannel",
     "SimProcess",
     "SimulationError",
+    "TraceRecorder",
     "WallClockExceeded",
     "Watchdog",
     "WatchdogError",
+    "record_channel_map",
 ]

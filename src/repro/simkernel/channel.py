@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from .kernel import SimulationError
+from .kernel import OP_RECV, OP_SEND, SimulationError
 
 
 class Bus:
@@ -141,6 +141,60 @@ class BusChannel:
     @property
     def pending_words(self):
         return len(self._data)
+
+
+class RecordingChannel:
+    """Records every channel operation of a real channel, then delegates.
+
+    The simtrace twin of :class:`~repro.trace.capture.TracingCache`: data
+    movement, bus timing and blocking behaviour pass straight through to the
+    wrapped :class:`BusChannel`, so a recorded run is observably identical
+    to an unrecorded one.  Only instantiated when a
+    :class:`~repro.simkernel.kernel.TraceRecorder` is attached — with
+    recording off the real channels are used directly and this class never
+    runs.
+    """
+
+    __slots__ = ("_channel", "_recorder", "_chan_id")
+
+    def __init__(self, channel, recorder, chan_id):
+        object.__setattr__(self, "_channel", channel)
+        object.__setattr__(self, "_recorder", recorder)
+        object.__setattr__(self, "_chan_id", chan_id)
+
+    def send(self, process, values):
+        values = list(values)
+        self._recorder.record(process.name, OP_SEND, self._chan_id,
+                              len(values))
+        self._channel.send(process, values)
+
+    def send_gen(self, process, values):
+        values = list(values)
+        self._recorder.record(process.name, OP_SEND, self._chan_id,
+                              len(values))
+        return self._channel.send_gen(process, values)
+
+    def recv(self, process, count):
+        self._recorder.record(process.name, OP_RECV, self._chan_id, count)
+        return self._channel.recv(process, count)
+
+    def recv_gen(self, process, count):
+        self._recorder.record(process.name, OP_RECV, self._chan_id, count)
+        return self._channel.recv_gen(process, count)
+
+    def __getattr__(self, name):
+        return getattr(self._channel, name)
+
+    def __repr__(self):
+        return "RecordingChannel(%r)" % (self._channel,)
+
+
+def record_channel_map(channel_map, recorder):
+    """A new :class:`ChannelMap` with every channel wrapped for recording."""
+    recorded = ChannelMap()
+    for chan_id, channel in channel_map:
+        recorded.add(chan_id, RecordingChannel(channel, recorder, chan_id))
+    return recorded
 
 
 class ChannelMap:

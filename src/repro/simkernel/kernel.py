@@ -101,6 +101,53 @@ class Watchdog:
                     self.max_stalled_activations))
 
 
+#: Op codes of the events a :class:`TraceRecorder` collects.
+OP_WAIT = 0   # (OP_WAIT, cycles, 0) — accumulated delay applied via sc_wait
+OP_SEND = 1   # (OP_SEND, chan_id, n_words) — blocking channel send
+OP_RECV = 2   # (OP_RECV, chan_id, n_words) — blocking channel receive
+
+
+class TraceRecorder:
+    """Collects one simulation's per-process operation stream (opt-in).
+
+    Recording follows the ``TracingCache`` pattern from
+    :mod:`repro.trace.capture`: nothing in the kernel or the channels tests
+    a flag per event.  When a recorder is attached, the TLM swaps in thin
+    recording proxies (a ``RecordingContext`` for computation segments, a
+    ``RecordingChannel`` per channel for transactions); with recording off
+    the unwrapped hot paths run byte-for-byte unchanged.
+
+    Each recorded op is a ``(seq, op, a, b)`` tuple.  ``seq`` is a global
+    counter: the kernel is strictly sequential, so ascending ``seq`` is
+    exactly the order the operations executed in — which is what the
+    replay engines in :mod:`repro.simtrace` walk.
+    """
+
+    __slots__ = ("ops", "_seq")
+
+    def __init__(self):
+        #: process name -> list of (seq, op, a, b), in execution order
+        self.ops = {}
+        self._seq = 0
+
+    def register(self, name):
+        """Ensure ``name`` has an (initially empty) op list."""
+        self.ops.setdefault(name, [])
+
+    def record(self, name, op, a, b):
+        seq = self._seq
+        self._seq = seq + 1
+        self.ops.setdefault(name, []).append((seq, op, a, b))
+
+    def n_ops(self):
+        return sum(len(ops) for ops in self.ops.values())
+
+    def __repr__(self):
+        return "TraceRecorder(%d processes, %d ops)" % (
+            len(self.ops), self.n_ops(),
+        )
+
+
 class _ProcessExit(Exception):
     """Internal: unwinds a process thread when the simulation stops early."""
 
@@ -356,20 +403,29 @@ class Kernel:
         return self.now
 
     def _run_loop(self, until):
-        """The unguarded scheduling loop; True when cut by ``until``."""
+        """The unguarded scheduling loop; True when cut by ``until``.
+
+        Heap and deque operations are bound to locals: this loop runs once
+        per process activation, and the attribute lookups are measurable on
+        sweep-sized runs.  ``self.now`` stays an attribute — processes read
+        ``kernel.now`` mid-activation.
+        """
         queue = self._queue
         ready = self._ready
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        pop_ready = ready.popleft
         while queue or ready:
             if ready and (
                 not queue
                 or queue[0][0] > self.now
                 or (queue[0][0] == self.now and queue[0][1] > ready[0][0])
             ):
-                _, process = ready.popleft()
+                _, process = pop_ready()
             else:
-                when, seq, process = heapq.heappop(queue)
+                when, seq, process = heappop(queue)
                 if until is not None and when > until:
-                    heapq.heappush(queue, (when, seq, process))
+                    heappush(queue, (when, seq, process))
                     self.now = until
                     return True
                 self.now = when

@@ -1,0 +1,45 @@
+"""Trace-once/replay-many evaluation of timed TLM simulations.
+
+The sweep-shaped cost of design-space exploration is re-running the
+discrete-event kernel per design point even though neighbouring points
+share the entire application behaviour.  This package removes that cost:
+
+1. :func:`capture_tlm_trace` runs ONE recorded simulation and freezes the
+   per-process op streams (delay segments, channel sends/receives, payload
+   sizes) into a :class:`SimTrace`, cached in the artifact store under the
+   ``sim-trace`` kind.
+2. :func:`replay_tlm` / :func:`replay_many` re-evaluate the trace for new
+   design points — different bus widths/latencies, PE clocks, rescaled
+   delay vectors — without executing any generated code.  The scalar
+   engine is bit-identical to the kernel for exact-tier points; the
+   numpy-vectorized engine evaluates many points in one pass and proves
+   per-lane exactness with conservative arbitration checks.
+
+``explore(replay="auto")`` wires this into sweeps end-to-end.
+"""
+
+from .capture import capture_tlm_trace
+from .replay import ReplayOutcome, replay_many, replay_tlm
+from .trace import (
+    TRACE_KIND,
+    ProcessTrace,
+    SimTrace,
+    SimTraceError,
+    approx_signature,
+    process_delay_totals,
+    replay_signature,
+)
+
+__all__ = [
+    "ProcessTrace",
+    "ReplayOutcome",
+    "SimTrace",
+    "SimTraceError",
+    "TRACE_KIND",
+    "approx_signature",
+    "capture_tlm_trace",
+    "process_delay_totals",
+    "replay_many",
+    "replay_signature",
+    "replay_tlm",
+]

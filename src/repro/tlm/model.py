@@ -22,8 +22,15 @@ from __future__ import annotations
 
 import time
 
-from ..simkernel import Bus, BusChannel, ChannelMap, Kernel
-from ..codegen.runtime import ProcessContext
+from ..simkernel import (
+    Bus,
+    BusChannel,
+    ChannelMap,
+    Kernel,
+    SimulationError,
+    record_channel_map,
+)
+from ..codegen.runtime import ProcessContext, RecordingContext
 
 ENGINES = ("coroutine", "thread")
 
@@ -143,7 +150,7 @@ class TLModel:
 
     # -- execution -----------------------------------------------------------
 
-    def run(self, until=None, faults=None, watchdog=None):
+    def run(self, until=None, faults=None, watchdog=None, record=None):
         """Simulate the model once; returns a :class:`TLMResult`.
 
         Each call builds a fresh kernel and fresh per-process global stores,
@@ -157,7 +164,15 @@ class TLModel:
                 simulation path untouched.
             watchdog: optional :class:`~repro.simkernel.Watchdog` arming
                 wall-clock / horizon / livelock limits on the kernel.
+            record: optional :class:`~repro.simkernel.TraceRecorder`; the
+                run then logs each process's applied delay segments and
+                channel operations (for :mod:`repro.simtrace` replay).
+                ``None`` (default) instantiates no recording proxy at all.
         """
+        if record is not None and faults is not None:
+            raise SimulationError(
+                "cannot record a simulation trace of a fault-injected run"
+            )
         kernel = Kernel()
         channel_map = ChannelMap()
         buses = {}
@@ -181,6 +196,10 @@ class TLModel:
                 list(self.programs),
             )
             channel_map = active.wrap_channel_map(channel_map)
+        if record is not None:
+            for name in self.programs:
+                record.register(name)
+            channel_map = record_channel_map(channel_map, record)
         binding = ChannelBinding(channel_map)
 
         shares = {}
@@ -203,7 +222,12 @@ class TLModel:
             kwargs = {}
             if self.quantum is not None:
                 kwargs["quantum"] = self.quantum
-            ctx = ProcessContext(
+            if record is not None:
+                context_class = RecordingContext
+                kwargs["recorder"] = record
+            else:
+                context_class = ProcessContext
+            ctx = context_class(
                 name=name,
                 cycle_ns=pe.cycle_ns,
                 comm=binding,

@@ -4,6 +4,12 @@ Capture a design's memory-reference streams with one cycle-accurate (or
 ISS) run, then answer "what would the hit rate be?" for any number of LRU
 cache geometries in a single stack-distance pass — bit-identical to
 re-simulating each configuration.  See ``docs/performance.md``.
+
+The same pattern at the transaction level — trace one timed TLM
+*simulation*, replay whole platform sweeps — lives in
+:mod:`repro.simtrace`; its main names are re-exported here lazily for
+discoverability (``from repro.trace import SimTrace`` works without
+importing the TLM stack up front).
 """
 
 from .capture import (
@@ -15,6 +21,18 @@ from .capture import (
 )
 from .stackdist import HAVE_NUMPY, CacheGeometry, evaluate_stream
 from .stream import LineStream, StreamRecorder, TraceError
+
+#: Names forwarded (lazily, PEP 562) from :mod:`repro.simtrace`.
+_SIMTRACE_NAMES = (
+    "ProcessTrace",
+    "ReplayOutcome",
+    "SimTrace",
+    "SimTraceError",
+    "capture_tlm_trace",
+    "replay_many",
+    "replay_signature",
+    "replay_tlm",
+)
 
 __all__ = [
     "CPUTrace",
@@ -28,4 +46,14 @@ __all__ = [
     "capture_design_trace",
     "evaluate_stream",
     "iss_capturable",
-]
+] + list(_SIMTRACE_NAMES)
+
+
+def __getattr__(name):
+    if name in _SIMTRACE_NAMES:
+        from .. import simtrace
+
+        return getattr(simtrace, name)
+    raise AttributeError(
+        "module %r has no attribute %r" % (__name__, name)
+    )

@@ -112,6 +112,33 @@ class TestExplore:
         with pytest.raises(SystemExit):
             run_cli(["explore", "--small", "--cache-config", "bogus"])
 
+    def test_explore_platform_sweep_with_replay_report(self):
+        from repro import artifacts
+
+        artifacts.reset_default_store()
+        try:
+            code, text = run_cli([
+                "explore", "--small", "--sweep", "platform",
+                "--replay", "auto", "--report",
+            ])
+        finally:
+            artifacts.reset_default_store()
+        assert code == 0
+        assert "Explored 18 design points" in text
+        assert "Replay fast path (auto): 1 traces captured" in text
+        assert "Sim-trace replay report:" in text
+        for label in ("traces captured", "traces reused", "replayed exact",
+                      "kernel simulations", "validated vs kernel",
+                      "group fallbacks", "vectorized evaluations"):
+            assert label in text
+
+    def test_explore_replay_off_prints_no_replay_lines(self):
+        code, text = run_cli([
+            "explore", "--small", "--cache-config", "2048:2048",
+        ])
+        assert code == 0
+        assert "Replay fast path" not in text
+
     @pytest.mark.parametrize("workers", ["1", "4"])
     def test_explore_report_prints_generation_stages(self, workers):
         code, text = run_cli([

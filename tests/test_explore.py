@@ -65,6 +65,25 @@ class TestExplore:
         by_area = result.ranked(objective=lambda r: r.point.area)
         assert by_area[0].point.name == "b"
 
+    def test_ranked_breaks_ties_by_input_index(self):
+        from repro.explore import ExplorationResult, PointResult
+
+        points = [DesignPoint(name, _loop_design(10, name))
+                  for name in ("a", "b", "c")]
+        # Results permuted relative to input order (as a checkpoint
+        # restore or replay fill may produce), all tied on the objective.
+        results = [
+            PointResult(points[2], makespan_cycles=100, index=2),
+            PointResult(points[0], makespan_cycles=100, index=0),
+            PointResult(points[1], makespan_cycles=100, index=1),
+        ]
+        ranked = ExplorationResult(results, 0.0).ranked()
+        assert [r.point.name for r in ranked] == ["a", "b", "c"]
+        # Legacy results without an index keep list order on ties.
+        legacy = [PointResult(p, makespan_cycles=7) for p in points]
+        ranked = ExplorationResult(legacy, 0.0).ranked()
+        assert [r.point.name for r in ranked] == ["a", "b", "c"]
+
     def test_pareto_front(self):
         points = [
             DesignPoint("dominated", _loop_design(500, "x"), area=4),
