@@ -22,7 +22,7 @@ MP3_STACK_WORDS = 1 << 15
 
 def build_design(variant, params=None, n_frames=4, seed=1,
                  icache_size=8 * 1024, dcache_size=4 * 1024,
-                 memory_model=None, branch_model=None):
+                 memory_model=None, branch_model=None, sources=None):
     """Build one MP3 design variant.
 
     Args:
@@ -33,12 +33,18 @@ def build_design(variant, params=None, n_frames=4, seed=1,
         icache_size/dcache_size: CPU cache configuration in bytes.
         memory_model/branch_model: calibrated statistical models for the CPU
             PUM (``None`` = library defaults).
+        sources: a prebuilt :func:`build_sources` result for this variant
+            (skips source generation — large product spaces build sources
+            once per variant and assemble thousands of designs from them).
 
     Returns:
         ``(design, frames)``.
     """
     params = params or Mp3Params()
-    cpu_src, hw_srcs, frames = build_sources(variant, params, n_frames, seed)
+    cpu_src, hw_srcs, frames = (
+        sources if sources is not None
+        else build_sources(variant, params, n_frames, seed)
+    )
     design = Design("MP3-%s-i%d-d%d" % (variant, icache_size, dcache_size))
     cpu_pum = microblaze(
         icache_size, dcache_size,

@@ -86,6 +86,21 @@ class CacheStats:
             "hit_rate": self.hit_rate,
         }
 
+    def snapshot(self):
+        """The current counters as an immutable value (for :meth:`delta`)."""
+        return (self.hits, self.misses, self.stored, self.evicted)
+
+    def delta(self, snapshot):
+        """Counter increments since a :meth:`snapshot` — how one phase of a
+        larger run (e.g. one search stage) used this cache kind."""
+        hits, misses, stored, evicted = snapshot
+        return {
+            "hits": self.hits - hits,
+            "misses": self.misses - misses,
+            "stored": self.stored - stored,
+            "evicted": self.evicted - evicted,
+        }
+
     def __repr__(self):
         return "CacheStats(hits=%d, misses=%d, stored=%d, evicted=%d)" % (
             self.hits, self.misses, self.stored, self.evicted,

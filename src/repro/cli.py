@@ -303,6 +303,24 @@ def _parse_cache_configs(specs):
     return tuple(configs)
 
 
+def _write_ranking(out, ranked, top_k, name_width=18):
+    """The shared explore/search ranking table, truncated to ``top_k``
+    rows when set (huge sweeps should not dump every point)."""
+    shown = ranked if top_k is None else ranked[:max(0, top_k)]
+    if top_k is not None and len(shown) < len(ranked):
+        out.write("Top %d of %d ranked points:\n" % (len(shown), len(ranked)))
+    width = name_width
+    if shown:
+        width = max(name_width, *(len(r.point.name) for r in shown))
+    out.write("%-4s %-*s %14s %9s\n"
+              % ("rank", width, "design point", "est. cycles", "HW units"))
+    for rank, point_result in enumerate(shown, start=1):
+        out.write("%-4d %-*s %14d %9d\n" % (
+            rank, width, point_result.point.name,
+            point_result.makespan_cycles, point_result.point.area,
+        ))
+
+
 def cmd_explore(args, out):
     from .apps.mp3 import Mp3Params
     from .explore import explore, mp3_design_points, mp3_platform_points
@@ -348,13 +366,7 @@ def cmd_explore(args, out):
                stats["replayed_exact"], stats["replayed_approx"],
                stats["simulated"])
         )
-    out.write("%-4s %-18s %14s %9s\n"
-              % ("rank", "design point", "est. cycles", "HW units"))
-    for rank, point_result in enumerate(result.ranked(), start=1):
-        out.write("%-4d %-18s %14d %9d\n" % (
-            rank, point_result.point.name, point_result.makespan_cycles,
-            point_result.point.area,
-        ))
+    _write_ranking(out, result.ranked(), args.top_k)
     failures = result.failures
     if failures:
         out.write("\nFailed points:\n")
@@ -389,6 +401,116 @@ def cmd_explore(args, out):
                 ("scalar evaluations", "scalar"),
             ):
                 out.write("  %-24s %6d\n" % (label, stats[key]))
+    if args.cache_stats:
+        _write_cache_stats(out)
+    return 0 if not failures else 4
+
+
+def _parse_value_list(text, convert, flag):
+    try:
+        values = tuple(convert(part) for part in text.split(",") if part)
+    except ValueError:
+        values = ()
+    if not values:
+        raise SystemExit(
+            "bad %s %r (expected a comma-separated list)" % (flag, text)
+        )
+    return values
+
+
+def _search_space_from_args(args):
+    from .apps.mp3 import Mp3Params
+    from .search import mp3_product_space
+
+    params = (
+        Mp3Params(n_subbands=4, n_slots=4, n_phases=4, n_alias=2)
+        if args.small else Mp3Params()
+    )
+    return mp3_product_space(
+        params,
+        variants=_parse_value_list(args.variants, str, "--variants"),
+        n_frames=args.frames, seed=args.seed,
+        icache_sizes=_parse_value_list(args.icache, int, "--icache"),
+        dcache_sizes=_parse_value_list(args.dcache, int, "--dcache"),
+        bus_widths=_parse_value_list(args.bus_widths, int, "--bus-widths"),
+        bus_arbitrations=_parse_value_list(
+            args.bus_arbitrations, int, "--bus-arbitrations",
+        ),
+        cpu_mhz=_parse_value_list(args.cpu_mhz, float, "--cpu-mhz"),
+    )
+
+
+def cmd_search(args, out):
+    from .search import merge_shard_results, parse_shard, search
+
+    space = _search_space_from_args(args)
+    shard = parse_shard(args.shard) if args.shard else None
+
+    if args.merge:
+        merged = merge_shard_results(
+            space, args.merge, output=args.checkpoint,
+        )
+        evaluated = [r for r in merged.results if r.ok]
+        out.write(
+            "Merged %d shard checkpoints: %d of %d points evaluated\n\n"
+            % (len(args.merge), len(evaluated), len(space))
+        )
+        _write_ranking(out, merged.ranked(), args.top_k)
+        front = merged.pareto_front()
+        out.write("\nPareto front (cycles vs HW units): %s\n"
+                  % " / ".join(r.point.name for r in front))
+        if args.checkpoint:
+            out.write("Merged checkpoint written to %s\n" % args.checkpoint)
+        return 0
+
+    result = search(
+        space, stages=args.stages, keep_top=args.keep_top,
+        rung_fraction=args.rung_fraction, budget=args.budget,
+        shard=shard, workers=args.workers, checkpoint=args.checkpoint,
+        point_timeout=args.point_timeout,
+    )
+    report = result.report
+    out.write(
+        "Search space: %d points (%d axes)%s\n"
+        % (len(space), len(space.axes),
+           ", shard %d/%d" % shard if shard else "")
+    )
+    out.write("%-12s %8s %8s %8s %10s\n"
+              % ("stage", "entered", "kept", "pruned", "seconds"))
+    for stats in report.stages:
+        out.write("%-12s %8d %8d %8d %9.2fs\n" % (
+            stats.name, stats.entered, stats.kept, stats.pruned,
+            stats.seconds,
+        ))
+    out.write(
+        "Evaluated %d points with the exact tier in %.2f s\n\n"
+        % (len(result), result.exploration.total_seconds)
+    )
+    _write_ranking(out, result.ranked(), args.top_k)
+    failures = result.failures
+    if failures:
+        out.write("\nFailed points:\n")
+        for point_result in failures:
+            out.write("  %s %s\n"
+                      % (point_result.point.name, point_result.error))
+    front = result.pareto_front()
+    out.write("\nPareto front (cycles vs HW units): %s\n"
+              % " / ".join(r.point.name for r in front))
+    if args.report:
+        out.write("\nSearch report:\n")
+        for stats in report.stages:
+            out.write("  stage %-12s prune rate %5.1f%%\n"
+                      % (stats.name, 100.0 * stats.prune_rate))
+            for key, value in sorted(stats.counters.items()):
+                if key == "artifacts":
+                    for kind, delta in sorted(value.items()):
+                        out.write(
+                            "    %-22s hits=%d misses=%d stored=%d\n"
+                            % (kind, delta["hits"], delta["misses"],
+                               delta["stored"])
+                        )
+                elif not isinstance(value, dict):
+                    out.write("    %-22s %s\n" % (key, value))
     if args.cache_stats:
         _write_cache_stats(out)
     return 0 if not failures else 4
@@ -531,7 +653,80 @@ def build_parser():
                        help="sim-trace fast path: trace one point per "
                             "replay group and analytically replay the rest "
                             "(see docs/performance.md; default: off)")
+    p_exp.add_argument("--top-k", type=int, default=None, metavar="K",
+                       help="print only the K best-ranked points "
+                            "(default: all)")
     p_exp.set_defaults(func=cmd_explore)
+
+    p_srch = sub.add_parser(
+        "search",
+        help="staged design-space search over an MP3 platform/PUM product "
+             "space: static prune, successive-halving promotion, Pareto "
+             "refinement (see docs/performance.md)",
+    )
+    p_srch.add_argument("--small", action="store_true",
+                        help="use a reduced MP3 parameter set (fast smoke)")
+    p_srch.add_argument("--frames", type=int, default=1,
+                        help="MP3 frames decoded per point (default: 1)")
+    p_srch.add_argument("--seed", type=int, default=7,
+                        help="workload seed (default: 7)")
+    p_srch.add_argument("--variants", default="SW+2", metavar="V,V,...",
+                        help="MP3 mapping variants axis (default: SW+2)")
+    p_srch.add_argument("--icache", default="8192", metavar="B,B,...",
+                        help="i-cache size axis in bytes (default: 8192)")
+    p_srch.add_argument("--dcache", default="4096", metavar="B,B,...",
+                        help="d-cache size axis in bytes (default: 4096)")
+    p_srch.add_argument("--bus-widths", default="1,2,4", metavar="W,W,...",
+                        help="bus words-per-cycle axis (default: 1,2,4)")
+    p_srch.add_argument("--bus-arbitrations", default="1,2,4",
+                        metavar="C,C,...",
+                        help="bus arbitration-cycles axis (default: 1,2,4)")
+    p_srch.add_argument("--cpu-mhz", default="100", metavar="F,F,...",
+                        help="CPU clock axis in MHz (default: 100)")
+    p_srch.add_argument("--stages", default="012",
+                        help="which optional stages run: any combination "
+                             "of 0 (static prune), 1 (approx rung), "
+                             "2 (Pareto refinement); the exact finalist "
+                             "evaluation always runs (default: 012)")
+    p_srch.add_argument("--keep-top", type=int, default=16, metavar="K",
+                        help="every cut keeps at least K points "
+                             "(default: 16)")
+    p_srch.add_argument("--rung-fraction", type=float, default=0.05,
+                        metavar="F",
+                        help="every cut keeps at least this fraction of "
+                             "its input (default: 0.05)")
+    p_srch.add_argument("--budget", type=int, default=0, metavar="N",
+                        help="stage-2 refinement budget in extra evaluated "
+                             "points (default: 0 = refinement disabled)")
+    p_srch.add_argument("--shard", default=None, metavar="i/N",
+                        help="evaluate only the deterministic content-hash "
+                             "shard i of N (run shards as independent "
+                             "processes, then merge with --merge)")
+    p_srch.add_argument("--merge", nargs="+", default=None, metavar="PATH",
+                        help="instead of searching, union these shard "
+                             "checkpoint files into one ranked result "
+                             "(with --checkpoint PATH, also write the "
+                             "merged checkpoint)")
+    p_srch.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker pool width for simulation stages "
+                             "(default: 1)")
+    p_srch.add_argument("--checkpoint", metavar="PATH",
+                        help="persist exact-tier results to PATH (atomic "
+                             "JSON, resumable; approx scores never land "
+                             "here)")
+    p_srch.add_argument("--point-timeout", type=float, default=None,
+                        metavar="SECS",
+                        help="per-point wall-clock bound for pooled "
+                             "evaluation")
+    p_srch.add_argument("--top-k", type=int, default=10, metavar="K",
+                        help="print only the K best-ranked points "
+                             "(default: 10)")
+    p_srch.add_argument("--report", action="store_true",
+                        help="print per-stage prune rates, replay counters "
+                             "and artifact-cache deltas")
+    p_srch.add_argument("--cache-stats", action="store_true",
+                        help="print schedule-cache hit/miss/entry counters")
+    p_srch.set_defaults(func=cmd_search)
 
     p_run = sub.add_parser("run", help="execute a program")
     p_run.add_argument("source", help="CMini source file")
@@ -638,15 +833,17 @@ def main(argv=None, out=None):
     parser = build_parser()
     args = parser.parse_args(argv)
     from .cycle.caches import CacheError
+    from .estimation import StaticEstimateError
     from .explore import CheckpointError
     from .faults import FaultScenarioError
+    from .search import SearchError
     from .simkernel import SimulationError
     from .trace import TraceError
 
     try:
         return args.func(args, out)
     except (PUMError, FaultScenarioError, CheckpointError, CacheError,
-            TraceError) as exc:
+            TraceError, SearchError, StaticEstimateError) as exc:
         out.write("error: %s\n" % exc)
         return 2
     except SimulationError as exc:

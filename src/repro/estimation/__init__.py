@@ -24,6 +24,14 @@ from .schedcache import (
     save_default_cache,
 )
 from .scheduler import OptimisticScheduler, ScheduleResult, SchedulingError
+from .staticest import (
+    AppProfile,
+    StaticEstimateError,
+    app_profile_key,
+    process_comp_cycles,
+    profile_design,
+    static_estimate,
+)
 
 __all__ = [
     "AnnotationReport",
@@ -47,4 +55,10 @@ __all__ = [
     "annotate_with_detail",
     "estimated_total_cycles",
     "make_estimator",
+    "AppProfile",
+    "StaticEstimateError",
+    "app_profile_key",
+    "process_comp_cycles",
+    "profile_design",
+    "static_estimate",
 ]

@@ -186,13 +186,16 @@ class ExplorationResult:
     def pareto_front(self):
         """Points not dominated in (makespan, area) — the classic DSE view.
 
-        Failed points cannot be compared and are excluded.
+        Failed points cannot be compared and are excluded.  Objective ties
+        order deterministically by the point's input-order index (the same
+        rule as :meth:`ranked`), not by ``self.results`` order.
         """
-        candidates = [r for r in self.results if r.ok]
+        candidates = [entry for entry in enumerate(self.results)
+                      if entry[1].ok]
         front = []
-        for candidate in candidates:
+        for pos, candidate in candidates:
             dominated = False
-            for other in candidates:
+            for _, other in candidates:
                 if other is candidate:
                     continue
                 if (other.makespan_cycles <= candidate.makespan_cycles
@@ -202,8 +205,14 @@ class ExplorationResult:
                     dominated = True
                     break
             if not dominated:
-                front.append(candidate)
-        return sorted(front, key=lambda r: (r.point.area, r.makespan_cycles))
+                front.append((pos, candidate))
+
+        def order(entry):
+            pos, result = entry
+            index = result.index if result.index is not None else pos
+            return (result.point.area, result.makespan_cycles, index, pos)
+
+        return [result for _, result in sorted(front, key=order)]
 
     def generation_summary(self):
         """Sweep-level TLM-generation statistics (per-stage seconds and

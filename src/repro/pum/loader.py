@@ -194,7 +194,7 @@ def pum_from_dict(data):
     )
 
 
-def pum_fingerprint(pum):
+def pum_fingerprint(pum, include_frequency=True):
     """Stable digest of the PUM's execution/datapath/branch/memory model.
 
     The configured I/D cache *sizes* are excluded: Algorithm 1 never reads
@@ -204,10 +204,18 @@ def pum_fingerprint(pum):
     scheduling policy, operation mapping table, functional units, pipelines,
     or the statistical branch/memory models changes the fingerprint and
     therefore invalidates cached schedules (see docs/performance.md).
+
+    ``include_frequency=False`` additionally excludes the PE clock, which
+    Algorithms 1 and 2 never read either (all delays are cycle counts;
+    frequency only scales a cycle's duration inside the simulation kernel).
+    Frequency-sweep consumers — the annotation artifact key, static
+    estimation — use that form so one delay vector covers every clock.
     """
     data = pum_to_dict(pum)
     data.pop("icache_size", None)
     data.pop("dcache_size", None)
+    if not include_frequency:
+        data.pop("frequency_mhz", None)
     canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
 

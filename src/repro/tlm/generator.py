@@ -225,9 +225,16 @@ def _frontend_stage(store, report, decl):
 def _delays_key(ir_fp, pum):
     """Annotation-stage key: IR × PUM *including* the configured cache
     sizes, which the PUM fingerprint deliberately excludes (Algorithm 1
-    never reads them) but the Algorithm-2 cache terms do."""
+    never reads them) but the Algorithm-2 cache terms do.
+
+    The PE clock is excluded: every annotated delay is a cycle count, and
+    frequency only scales a cycle's wall duration inside the simulation
+    kernel — so a frequency sweep shares one delay vector (and one
+    generated TLM source) per cache configuration instead of re-annotating
+    per clock value."""
     return "%s/%s/i%d/d%d" % (
-        ir_fp, pum_fingerprint(pum), pum.icache_size, pum.dcache_size,
+        ir_fp, pum_fingerprint(pum, include_frequency=False),
+        pum.icache_size, pum.dcache_size,
     )
 
 

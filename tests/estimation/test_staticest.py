@@ -1,0 +1,161 @@
+"""Tests for the simulation-free static estimator (search stage 0)."""
+
+import pytest
+
+from repro import artifacts
+from repro.apps.mp3 import Mp3Params
+from repro.apps.mp3.designs import build_design
+from repro.estimation import (
+    StaticEstimateError,
+    app_profile_key,
+    process_comp_cycles,
+    profile_design,
+    static_estimate,
+)
+from repro.estimation.staticest import PROFILE_KIND
+from repro.pum import microblaze
+from repro.tlm import Design, generate_tlm
+
+SMALL = Mp3Params(n_subbands=4, n_slots=4, n_phases=4, n_alias=2)
+
+
+def _single_process_design(n_iters=80, name="loop"):
+    design = Design(name)
+    design.add_pe("cpu", microblaze(8192, 4096))
+    design.add_process("p", """
+    int main(void) {
+      int s = 0;
+      for (int i = 0; i < %d; i++) s += i * 3;
+      return s;
+    }""" % n_iters, "main", "cpu")
+    return design
+
+
+@pytest.fixture()
+def fresh_store():
+    artifacts.reset_default_store()
+    yield artifacts.default_store()
+    artifacts.reset_default_store()
+
+
+class TestProfile:
+    def test_profiles_single_process(self, fresh_store):
+        profile = profile_design(_single_process_design())
+        assert set(profile.counts) == {"p"}
+        assert profile.total_blocks("p") > 80
+        assert profile.sends["p"] == []
+
+    def test_profiles_communicating_processes(self, fresh_store):
+        design, _ = build_design("SW+2", SMALL, n_frames=1, seed=7)
+        profile = profile_design(design)
+        assert set(profile.counts) == {"decoder", "p_filter_l", "p_imdct_l"}
+        # The decoder drives both HW servers over request channels.
+        assert profile.sends["decoder"]
+        assert profile.recvs["decoder"]
+        assert all(times > 0 for _, _, times in profile.sends["decoder"])
+
+    def test_profile_cached_in_store(self, fresh_store):
+        design, _ = build_design("SW+2", SMALL, n_frames=1, seed=7)
+        profile_design(design)
+        stored = fresh_store.stats(PROFILE_KIND).stored
+        again = profile_design(design)
+        assert fresh_store.stats(PROFILE_KIND).stored == stored
+        assert fresh_store.stats(PROFILE_KIND).hits >= 1
+        assert again.counts
+
+    def test_profile_key_ignores_platform(self, fresh_store):
+        a, _ = build_design("SW+2", SMALL, n_frames=1, seed=7,
+                            icache_size=2048, dcache_size=2048)
+        b, _ = build_design("SW+2", SMALL, n_frames=1, seed=7,
+                            icache_size=16384, dcache_size=8192)
+        b.pes["cpu"].pum.frequency_mhz = 250.0
+        assert app_profile_key(a) == app_profile_key(b)
+        c, _ = build_design("SW+2", SMALL, n_frames=1, seed=8)
+        assert app_profile_key(a) != app_profile_key(c)
+
+    def test_profile_roundtrips_through_disk_codec(self, fresh_store):
+        from repro.estimation.staticest import AppProfile
+
+        design, _ = build_design("SW+2", SMALL, n_frames=1, seed=7)
+        profile = profile_design(design)
+        clone = AppProfile.from_dict(profile.to_dict())
+        assert clone.counts == profile.counts
+        assert clone.sends == profile.sends
+        assert clone.recvs == profile.recvs
+
+    def test_starved_process_raises(self, fresh_store):
+        design = Design("starved")
+        design.add_pe("cpu", microblaze(8192, 4096))
+        design.add_bus("bus")
+        design.add_channel(1, "never", "bus")
+        design.add_process("p", """
+        int main(void) {
+          int v[1];
+          recv(1, v, 1);
+          return v[0];
+        }""", "main", "cpu")
+        with pytest.raises(StaticEstimateError, match="starved"):
+            profile_design(design, timeout=0.2)
+
+
+class TestCompCycles:
+    def test_matches_timed_tlm_per_process(self, fresh_store):
+        design, _ = build_design("SW+2", SMALL, n_frames=1, seed=7)
+        comp = process_comp_cycles(design)
+        result = generate_tlm(design).run()
+        assert comp == {
+            name: proc.cycles for name, proc in result.processes.items()
+        }
+
+    def test_tracks_cache_configuration(self, fresh_store):
+        small, _ = build_design("SW", SMALL, n_frames=1, seed=7,
+                                icache_size=2048, dcache_size=2048)
+        big, _ = build_design("SW", SMALL, n_frames=1, seed=7,
+                              icache_size=16384, dcache_size=8192)
+        assert (process_comp_cycles(small)["decoder"]
+                > process_comp_cycles(big)["decoder"])
+
+
+class TestStaticEstimate:
+    def test_exact_on_single_process_designs(self, fresh_store):
+        design = _single_process_design()
+        estimate = static_estimate(design)
+        real = generate_tlm(design).run().makespan_cycles
+        assert round(estimate) == real
+
+    def test_close_on_communicating_designs(self, fresh_store):
+        design, _ = build_design("SW+2", SMALL, n_frames=1, seed=7)
+        estimate = static_estimate(design)
+        real = generate_tlm(design).run().makespan_cycles
+        assert abs(estimate - real) / real < 0.01
+
+    def test_frequency_scales_estimate(self, fresh_store):
+        base, _ = build_design("SW", SMALL, n_frames=1, seed=7)
+        fast, _ = build_design("SW", SMALL, n_frames=1, seed=7)
+        fast.pes["cpu"].pum.frequency_mhz = 200.0
+        slow_est = static_estimate(base)
+        fast_est = static_estimate(fast)
+        assert fast_est == pytest.approx(slow_est / 2.0)
+
+    def test_bus_parameters_change_estimate(self, fresh_store):
+        narrow, _ = build_design("SW+2", SMALL, n_frames=1, seed=7)
+        wide, _ = build_design("SW+2", SMALL, n_frames=1, seed=7)
+        for bus in wide.buses.values():
+            bus.words_per_cycle = 8
+            bus.arbitration_cycles = 0
+        assert static_estimate(wide) < static_estimate(narrow)
+
+
+class TestFrequencyIndependentDelays:
+    def test_annotation_shared_across_clock_sweep(self, fresh_store):
+        from repro.tlm.generator import DELAYS_KIND
+
+        base, _ = build_design("SW", SMALL, n_frames=1, seed=7)
+        generate_tlm(base)
+        stored = fresh_store.stats(DELAYS_KIND).stored
+        retuned, _ = build_design("SW", SMALL, n_frames=1, seed=7)
+        retuned.pes["cpu"].pum.frequency_mhz = 333.0
+        generate_tlm(retuned)
+        # A pure clock change re-annotates nothing: delays are cycle
+        # counts and the delays key excludes the frequency.
+        assert fresh_store.stats(DELAYS_KIND).stored == stored

@@ -152,6 +152,71 @@ class TestExplore:
         assert "hits" in text and "misses" in text and "hit rate" in text
 
 
+class TestSearchCli:
+    ARGS = [
+        "search", "--small", "--icache", "4096,8192",
+        "--dcache", "2048,4096", "--bus-widths", "1,2",
+        "--bus-arbitrations", "1,4", "--cpu-mhz", "66,100,150,200",
+        "--keep-top", "6", "--rung-fraction", "0.2",
+    ]
+
+    def test_search_staged_pipeline(self):
+        code, text = run_cli(self.ARGS)
+        assert code == 0
+        assert "Search space: 64 points (6 axes)" in text
+        for stage in ("static", "approx-rung", "exact"):
+            assert stage in text
+        assert "Evaluated 6 points with the exact tier" in text
+        assert "Pareto front" in text
+
+    def test_search_top_k_truncates_ranking(self):
+        code, text = run_cli(self.ARGS + ["--top-k", "3"])
+        assert code == 0
+        assert "Top 3 of 6 ranked points:" in text
+        assert "rank" in text
+
+    def test_search_report_prints_stage_counters(self):
+        code, text = run_cli(self.ARGS + ["--report"])
+        assert code == 0
+        assert "Search report:" in text
+        assert "prune rate" in text
+        assert "delay_groups" in text
+        assert "tlm-delays" in text and "app-profile" in text
+
+    def test_search_bad_shard_is_one_line_error(self):
+        code, text = run_cli(self.ARGS + ["--shard", "4/4"])
+        assert code == 2
+        assert text.startswith("error:")
+        assert len(text.strip().splitlines()) == 1
+
+    def test_search_shard_and_merge_roundtrip(self, tmp_path):
+        paths = []
+        for shard in ("0/2", "1/2"):
+            path = str(tmp_path / ("shard-%s.json" % shard.replace("/", "-")))
+            paths.append(path)
+            code, text = run_cli(self.ARGS + [
+                "--shard", shard, "--checkpoint", path,
+            ])
+            assert code == 0
+            assert "shard %s" % shard in text
+        merged_path = str(tmp_path / "merged.json")
+        code, text = run_cli(self.ARGS + [
+            "--merge", paths[0], paths[1], "--checkpoint", merged_path,
+        ])
+        assert code == 0
+        assert "Merged 2 shard checkpoints" in text
+        assert "Merged checkpoint written to" in text
+        assert "Pareto front" in text
+
+    def test_explore_top_k_truncates_ranking(self):
+        code, text = run_cli([
+            "explore", "--small", "--cache-config", "2048:2048",
+            "--top-k", "2",
+        ])
+        assert code == 0
+        assert "Top 2 of 4 ranked points:" in text
+
+
 class TestCalibrate:
     def test_calibrate_traced_fast_path(self):
         code, text = run_cli([

@@ -84,6 +84,26 @@ class TestExplore:
         ranked = ExplorationResult(legacy, 0.0).ranked()
         assert [r.point.name for r in ranked] == ["a", "b", "c"]
 
+    def test_pareto_front_breaks_ties_by_input_index(self):
+        from repro.explore import ExplorationResult, PointResult
+
+        points = [DesignPoint(name, _loop_design(10, name), area=2)
+                  for name in ("a", "b", "c")]
+        # All tied on both objectives, results permuted relative to input
+        # order (as a checkpoint restore or replay fill may produce): the
+        # front must order by input index, like ranked() does.
+        results = [
+            PointResult(points[2], makespan_cycles=100, index=2),
+            PointResult(points[0], makespan_cycles=100, index=0),
+            PointResult(points[1], makespan_cycles=100, index=1),
+        ]
+        front = ExplorationResult(results, 0.0).pareto_front()
+        assert [r.point.name for r in front] == ["a", "b", "c"]
+        # Legacy results without an index keep list order on ties.
+        legacy = [PointResult(p, makespan_cycles=7) for p in points]
+        front = ExplorationResult(legacy, 0.0).pareto_front()
+        assert [r.point.name for r in front] == ["a", "b", "c"]
+
     def test_pareto_front(self):
         points = [
             DesignPoint("dominated", _loop_design(500, "x"), area=4),
