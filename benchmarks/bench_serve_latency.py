@@ -1,0 +1,133 @@
+"""Estimation-as-a-service latency: warm served requests vs one-shot CLI.
+
+The serve daemon's reason to exist is amortisation: one warm interpreter,
+one warm artifact store, resident workers — so a client pays only request
+marshalling and the estimate itself, not Python startup + imports + a cold
+store.  This bench starts a real ``python -m repro serve`` subprocess,
+measures the p50 round-trip of a warm served ``estimate`` over one
+persistent client connection, measures the p50 wall time of the same
+estimate as a one-shot ``python -m repro estimate`` subprocess, and
+asserts the served path is at least 10x faster (ISSUE 8's bar; in
+practice the margin is far larger — milliseconds vs. a full interpreter
+boot).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import statistics
+import subprocess
+import sys
+import time
+
+from repro.client import ServeClient
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src",
+)
+
+SOURCE = """
+int twice(int x) { return x * 2; }
+int main(void) {
+  int s = 0;
+  for (int i = 0; i < 100; i++) s += twice(i);
+  return s;
+}
+"""
+
+SERVED_ROUNDS = 15
+ONESHOT_ROUNDS = 3
+
+
+def _start_daemon(socket_path, env):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--socket", socket_path, "--workers", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                "serve daemon exited during startup (code %r)" % proc.poll()
+            )
+        if "workers ready" in line:
+            return proc
+    proc.kill()
+    raise RuntimeError("serve daemon did not become ready")
+
+
+def _stop_daemon(proc):
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+    try:
+        proc.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait(timeout=10)
+    proc.stdout.close()
+
+
+def test_served_estimate_beats_oneshot_startup(
+        benchmark, tmp_path, tables, metrics):
+    src = tmp_path / "app.cmini"
+    src.write_text(SOURCE)
+    socket_path = str(tmp_path / "repro.sock")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC
+    env["REPRO_ARTIFACTS_DIR"] = str(tmp_path / "artifacts")
+
+    def measure():
+        proc = _start_daemon(socket_path, env)
+        try:
+            with ServeClient("unix:" + socket_path) as client:
+                warm = client.call("estimate", [str(src)])
+                assert warm["ok"] is True and warm["exit_code"] == 0
+                served = []
+                for _ in range(SERVED_ROUNDS):
+                    begin = time.perf_counter()
+                    reply = client.call("estimate", [str(src)])
+                    served.append(time.perf_counter() - begin)
+                    assert reply["ok"] is True and reply["exit_code"] == 0
+        finally:
+            _stop_daemon(proc)
+        oneshot = []
+        for _ in range(ONESHOT_ROUNDS):
+            begin = time.perf_counter()
+            result = subprocess.run(
+                [sys.executable, "-m", "repro", "estimate", str(src)],
+                capture_output=True, text=True, env=env,
+            )
+            oneshot.append(time.perf_counter() - begin)
+            assert result.returncode == 0, result.stdout + result.stderr
+        return {
+            "p50_served_ms": statistics.median(served) * 1e3,
+            "p50_oneshot_ms": statistics.median(oneshot) * 1e3,
+        }
+
+    outcome = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = outcome["p50_oneshot_ms"] / outcome["p50_served_ms"]
+
+    lines = [
+        "Serve latency — warm daemon vs one-shot CLI startup",
+        "  served estimate p50   %8.2f ms  (%d rounds, warm pool)"
+        % (outcome["p50_served_ms"], SERVED_ROUNDS),
+        "  one-shot estimate p50 %8.2f ms  (%d rounds, cold interpreter)"
+        % (outcome["p50_oneshot_ms"], ONESHOT_ROUNDS),
+        "  speedup               %8.1fx  (bar: >= 10x)" % speedup,
+    ]
+    tables["serve_latency"] = "\n".join(lines)
+    metrics["serve_latency"] = {
+        "p50_served_ms": outcome["p50_served_ms"],
+        "p50_oneshot_ms": outcome["p50_oneshot_ms"],
+        "speedup": speedup,
+        "served_rounds": SERVED_ROUNDS,
+        "oneshot_rounds": ONESHOT_ROUNDS,
+    }
+
+    # The issue's bar: amortising startup + imports + store warm-up across
+    # requests buys at least an order of magnitude on small estimates.
+    assert speedup >= 10.0

@@ -31,10 +31,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from collections import OrderedDict
 
 from .ioutil import atomic_write_json
+
+_log = logging.getLogger("repro.artifacts")
 
 #: On-disk entry format version (the envelope around every entry file).
 DISK_FORMAT_VERSION = 1
@@ -55,9 +58,16 @@ def content_key(*parts):
 
 
 class CacheStats:
-    """Hit/miss/stored/evicted counters of one cache kind."""
+    """Hit/miss/stored/evicted/corrupt counters of one cache kind.
 
-    __slots__ = ("hits", "misses", "stored", "evicted")
+    ``corrupt`` counts disk entries that *existed* but failed validation —
+    unparseable JSON, a stale or foreign envelope, a value the kind's
+    decoder rejected.  They degrade to misses (the pipeline recomputes and
+    overwrites), but unlike plain misses they indicate disk-level damage,
+    so they are counted separately and logged once per entry file.
+    """
+
+    __slots__ = ("hits", "misses", "stored", "evicted", "corrupt")
 
     def __init__(self):
         self.reset()
@@ -67,6 +77,7 @@ class CacheStats:
         self.misses = 0
         self.stored = 0
         self.evicted = 0
+        self.corrupt = 0
 
     @property
     def lookups(self):
@@ -83,28 +94,31 @@ class CacheStats:
             "misses": self.misses,
             "stored": self.stored,
             "evicted": self.evicted,
+            "corrupt": self.corrupt,
             "hit_rate": self.hit_rate,
         }
 
     def snapshot(self):
         """The current counters as an immutable value (for :meth:`delta`)."""
-        return (self.hits, self.misses, self.stored, self.evicted)
+        return (self.hits, self.misses, self.stored, self.evicted,
+                self.corrupt)
 
     def delta(self, snapshot):
         """Counter increments since a :meth:`snapshot` — how one phase of a
         larger run (e.g. one search stage) used this cache kind."""
-        hits, misses, stored, evicted = snapshot
+        hits, misses, stored, evicted, corrupt = snapshot
         return {
             "hits": self.hits - hits,
             "misses": self.misses - misses,
             "stored": self.stored - stored,
             "evicted": self.evicted - evicted,
+            "corrupt": self.corrupt - corrupt,
         }
 
     def __repr__(self):
-        return "CacheStats(hits=%d, misses=%d, stored=%d, evicted=%d)" % (
-            self.hits, self.misses, self.stored, self.evicted,
-        )
+        return ("CacheStats(hits=%d, misses=%d, stored=%d, evicted=%d, "
+                "corrupt=%d)" % (self.hits, self.misses, self.stored,
+                                 self.evicted, self.corrupt))
 
 
 class KindSpec:
@@ -151,6 +165,35 @@ def kind_spec(name):
     return spec
 
 
+def entry_envelope_error(data, spec, key=None):
+    """Why a parsed disk-entry payload fails validation (``None`` = valid).
+
+    Shared by the store's read path and :func:`verify_store`, so "what the
+    reader would reject" and "what the scanner quarantines" can never
+    drift apart.  ``key`` is the expected entry key when the caller knows
+    it (reads do; a directory scan does not).
+    """
+    if not isinstance(data, dict):
+        return "not a JSON object"
+    if data.get("format") != DISK_FORMAT_VERSION:
+        return "stale store format %r (expected %r)" % (
+            data.get("format"), DISK_FORMAT_VERSION,
+        )
+    if data.get("kind") != spec.name:
+        return "foreign kind %r (expected %r)" % (data.get("kind"), spec.name)
+    if data.get("kind_version") != spec.version:
+        return "stale kind version %r (expected %r)" % (
+            data.get("kind_version"), spec.version,
+        )
+    if not isinstance(data.get("key"), str):
+        return "missing or non-string key"
+    if key is not None and data["key"] != key:
+        return "key mismatch (hash collision or tampering)"
+    if "value" not in data:
+        return "missing value"
+    return None
+
+
 class _Kind:
     """One kind's in-memory state inside a store."""
 
@@ -181,6 +224,7 @@ class ArtifactStore:
         self.directory = directory
         self.default_max_entries = max_entries
         self._kinds = {}
+        self._warned_paths = set()  # corrupt entry files already logged
 
     # -- kind bookkeeping ----------------------------------------------------
 
@@ -210,6 +254,10 @@ class ArtifactStore:
 
     def kinds(self):
         return sorted(self._kinds)
+
+    def corrupt_entries(self):
+        """Total corrupt disk entries observed across every kind."""
+        return sum(s.stats.corrupt for s in self._kinds.values())
 
     def counters(self):
         """Per-kind counter dicts — the one stats surface for reports."""
@@ -282,31 +330,46 @@ class ArtifactStore:
             self.directory, state.spec.name, content_key(key) + ".json"
         )
 
+    def _mark_corrupt(self, state, path, reason):
+        """Count (and log, once per entry file) a damaged disk entry."""
+        state.stats.corrupt += 1
+        state.disk_misses += 1
+        if path not in self._warned_paths:
+            self._warned_paths.add(path)
+            _log.warning(
+                "artifact store: corrupt %s entry at %s (%s); "
+                "treating as a miss — run `python -m repro artifacts "
+                "verify` to quarantine it", state.spec.name, path, reason,
+            )
+
     def _disk_read(self, state, key):
         if self.directory is None or not state.spec.disk:
             return None
+        path = self._disk_path(state, key)
         try:
-            with open(self._disk_path(state, key)) as handle:
+            with open(path) as handle:
                 data = json.load(handle)
-        except (OSError, ValueError):
+        except FileNotFoundError:
             state.disk_misses += 1
             return None
-        if (
-            not isinstance(data, dict)
-            or data.get("format") != DISK_FORMAT_VERSION
-            or data.get("kind") != state.spec.name
-            or data.get("kind_version") != state.spec.version
-            or data.get("key") != key
-            or "value" not in data
-        ):
-            state.disk_misses += 1
+        except OSError as exc:
+            self._mark_corrupt(state, path, "unreadable: %s" % exc)
+            return None
+        except ValueError as exc:
+            self._mark_corrupt(state, path, "invalid JSON: %s" % exc)
+            return None
+        reason = entry_envelope_error(data, state.spec, key)
+        if reason is not None:
+            self._mark_corrupt(state, path, reason)
             return None
         value = data["value"]
         if state.spec.decode is not None:
             try:
                 value = state.spec.decode(value)
-            except (TypeError, ValueError, KeyError, IndexError):
-                state.disk_misses += 1
+            except (TypeError, ValueError, KeyError, IndexError) as exc:
+                self._mark_corrupt(
+                    state, path, "undecodable value: %s" % exc,
+                )
                 return None
         state.disk_hits += 1
         return value
@@ -336,6 +399,113 @@ class ArtifactStore:
             len(self._kinds),
             ", dir=%r" % self.directory if self.directory else "",
         )
+
+
+# -- disk-store verification ---------------------------------------------
+
+#: Subdirectory (inside the store root) where damaged entries are moved.
+QUARANTINE_DIR = "quarantine"
+
+
+class VerifyReport:
+    """Outcome of one :func:`verify_store` scan."""
+
+    __slots__ = ("directory", "scanned", "ok", "unknown_kinds", "bad",
+                 "quarantined")
+
+    def __init__(self, directory):
+        self.directory = directory
+        self.scanned = 0
+        self.ok = 0
+        self.unknown_kinds = []  # kind names with no registered spec
+        self.bad = []            # (relative path, reason)
+        self.quarantined = []    # relative paths moved under quarantine/
+
+    def as_dict(self):
+        return {
+            "directory": self.directory,
+            "scanned": self.scanned,
+            "ok": self.ok,
+            "unknown_kinds": list(self.unknown_kinds),
+            "bad": [{"path": p, "reason": r} for p, r in self.bad],
+            "quarantined": list(self.quarantined),
+        }
+
+
+def verify_store(directory, quarantine=True):
+    """Scan a disk store for corrupt/stale entries; optionally quarantine.
+
+    Every ``<kind>/<digest>.json`` under ``directory`` is validated exactly
+    as the read path would: JSON well-formedness, the versioned envelope
+    (:func:`entry_envelope_error`), the filename matching the entry key's
+    digest, and the kind's decoder accepting the value.  Invalid files are
+    recorded and — with ``quarantine=True`` — moved (via ``os.replace``)
+    under ``<directory>/quarantine/<kind>/``, preserving them for
+    post-mortems while guaranteeing readers never trip over them again.
+
+    Kinds with no registered spec cannot be validated (their schema
+    version and decoder are unknown); their directories are skipped and
+    reported in ``unknown_kinds``.  Register kinds by importing their
+    subsystems before scanning (the CLI wrapper does this).
+    """
+    report = VerifyReport(directory)
+    if not os.path.isdir(directory):
+        return report
+    for kind_name in sorted(os.listdir(directory)):
+        kind_dir = os.path.join(directory, kind_name)
+        if kind_name == QUARANTINE_DIR or not os.path.isdir(kind_dir):
+            continue
+        spec = _KINDS.get(kind_name)
+        if spec is None:
+            report.unknown_kinds.append(kind_name)
+            continue
+        for entry_name in sorted(os.listdir(kind_dir)):
+            if not entry_name.endswith(".json"):
+                continue
+            path = os.path.join(kind_dir, entry_name)
+            relative = os.path.join(kind_name, entry_name)
+            report.scanned += 1
+            reason = _verify_entry(path, entry_name, spec)
+            if reason is None:
+                report.ok += 1
+                continue
+            report.bad.append((relative, reason))
+            if quarantine and _quarantine_entry(directory, kind_name,
+                                                entry_name, path):
+                report.quarantined.append(relative)
+    return report
+
+
+def _verify_entry(path, entry_name, spec):
+    """Reason the entry file is invalid, or ``None`` when it is sound."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        return "unreadable: %s" % exc
+    except ValueError as exc:
+        return "invalid JSON: %s" % exc
+    reason = entry_envelope_error(data, spec)
+    if reason is not None:
+        return reason
+    if content_key(data["key"]) + ".json" != entry_name:
+        return "filename does not match the key digest"
+    if spec.decode is not None:
+        try:
+            spec.decode(data["value"])
+        except (TypeError, ValueError, KeyError, IndexError) as exc:
+            return "undecodable value: %s" % exc
+    return None
+
+
+def _quarantine_entry(directory, kind_name, entry_name, path):
+    quarantine_dir = os.path.join(directory, QUARANTINE_DIR, kind_name)
+    try:
+        os.makedirs(quarantine_dir, exist_ok=True)
+        os.replace(path, os.path.join(quarantine_dir, entry_name))
+    except OSError:
+        return False
+    return True
 
 
 # -- process-wide default store ----------------------------------------------

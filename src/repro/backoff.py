@@ -1,0 +1,53 @@
+"""Jittered exponential backoff, shared by every retry loop.
+
+A purely deterministic exponential backoff has a failure mode in fleets:
+shards (or serve workers) that crashed *together* — same OOM event, same
+poisoned artifact — retry together, re-synchronising the very load spike
+that killed them.  Multiplicative jitter decorrelates the retries while
+keeping the exponential envelope.
+
+Used by :func:`repro.parallel.fork_map` (pool rebuilds after worker
+crashes) and :class:`repro.serve.pool.WorkerPool` (resident-worker
+restarts).  Callers that need reproducible delays (tests) pass a seeded
+``random.Random``.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Default cap on any single delay (seconds).
+DEFAULT_CAP = 60.0
+
+#: Default jitter spread: each delay is scaled by a uniform factor in
+#: ``[1 - spread, 1 + spread)``.
+DEFAULT_SPREAD = 0.5
+
+_default_rng = random.Random()
+
+
+def jittered_backoff(base, attempt, cap=DEFAULT_CAP, spread=DEFAULT_SPREAD,
+                     rng=None):
+    """The delay (seconds) before retry number ``attempt`` (0-based).
+
+    The envelope is ``min(cap, base * 2**attempt)``; the returned delay is
+    that envelope scaled by a uniform jitter factor in
+    ``[1 - spread, 1 + spread)``.  ``base <= 0`` disables waiting entirely
+    (returns ``0.0``), which retry loops use as a fast-test knob.
+    """
+    if base <= 0:
+        return 0.0
+    if not 0.0 <= spread < 1.0:
+        raise ValueError("spread must be in [0, 1)")
+    envelope = min(cap, base * (2 ** max(0, attempt)))
+    factor = 1.0 - spread + 2.0 * spread * (rng or _default_rng).random()
+    return envelope * factor
+
+
+def backoff_delays(base, retries, cap=DEFAULT_CAP, spread=DEFAULT_SPREAD,
+                   rng=None):
+    """The full ladder of delays for ``retries`` attempts (list of floats)."""
+    return [
+        jittered_backoff(base, attempt, cap=cap, spread=spread, rng=rng)
+        for attempt in range(retries)
+    ]

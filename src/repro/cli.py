@@ -52,6 +52,7 @@ traceback.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .api import compile_cmini
@@ -577,6 +578,54 @@ def cmd_calibrate(args, out):
     return 0
 
 
+def _register_all_artifact_kinds():
+    """Import every subsystem that registers artifact kinds, so a store
+    scan can validate their entries (unknown kinds are skipped)."""
+    from .estimation import schedcache, staticest  # noqa: F401
+    from .simtrace import trace  # noqa: F401
+    from .tlm import generator  # noqa: F401
+
+
+def cmd_artifacts(args, out):
+    from .artifacts import default_store, verify_store
+
+    directory = args.dir or os.environ.get("REPRO_ARTIFACTS_DIR")
+    if not directory:
+        out.write("error: no artifact directory (pass --dir or set "
+                  "REPRO_ARTIFACTS_DIR)\n")
+        return 2
+    if args.action == "verify":
+        _register_all_artifact_kinds()
+        report = verify_store(directory, quarantine=not args.no_quarantine)
+        out.write("Scanned %d entries under %s: %d ok, %d bad\n"
+                  % (report.scanned, directory, report.ok, len(report.bad)))
+        for path, reason in report.bad:
+            out.write("  bad  %-44s %s\n" % (path, reason))
+        for path in report.quarantined:
+            out.write("  quarantined -> %s\n"
+                      % os.path.join("quarantine", path))
+        if report.unknown_kinds:
+            out.write("  skipped unregistered kinds: %s\n"
+                      % ", ".join(report.unknown_kinds))
+        return 4 if report.bad else 0
+    # action == "stats"
+    store = default_store()
+    if store is None:
+        out.write("artifact store: disabled (REPRO_ARTIFACTS=0)\n")
+        return 0
+    counters = store.counters()
+    if not counters:
+        out.write("artifact store: no kinds touched this process\n")
+        return 0
+    for kind, entry in sorted(counters.items()):
+        out.write(
+            "%-16s %6d entries  %6d hits  %6d misses  %4d corrupt\n"
+            % (kind, entry["entries"], entry["hits"], entry["misses"],
+               entry["corrupt"]),
+        )
+    return 0
+
+
 def cmd_pum(args, out):
     if args.name.endswith(".json"):
         pum = load_pum(args.name)
@@ -589,6 +638,27 @@ def cmd_pum(args, out):
             return 2
     out.write(pum_to_json(pum) + "\n")
     return 0
+
+
+def cmd_serve(args, out):
+    from .serve import ServeDaemon, run_daemon
+
+    if not args.socket and args.http is None:
+        out.write("error: serve needs --socket PATH and/or --http PORT\n")
+        return 2
+    daemon = ServeDaemon(
+        socket_path=args.socket,
+        http_port=args.http,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        deadline=args.deadline,
+        crash_retries=args.crash_retries,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        restart_backoff=args.restart_backoff,
+        drain_timeout=args.drain_timeout,
+    )
+    return run_daemon(daemon, out)
 
 
 def build_parser():
@@ -785,6 +855,63 @@ def build_parser():
     p_pum.add_argument("name", help="preset name or .json path")
     p_pum.set_defaults(func=cmd_pum)
 
+    p_art = sub.add_parser("artifacts",
+                           help="inspect or verify the on-disk artifact "
+                                "store (see docs/robustness.md)")
+    p_art.add_argument("action", choices=("verify", "stats"),
+                       help="'verify' scans every disk entry and "
+                            "quarantines corrupt/stale files; 'stats' "
+                            "prints this process's store counters")
+    p_art.add_argument("--dir", metavar="PATH",
+                       help="store root (default: $REPRO_ARTIFACTS_DIR)")
+    p_art.add_argument("--no-quarantine", action="store_true",
+                       help="report bad entries without moving them")
+    p_art.set_defaults(func=cmd_artifacts)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the estimation-as-a-service daemon: a warm artifact "
+             "store and a supervised worker pool behind a unix socket "
+             "and/or localhost HTTP (see docs/robustness.md)",
+    )
+    p_srv.add_argument("--socket", metavar="PATH",
+                       help="unix socket path (newline-delimited JSON)")
+    p_srv.add_argument("--http", metavar="PORT", type=int,
+                       help="also serve HTTP on 127.0.0.1:PORT "
+                            "(GET /healthz, GET /stats, POST /rpc)")
+    p_srv.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="resident worker processes (default: 2)")
+    p_srv.add_argument("--queue-size", type=int, default=16, metavar="N",
+                       help="bounded request queue: requests past this "
+                            "high-water mark get 'overloaded' replies "
+                            "(default: 16)")
+    p_srv.add_argument("--deadline", type=float, default=None,
+                       metavar="SECS",
+                       help="default per-request deadline; overrun "
+                            "requests abort with a wall-clock-exceeded "
+                            "error (requests may set their own)")
+    p_srv.add_argument("--crash-retries", type=int, default=2, metavar="N",
+                       help="times a request lost to a worker crash is "
+                            "retried on a fresh worker (default: 2)")
+    p_srv.add_argument("--breaker-threshold", type=int, default=5,
+                       metavar="N",
+                       help="consecutive serve-level failures of one "
+                            "request kind that open its circuit breaker "
+                            "(default: 5)")
+    p_srv.add_argument("--breaker-cooldown", type=float, default=30.0,
+                       metavar="SECS",
+                       help="seconds an open breaker waits before "
+                            "half-opening a trial request (default: 30)")
+    p_srv.add_argument("--restart-backoff", type=float, default=0.1,
+                       metavar="SECS",
+                       help="base of the jittered exponential backoff "
+                            "between worker restarts (default: 0.1)")
+    p_srv.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="SECS",
+                       help="graceful-shutdown budget for in-flight "
+                            "requests on SIGTERM/SIGINT (default: 30)")
+    p_srv.set_defaults(func=cmd_serve)
+
     p_tlm = sub.add_parser("tlm", aliases=["simulate"],
                            help="generate and simulate a TLM from a "
                                 "design JSON file")
@@ -830,25 +957,51 @@ def build_parser():
 
 def main(argv=None, out=None):
     out = out or sys.stdout
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    server, argv = _extract_server(argv)
+    if server is not None:
+        from .client import run_via_server
+
+        return run_via_server(server, argv, out)
     parser = build_parser()
     args = parser.parse_args(argv)
-    from .cycle.caches import CacheError
-    from .estimation import StaticEstimateError
-    from .explore import CheckpointError
-    from .faults import FaultScenarioError
-    from .search import SearchError
-    from .simkernel import SimulationError
-    from .trace import TraceError
+    # Importing the subsystems registers their ReproError subclasses, so
+    # the single taxonomy-driven except clause below covers them all
+    # (see repro.errors for the code/exit-code conventions).
+    from . import errors
+    from .cycle import caches as _caches  # noqa: F401
+    from .estimation import staticest as _staticest  # noqa: F401
+    from .faults import scenario as _scenario  # noqa: F401
+    from .simkernel import kernel as _kernel  # noqa: F401
+    from .trace import stream as _stream  # noqa: F401
 
     try:
         return args.func(args, out)
-    except (PUMError, FaultScenarioError, CheckpointError, CacheError,
-            TraceError, SearchError, StaticEstimateError) as exc:
-        out.write("error: %s\n" % exc)
-        return 2
-    except SimulationError as exc:
-        out.write("simulation aborted: %s\n" % exc)
-        return 3
+    except errors.ReproError as exc:
+        out.write(errors.format_cli_error(exc))
+        return exc.exit_code
+
+
+def _extract_server(argv):
+    """Split a ``--server ADDR`` option out of ``argv`` (any position).
+
+    Returns ``(address | None, remaining_argv)``.  Handled before argparse
+    so every subcommand gains the flag uniformly and the forwarded argv is
+    exactly what a one-shot invocation would have parsed.
+    """
+    server = None
+    remaining = []
+    it = iter(argv)
+    for token in it:
+        if token == "--server":
+            server = next(it, None)
+            if server is None:
+                raise SystemExit("--server requires an address")
+        elif token.startswith("--server="):
+            server = token.split("=", 1)[1]
+        else:
+            remaining.append(token)
+    return server, remaining
 
 
 if __name__ == "__main__":  # pragma: no cover

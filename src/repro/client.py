@@ -1,0 +1,230 @@
+"""Thin client for the repro serve daemon.
+
+:class:`ServeClient` speaks the NDJSON protocol over a unix socket or the
+HTTP surface of :mod:`repro.serve`; :func:`run_via_server` is the CLI's
+``--server`` glue — it ships the invocation to the daemon and replays the
+daemon's answer (output text and exit code) as if the command had run
+locally, so ``python -m repro --server unix:/tmp/repro.sock estimate ...``
+is a drop-in for the one-shot form.
+
+Addresses:
+
+* ``unix:/path/to.sock`` (or a bare path containing ``/``) — unix socket;
+* ``http://host:port`` or ``host:port`` — the HTTP listener.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from .errors import EXIT_SERVE, ProtocolError, RemoteError, ServeError, error_from_json
+from .serve.protocol import decode_line, encode_line
+
+DEFAULT_TIMEOUT = 300.0
+
+
+def parse_address(address):
+    """``("unix", path)`` or ``("http", (host, port))`` from a user string."""
+    address = address.strip()
+    if address.startswith("unix:"):
+        return "unix", address[len("unix:"):]
+    if address.startswith("http://"):
+        rest = address[len("http://"):].rstrip("/")
+        host, _, port = rest.partition(":")
+        if not port.isdigit():
+            raise ServeError("bad HTTP server address %r" % address)
+        return "http", (host or "127.0.0.1", int(port))
+    host, _, port = address.partition(":")
+    if port.isdigit() and "/" not in host:
+        return "http", (host or "127.0.0.1", int(port))
+    if "/" in address:
+        return "unix", address
+    raise ServeError(
+        "cannot parse server address %r (want unix:/path, /path, "
+        "http://host:port, or host:port)" % address
+    )
+
+
+class ServeClient:
+    """One connection-per-call client (simple, and the daemon pipelines
+    per connection anyway for callers that hold one open)."""
+
+    def __init__(self, address, timeout=DEFAULT_TIMEOUT):
+        self.scheme, self.target = parse_address(address)
+        self.timeout = timeout
+        self._counter = 0
+        self._sock_file = None
+        self._sock = None
+
+    # -- transport -----------------------------------------------------------
+
+    def _next_id(self):
+        self._counter += 1
+        return "c%d" % self._counter
+
+    def _unix_connection(self):
+        if self._sock_file is None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(self.target)
+            except OSError as exc:
+                sock.close()
+                raise ServeError(
+                    "cannot connect to serve daemon at unix:%s (%s)"
+                    % (self.target, exc)
+                ) from None
+            self._sock = sock
+            self._sock_file = sock.makefile("rwb")
+        return self._sock_file
+
+    def close(self):
+        if self._sock_file is not None:
+            try:
+                self._sock_file.close()
+            finally:
+                self._sock_file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def _roundtrip_unix(self, request):
+        stream = self._unix_connection()
+        try:
+            stream.write(encode_line(request))
+            stream.flush()
+            line = stream.readline()
+        except OSError as exc:
+            self.close()
+            raise ServeError("serve connection failed: %s" % exc) from None
+        if not line:
+            self.close()
+            raise ServeError(
+                "serve daemon closed the connection mid-request"
+            )
+        return decode_line(line)
+
+    def _roundtrip_http(self, request):
+        import http.client
+
+        host, port = self.target
+        conn = http.client.HTTPConnection(host, port, timeout=self.timeout)
+        try:
+            try:
+                conn.request(
+                    "POST", "/rpc", body=encode_line(request),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                body = response.read()
+            except OSError as exc:
+                raise ServeError(
+                    "cannot reach serve daemon at http://%s:%d (%s)"
+                    % (host, port, exc)
+                ) from None
+        finally:
+            conn.close()
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServeError(
+                "serve daemon sent an unreadable reply: %s" % exc
+            ) from None
+
+    def _get_http(self, path):
+        import http.client
+
+        host, port = self.target
+        conn = http.client.HTTPConnection(host, port, timeout=self.timeout)
+        try:
+            conn.request("GET", path)
+            body = conn.getresponse().read()
+        except OSError as exc:
+            raise ServeError(
+                "cannot reach serve daemon at http://%s:%d (%s)"
+                % (host, port, exc)
+            ) from None
+        finally:
+            conn.close()
+        return json.loads(body.decode("utf-8"))
+
+    # -- API -----------------------------------------------------------------
+
+    def call(self, kind, argv=(), deadline=None):
+        """One request → the raw reply dict (``ok`` true or false)."""
+        request = {"id": self._next_id(), "kind": kind, "argv": list(argv)}
+        if deadline is not None:
+            request["deadline"] = deadline
+        if self.scheme == "unix":
+            reply = self._roundtrip_unix(request)
+        else:
+            reply = self._roundtrip_http(request)
+        if not isinstance(reply, dict):
+            raise ServeError("serve daemon sent a non-object reply")
+        if reply.get("id") not in (request["id"], None):
+            raise ServeError(
+                "serve daemon answered request %r with id %r"
+                % (request["id"], reply.get("id"))
+            )
+        return reply
+
+    def raise_for_reply(self, reply):
+        """``ok: false`` replies → the matching :class:`ReproError`."""
+        if reply.get("ok"):
+            return reply
+        raise error_from_json(reply.get("error") or {})
+
+    def stats(self):
+        if self.scheme == "http":
+            return self._get_http("/stats")
+        reply = self.raise_for_reply(self.call("stats"))
+        return reply["stats"]
+
+    def healthz(self):
+        if self.scheme == "http":
+            return self._get_http("/healthz")
+        reply = self.raise_for_reply(self.call("healthz"))
+        return reply["healthz"]
+
+    def ping(self):
+        return bool(self.raise_for_reply(self.call("ping")).get("pong"))
+
+
+def run_via_server(address, argv, out):
+    """Execute a CLI invocation through a serve daemon (``--server``).
+
+    Mirrors the one-shot CLI exactly when the request executes: the
+    daemon's captured output is written verbatim and its exit code
+    returned.  Serve-level failures (unreachable daemon, overload, open
+    breaker, crashed worker) print ``server error: [code] message`` and
+    return the taxonomy exit code.
+    """
+    if not argv:
+        out.write("server error: [bad-request] empty command\n")
+        return EXIT_SERVE
+    kind, rest = argv[0], list(argv[1:])
+    try:
+        with ServeClient(address) as client:
+            reply = client.call(kind, rest)
+    except (ProtocolError, ServeError, RemoteError) as exc:
+        out.write("server error: [%s] %s\n" % (exc.code, exc))
+        return exc.exit_code
+    if reply.get("ok"):
+        out.write(reply.get("output", ""))
+        exit_code = reply.get("exit_code", 0)
+        return exit_code if isinstance(exit_code, int) else EXIT_SERVE
+    error = reply.get("error") or {}
+    out.write("server error: [%s] %s\n" % (
+        error.get("code", "internal"), error.get("message", "unknown"),
+    ))
+    exit_code = error.get("exit_code", EXIT_SERVE)
+    return exit_code if isinstance(exit_code, int) else EXIT_SERVE

@@ -13,8 +13,13 @@ DEFAULT_LINE_WORDS = 8
 DEFAULT_ASSOC = 2
 
 
-class CacheError(Exception):
+from ..errors import InputError
+
+
+class CacheError(InputError):
     """Raised for invalid cache geometry."""
+
+    code = "cache"
 
 
 class Cache:

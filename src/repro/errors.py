@@ -1,0 +1,167 @@
+"""Structured error taxonomy: one hierarchy, three surfaces.
+
+Every structured failure in the toolchain derives from :class:`ReproError`
+and carries two class attributes:
+
+* ``code`` — a stable, machine-readable slug (kebab-case).  This is what a
+  JSON error reply from the serve daemon names, what the client maps back
+  to an exception, and what tests assert against.
+* ``exit_code`` — the CLI process exit code for the failure.
+
+The hierarchy replaces the CLI's historical ad-hoc ``except`` clauses:
+``main()`` catches :class:`ReproError` once and formats/exits by taxonomy
+instead of enumerating every subsystem's exception type.  The conventions
+are unchanged:
+
+========== ===================================================
+exit code  meaning
+========== ===================================================
+0          success
+1          internal error (an *unstructured* failure — a bug)
+2          bad input: malformed files, options, configuration
+3          a run started but was aborted (watchdog, deadlock,
+           injected crash, served-request deadline)
+4          partial failure: some sweep/search points failed
+5          serving-side failure (overload, open breaker,
+           crashed worker, malformed request)
+========== ===================================================
+
+Subclasses may live anywhere (``repro.pum``, ``repro.simkernel``, ...);
+defining one automatically registers its ``code`` in the process-wide
+registry used by :func:`error_from_json`.  This module must stay
+dependency-free — it is imported by nearly everything else.
+"""
+
+from __future__ import annotations
+
+EXIT_OK = 0
+EXIT_INTERNAL = 1
+EXIT_INPUT = 2
+EXIT_ABORTED = 3
+EXIT_PARTIAL = 4
+EXIT_SERVE = 5
+
+#: code slug -> exception class; filled by ``ReproError.__init_subclass__``.
+_REGISTRY = {}
+
+
+class ReproError(Exception):
+    """Base of every structured failure; see the module docstring."""
+
+    code = "error"
+    exit_code = EXIT_INPUT
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        # Latest definition wins so reloads (tests) don't explode; distinct
+        # live classes sharing a slug are caught by tests/test_errors.py.
+        _REGISTRY[cls.code] = cls
+
+
+class InputError(ReproError):
+    """Malformed user input: files, options, configuration."""
+
+    code = "bad-input"
+    exit_code = EXIT_INPUT
+
+
+class AbortError(ReproError):
+    """A run started but was aborted (watchdog, deadlock, crash fault)."""
+
+    code = "aborted"
+    exit_code = EXIT_ABORTED
+
+
+class ServeError(ReproError):
+    """Serving-side failures of the estimation daemon."""
+
+    code = "serve"
+    exit_code = EXIT_SERVE
+
+
+class ProtocolError(ServeError):
+    """A malformed request: not JSON, unknown kind, bad argv/deadline."""
+
+    code = "bad-request"
+
+
+class OverloadedError(ServeError):
+    """The daemon's bounded request queue is past its high-water mark."""
+
+    code = "overloaded"
+
+
+class CircuitOpenError(ServeError):
+    """The request kind's circuit breaker is open (shedding load)."""
+
+    code = "circuit-open"
+
+
+class WorkerCrashedError(ServeError):
+    """The worker executing the request died beyond the retry budget."""
+
+    code = "worker-crashed"
+
+
+class RemoteError(ReproError):
+    """A structured error relayed from a serve daemon whose ``code`` has no
+    registered class in this process (version skew, ad-hoc codes)."""
+
+    code = "remote"
+
+    def __init__(self, message, code="remote", exit_code=EXIT_SERVE):
+        super().__init__(message)
+        self.code = code
+        self.exit_code = exit_code
+
+
+def registered_codes():
+    """Snapshot of the code registry (slug -> class)."""
+    return dict(_REGISTRY)
+
+
+def error_to_json(exc):
+    """The JSON-reply form of an exception.
+
+    Structured errors keep their taxonomy; anything else is an internal
+    error (a bug worth a traceback server-side, but the reply stays
+    structured).
+    """
+    if isinstance(exc, ReproError):
+        return {
+            "code": exc.code,
+            "message": str(exc),
+            "exit_code": exc.exit_code,
+        }
+    return {
+        "code": "internal",
+        "message": "%s: %s" % (type(exc).__name__, exc),
+        "exit_code": EXIT_INTERNAL,
+    }
+
+
+def error_from_json(data):
+    """Rebuild the closest exception for a JSON error reply.
+
+    A registered ``code`` yields that class; unknown codes (including
+    ``"internal"``) yield a :class:`RemoteError` carrying the original
+    code and exit code, so callers can still branch on ``exc.code``.
+    """
+    code = data.get("code", "remote")
+    message = data.get("message", "unknown server error")
+    cls = _REGISTRY.get(code)
+    if cls is not None and cls is not RemoteError:
+        try:
+            return cls(message)
+        except TypeError:
+            pass  # a subclass with a custom signature: fall through
+    return RemoteError(
+        message, code=code, exit_code=data.get("exit_code", EXIT_SERVE),
+    )
+
+
+def format_cli_error(exc):
+    """The CLI's one-line rendering (matches the historical wording)."""
+    if isinstance(exc, AbortError):
+        return "simulation aborted: %s\n" % exc
+    return "error: %s\n" % exc

@@ -40,6 +40,7 @@ from collections import deque
 
 from ..artifacts import content_key, register_kind
 from ..cdfg.interp import Interpreter, InterpreterError
+from ..errors import InputError
 
 #: Artifact kind for captured application profiles.
 PROFILE_KIND = "app-profile"
@@ -60,8 +61,10 @@ __all__ = [
 ]
 
 
-class StaticEstimateError(Exception):
+class StaticEstimateError(InputError):
     """The application could not be profiled for static estimation."""
+
+    code = "static-estimate"
 
 
 class AppProfile:

@@ -32,6 +32,7 @@ import os
 import time
 
 from .artifacts import default_store
+from .errors import InputError
 from .ioutil import atomic_write_json
 from .parallel import fork_map, get_payload
 from .tlm.generator import (
@@ -52,8 +53,10 @@ _PREWARM_KINDS = (IR_KIND, DELAYS_KIND, GENSRC_KIND)
 CHECKPOINT_FORMAT_VERSION = 1
 
 
-class CheckpointError(Exception):
+class CheckpointError(InputError):
     """Raised for unreadable or mismatched exploration checkpoints."""
+
+    code = "checkpoint"
 
 
 class DesignPoint:
@@ -318,7 +321,7 @@ def _evaluate_point_index(index):
                          granularity=payload["granularity"],
                          report=report, store=payload["store"])
     wall_start = time.perf_counter()
-    tlm_result = model.run()
+    tlm_result = model.run(faults=payload.get("faults"))
     wall = time.perf_counter() - wall_start
     per_process = {
         name: p.cycles for name, p in tlm_result.processes.items()
@@ -328,7 +331,7 @@ def _evaluate_point_index(index):
 
 def _explore_parallel(points, granularity, workers, indices, store=None,
                       point_timeout=None, retries=2, retry_backoff=0.5,
-                      on_result=None):
+                      on_result=None, faults=None):
     """Evaluate ``indices`` of ``points`` through the shared fork pool.
 
     Returns ``{index: ("ok", (makespan, per_process, wall, gen_summary)) |
@@ -338,7 +341,7 @@ def _explore_parallel(points, granularity, workers, indices, store=None,
     return fork_map(
         _evaluate_point_index, indices, workers,
         payload={"points": points, "granularity": granularity,
-                 "store": store},
+                 "store": store, "faults": faults},
         task_timeout=point_timeout, retries=retries,
         retry_backoff=retry_backoff, on_result=on_result,
     )
@@ -438,14 +441,14 @@ def _evaluate_with_trace(point, design, granularity, store=None):
     ), trace
 
 
-def _evaluate_design(point, design, granularity, store=None):
+def _evaluate_design(point, design, granularity, store=None, faults=None):
     """In-process evaluation of one *prebuilt* design (no capture)."""
     wall_start = time.perf_counter()
     report = GenerationReport(point.name, True)
     try:
         model = generate_tlm(design, timed=True, granularity=granularity,
                              report=report, store=store)
-        tlm_result = model.run()
+        tlm_result = model.run(faults=faults)
     except Exception as exc:
         return PointResult(
             point,
@@ -632,7 +635,7 @@ def _try_replay(points, todo, granularity, store, ckpt, mode, validate_n,
     return unresolved, stats
 
 
-def _evaluate_sequential(point, granularity, store=None):
+def _evaluate_sequential(point, granularity, store=None, faults=None):
     """In-process evaluation of one point; never raises for point-local
     failures (returns a failed :class:`PointResult` instead)."""
     wall_start = time.perf_counter()
@@ -641,7 +644,7 @@ def _evaluate_sequential(point, granularity, store=None):
         design = point.build()
         model = generate_tlm(design, timed=True, granularity=granularity,
                              report=report, store=store)
-        tlm_result = model.run()
+        tlm_result = model.run(faults=faults)
     except Exception as exc:
         return PointResult(
             point,
@@ -657,7 +660,7 @@ def _evaluate_sequential(point, granularity, store=None):
 def explore(points, granularity="transaction", workers=1,
             point_timeout=None, retries=2, retry_backoff=0.5,
             checkpoint=None, replay="off", replay_validate=1,
-            replay_tolerance=0.05):
+            replay_tolerance=0.05, faults=None):
     """Evaluate every design point with a timed TLM.
 
     Args:
@@ -697,6 +700,15 @@ def explore(points, granularity="transaction", workers=1,
             approximate ones.  Divergence falls the whole group back to
             plain simulation.
         replay_tolerance: the approximate-tier validation bound.
+        faults: optional :class:`~repro.faults.FaultScenario` injected into
+            every point's simulation (resilience sweeps).  Composes with
+            the robustness machinery by *degrading*, never by surprising:
+            the kernel refuses to record traces of fault-injected runs, so
+            any requested ``replay`` tier is skipped and every point takes
+            a kernel run (``replay_stats["skipped"]`` says why), and
+            fault-perturbed cycle counts must not be restored as clean
+            results later, so combining ``faults`` with ``checkpoint``
+            raises :class:`CheckpointError`.
 
     Returns:
         an :class:`ExplorationResult` with one result per input point, in
@@ -708,6 +720,12 @@ def explore(points, granularity="transaction", workers=1,
 
     ckpt = None
     if checkpoint is not None:
+        if faults is not None:
+            raise CheckpointError(
+                "fault-injected sweeps cannot be checkpointed: the "
+                "perturbed cycle counts would later be restored as clean "
+                "results — drop checkpoint= or faults="
+            )
         names = [p.name for p in points]
         if len(set(names)) != len(names):
             raise CheckpointError(
@@ -743,7 +761,12 @@ def explore(points, granularity="transaction", workers=1,
     if replay not in ("off", "auto", "approx"):
         raise ValueError('replay must be "off", "auto" or "approx"')
     replay_stats = None
-    if replay != "off" and todo:
+    if replay != "off" and faults is not None:
+        # The kernel rejects record+faults, so a fault-injected sweep
+        # cannot capture traces; degrade the whole phase to kernel runs.
+        replay_stats = {"mode": replay, "points": len(todo),
+                        "skipped": "fault-injection"}
+    elif replay != "off" and todo:
         todo, replay_stats = _try_replay(
             points, todo, granularity, store, ckpt, replay,
             max(0, int(replay_validate)), replay_tolerance, slots,
@@ -759,6 +782,7 @@ def explore(points, granularity="transaction", workers=1,
             points, granularity, workers, todo, store=store,
             point_timeout=point_timeout, retries=retries,
             retry_backoff=retry_backoff, on_result=on_parallel_result,
+            faults=faults,
         )
         if payloads is not None:
             used_workers = workers
@@ -783,7 +807,7 @@ def explore(points, granularity="transaction", workers=1,
         if slots[index] is not None:
             continue
         result = _evaluate_sequential(points[index], granularity,
-                                      store=store)
+                                      store=store, faults=faults)
         slots[index] = result
         if ckpt is not None and result.ok:
             ckpt.record(

@@ -32,6 +32,8 @@ class FaultInjectedError(SimulationError):
     error.
     """
 
+    code = "fault-injected"
+
     def __init__(self, message, fault_stats=None):
         super().__init__(message)
         self.fault_stats = dict(fault_stats or {})

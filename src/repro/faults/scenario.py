@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import json
 
+from ..errors import InputError
 from ..ioutil import atomic_write_json
 
 #: Scenario-file format version.
@@ -50,8 +51,10 @@ PROCESS_FAULT_KINDS = ("stall", "crash")
 CRASH_MODES = ("error", "halt")
 
 
-class FaultScenarioError(Exception):
+class FaultScenarioError(InputError):
     """Raised for malformed or inapplicable fault scenarios."""
+
+    code = "fault-scenario"
 
 
 def _require(data, key, where):

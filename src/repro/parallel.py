@@ -8,7 +8,8 @@ behaviour for free:
 * closures don't pickle, so tasks cross the process boundary as *indices*
   into a payload published before the fork (inherited by the children);
 * a killed worker (OOM, SIGKILL) breaks only its own tasks — the pool is
-  rebuilt with exponential backoff and the lost tasks retried, up to
+  rebuilt with jittered exponential backoff (:mod:`repro.backoff`) and the
+  lost tasks retried, up to
   ``retries`` breakages, after which the survivors are the caller's to run
   sequentially (graceful degradation, never an unhandled
   ``BrokenProcessPool``);
@@ -25,6 +26,8 @@ import concurrent.futures
 import multiprocessing
 import time
 from concurrent.futures.process import BrokenProcessPool
+
+from .backoff import jittered_backoff
 
 # Pre-fork hand-off to worker processes: the parent publishes arbitrary
 # (possibly unpicklable) task context here, forked children inherit it,
@@ -55,7 +58,7 @@ def _kill_pool(pool):
 
 
 def fork_map(func, indices, workers, payload=None, task_timeout=None,
-             retries=2, retry_backoff=0.5, on_result=None):
+             retries=2, retry_backoff=0.5, retry_rng=None, on_result=None):
     """Run ``func(index)`` for every index on a forked process pool.
 
     ``func`` must be a module-level function (pickled by reference); it
@@ -145,9 +148,12 @@ def fork_map(func, indices, workers, payload=None, task_timeout=None,
                 breakages += 1
                 if breakages > retries:
                     break  # degrade: caller evaluates the rest sequentially
-                # Exponential backoff before rebuilding the pool: if workers
-                # died to memory pressure, give the host a moment.
-                time.sleep(retry_backoff * (2 ** (breakages - 1)))
+                # Jittered exponential backoff before rebuilding the pool:
+                # if workers died to memory pressure, give the host a
+                # moment — and desynchronise sibling shards that crashed
+                # off the same event (see repro.backoff).
+                time.sleep(jittered_backoff(retry_backoff, breakages - 1,
+                                            rng=retry_rng))
     finally:
         _fork_payload.clear()
     if not pool_ever_created and not results:

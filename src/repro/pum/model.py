@@ -25,8 +25,13 @@ from __future__ import annotations
 SCHEDULING_POLICIES = ("asap", "alap", "list")
 
 
-class PUMError(Exception):
+from ..errors import InputError
+
+
+class PUMError(InputError):
     """Raised for malformed PUM descriptions."""
+
+    code = "pum"
 
 
 class FunctionalUnit:

@@ -47,6 +47,7 @@ import time
 from contextlib import contextmanager
 
 from .artifacts import content_key, default_store
+from .errors import InputError
 from .estimation.staticest import (
     PROFILE_KIND, REFERENCE_CYCLE_NS, process_comp_cycles, profile_design,
     transfer_cycles,
@@ -72,8 +73,10 @@ __all__ = [
 ]
 
 
-class SearchError(Exception):
+class SearchError(InputError):
     """Invalid search configuration or space."""
+
+    code = "search"
 
 
 class SearchSpace:
@@ -617,7 +620,7 @@ def parse_shard(text):
 def search(space, granularity="transaction", stages="012", keep_top=16,
            rung_fraction=0.05, budget=0, shard=None, workers=1,
            checkpoint=None, point_timeout=None, replay_validate=1,
-           replay_tolerance=0.05):
+           replay_tolerance=0.05, faults=None):
     """Staged search of ``space`` (a :class:`SearchSpace` or a plain list
     of :class:`~repro.explore.DesignPoint`).
 
@@ -638,6 +641,11 @@ def search(space, granularity="transaction", stages="012", keep_top=16,
             scores never touch the checkpoint (they are not exact).
         workers / point_timeout / replay_validate / replay_tolerance:
             forwarded to the underlying :func:`~repro.explore.explore`.
+        faults: optional :class:`~repro.faults.FaultScenario` injected
+            into every simulated point (forwarded to every ``explore``
+            call).  Replay tiers degrade to kernel runs — trace recording
+            is rejected under fault injection — and ``checkpoint`` is
+            refused (perturbed counts must not be cached as clean).
 
     Returns:
         a :class:`SearchResult`; its ``exploration`` contains exact-tier
@@ -660,6 +668,12 @@ def search(space, granularity="transaction", stages="012", keep_top=16,
 
     ckpt = None
     if checkpoint is not None:
+        if faults is not None:
+            raise CheckpointError(
+                "fault-injected searches cannot be checkpointed: the "
+                "perturbed cycle counts would later be restored as clean "
+                "results — drop checkpoint= or faults="
+            )
         ckpt = (
             checkpoint if isinstance(checkpoint, ExplorationCheckpoint)
             else ExplorationCheckpoint(checkpoint, granularity)
@@ -686,7 +700,7 @@ def search(space, granularity="transaction", stages="012", keep_top=16,
                 space.points(survivors), granularity=granularity,
                 workers=workers, point_timeout=point_timeout,
                 replay="approx", replay_validate=replay_validate,
-                replay_tolerance=replay_tolerance,
+                replay_tolerance=replay_tolerance, faults=faults,
             )
             keep = _cut_size(len(survivors), keep_top, rung_fraction)
             ranked = rung.ranked()
@@ -702,7 +716,7 @@ def search(space, granularity="transaction", stages="012", keep_top=16,
             workers=workers, point_timeout=point_timeout,
             checkpoint=ckpt, replay="auto",
             replay_validate=replay_validate,
-            replay_tolerance=replay_tolerance,
+            replay_tolerance=replay_tolerance, faults=faults,
         )
         for result, index in zip(exact.results, finalists):
             result.index = index
@@ -740,7 +754,7 @@ def search(space, granularity="transaction", stages="012", keep_top=16,
                     workers=workers, point_timeout=point_timeout,
                     checkpoint=ckpt, replay="auto",
                     replay_validate=replay_validate,
-                    replay_tolerance=replay_tolerance,
+                    replay_tolerance=replay_tolerance, faults=faults,
                 )
                 for result, index in zip(expansion.results, batch):
                     result.index = index

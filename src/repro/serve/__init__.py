@@ -1,0 +1,38 @@
+"""Estimation-as-a-service: a supervised, chaos-tested serve daemon.
+
+``python -m repro serve --socket /tmp/repro.sock --http 8123`` turns the
+one-shot CLI into a resident service: one warm artifact store, a pool of
+long-lived supervised worker processes, and a small JSON protocol carrying
+the same subcommands the CLI accepts (``estimate`` / ``simulate`` /
+``calibrate`` / ``explore`` / ``search`` / ...).  A served request runs
+*exactly* the one-shot code path inside a worker, so responses are
+bit-identical to the CLI by construction — the robustness machinery around
+them (crash supervision, deadlines, backpressure, circuit breaking) is
+what this package adds.  See docs/robustness.md ("Serving").
+
+Layers:
+
+* :mod:`repro.serve.protocol` — request validation and reply envelopes;
+* :mod:`repro.serve.breaker` — the per-request-kind circuit breaker;
+* :mod:`repro.serve.pool` — the resident supervised worker pool;
+* :mod:`repro.serve.daemon` — the asyncio front end (unix socket NDJSON
+  and localhost HTTP), bounded queue, stats, graceful drain.
+
+The matching client lives in :mod:`repro.client`; the CLI's ``--server``
+flag routes any invocation through it.
+"""
+
+from .breaker import CircuitBreaker
+from .daemon import ServeDaemon, run_daemon
+from .pool import WorkerPool
+from .protocol import CONTROL_KINDS, REQUEST_KINDS, validate_request
+
+__all__ = [
+    "CONTROL_KINDS",
+    "CircuitBreaker",
+    "REQUEST_KINDS",
+    "ServeDaemon",
+    "WorkerPool",
+    "run_daemon",
+    "validate_request",
+]

@@ -1,0 +1,103 @@
+"""Per-request-kind circuit breaker.
+
+The daemon keeps one breaker per request kind.  A kind whose requests keep
+failing at the *serve* level (crashing its worker, blowing its deadline)
+stops being dispatched at all — repeated worker restarts are the single
+most expensive failure mode a daemon has, and one poisoned request kind
+must not starve the healthy ones.
+
+Classic three-state machine:
+
+* **closed** — requests flow; ``threshold`` *consecutive* failures open
+  the breaker.
+* **open** — requests are shed instantly (``circuit-open`` replies) until
+  ``cooldown`` seconds pass.
+* **half-open** — after the cooldown, exactly one trial request is let
+  through.  Success closes the breaker; failure re-opens it for another
+  cooldown.
+
+The breaker is driven from the daemon's single event loop, so it needs no
+locking; ``clock`` is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One kind's failure-shedding state (see the module docstring)."""
+
+    __slots__ = ("threshold", "cooldown", "clock", "state", "failures",
+                 "opened_count", "shed_count", "_opened_at",
+                 "_trial_inflight")
+
+    def __init__(self, threshold=5, cooldown=30.0, clock=time.monotonic):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self.state = CLOSED
+        self.failures = 0        # consecutive serve-level failures
+        self.opened_count = 0    # times the breaker tripped open
+        self.shed_count = 0      # requests rejected while open
+        self._opened_at = 0.0
+        self._trial_inflight = False
+
+    def allow(self):
+        """May a request of this kind be dispatched right now?
+
+        Transitions open → half-open once the cooldown has elapsed, in
+        which case the caller's request *is* the trial.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self.clock() - self._opened_at >= self.cooldown:
+                self.state = HALF_OPEN
+                self._trial_inflight = True
+                return True
+            self.shed_count += 1
+            return False
+        # HALF_OPEN: one trial at a time.
+        if self._trial_inflight:
+            self.shed_count += 1
+            return False
+        self._trial_inflight = True
+        return True
+
+    def record_success(self):
+        """The dispatched request completed at the serve level."""
+        self.failures = 0
+        self._trial_inflight = False
+        self.state = CLOSED
+
+    def record_failure(self):
+        """The dispatched request failed at the serve level."""
+        self.failures += 1
+        self._trial_inflight = False
+        if self.state == HALF_OPEN or self.failures >= self.threshold:
+            self.state = OPEN
+            self._opened_at = self.clock()
+            self.opened_count += 1
+            self.failures = 0
+
+    def as_dict(self):
+        return {
+            "state": self.state,
+            "consecutive_failures": self.failures,
+            "opened": self.opened_count,
+            "shed": self.shed_count,
+        }
+
+    def __repr__(self):
+        return "CircuitBreaker(state=%s, opened=%d, shed=%d)" % (
+            self.state, self.opened_count, self.shed_count,
+        )

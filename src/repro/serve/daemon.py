@@ -1,0 +1,463 @@
+"""The asyncio front end of estimation-as-a-service.
+
+One :class:`ServeDaemon` owns the warm default artifact store, a
+:class:`~repro.serve.pool.WorkerPool`, one circuit breaker per request
+kind, and two listeners funnelling into the same dispatcher:
+
+* a **unix socket** speaking newline-delimited JSON (pipelined: a client
+  may send many requests per connection; replies carry the request id and
+  may interleave);
+* optional **localhost HTTP** (``GET /healthz``, ``GET /stats``,
+  ``POST /rpc`` with a request JSON body).
+
+Admission control runs *before* a request ever reaches the pool:
+
+1. malformed input → ``bad-request`` reply (never crashes a connection);
+2. the kind's circuit breaker is open → ``circuit-open`` reply;
+3. the bounded queue is past its high-water mark (``queue_size``
+   in-flight requests) or the daemon is draining → ``overloaded`` reply.
+
+``SIGTERM``/``SIGINT`` trigger a graceful drain: listeners close, new
+requests get ``overloaded`` replies, in-flight requests finish (bounded
+by ``drain_timeout``), workers are torn down, the socket file unlinked.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import time
+
+from ..errors import (
+    CircuitOpenError,
+    OverloadedError,
+    ProtocolError,
+    ReproError,
+    error_to_json,
+)
+from .breaker import CircuitBreaker
+from .pool import WorkerPool
+from .protocol import (
+    CONTROL_KINDS,
+    decode_line,
+    encode_line,
+    error_reply,
+    ok_reply,
+    request_id,
+    validate_request,
+)
+
+#: Reply codes that count against a kind's circuit breaker.  Overload and
+#: breaker rejections never reach a worker; structured CLI failures inside
+#: a request are *successful executions* — only serve-level damage trips.
+_BREAKER_FAILURE_CODES = frozenset((
+    "worker-crashed", "wall-clock-exceeded", "internal",
+))
+
+_HTTP_STATUS = {
+    "bad-request": 400,
+    "overloaded": 503,
+    "circuit-open": 503,
+    "wall-clock-exceeded": 504,
+}
+
+
+class ServeDaemon:
+    """See the module docstring; construct, then :func:`run_daemon`."""
+
+    def __init__(self, socket_path=None, http_port=None, http_host="127.0.0.1",
+                 workers=2, queue_size=16, deadline=None, crash_retries=2,
+                 breaker_threshold=5, breaker_cooldown=30.0,
+                 restart_backoff=0.1, drain_timeout=30.0, rng=None):
+        if socket_path is None and http_port is None:
+            raise ValueError("serve needs a unix socket path, an HTTP "
+                             "port, or both")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.socket_path = socket_path
+        self.http_host = http_host
+        self.http_port = http_port
+        self.queue_size = queue_size
+        self.deadline = deadline
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.drain_timeout = drain_timeout
+        self.pool = WorkerPool(
+            workers=workers, crash_retries=crash_retries,
+            restart_backoff=restart_backoff, rng=rng,
+        )
+        self._breakers = {}
+        self._servers = []
+        self._stop = None  # asyncio.Event, created on the loop
+        self._draining = False
+        self._in_flight = 0
+        self._started_at = time.monotonic()
+        self.counters = {
+            "total": 0,
+            "ok": 0,
+            "errors": 0,
+            "bad_request": 0,
+            "overloaded": 0,
+            "circuit_open": 0,
+            "deadline_exceeded": 0,
+            "worker_crashed": 0,
+            "by_kind": {},
+            "queue_high_water": 0,
+            "corrupt_entries": 0,
+        }
+
+    # -- stats ---------------------------------------------------------------
+
+    def _breaker(self, kind):
+        breaker = self._breakers.get(kind)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                threshold=self.breaker_threshold,
+                cooldown=self.breaker_cooldown,
+            )
+            self._breakers[kind] = breaker
+        return breaker
+
+    def stats(self):
+        """The ``/stats`` payload: admission counters, pool supervision
+        counters, breaker states, and artifact-store health."""
+        from ..artifacts import default_store
+
+        pool = self.pool.stats()
+        store = default_store()
+        artifacts = {
+            "corrupt_entries": self.counters["corrupt_entries"],
+            "store": store.counters() if store is not None else None,
+        }
+        return {
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "draining": self._draining,
+            "requests": {
+                key: value for key, value in self.counters.items()
+                if key not in ("queue_high_water", "corrupt_entries")
+            },
+            "queue": {
+                "depth": self._in_flight,
+                "capacity": self.queue_size,
+                "high_water": self.counters["queue_high_water"],
+            },
+            "pool": pool,
+            "breakers": {
+                kind: breaker.as_dict()
+                for kind, breaker in sorted(self._breakers.items())
+            },
+            "artifacts": artifacts,
+        }
+
+    def healthz(self):
+        alive = len(self.pool.worker_pids())
+        return {
+            "status": "draining" if self._draining
+            else ("ok" if alive else "degraded"),
+            "workers_alive": alive,
+            "uptime_seconds": time.monotonic() - self._started_at,
+        }
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _control(self, req_id, kind):
+        if kind == "stats":
+            return ok_reply(req_id, {"stats": self.stats()})
+        if kind == "healthz":
+            return ok_reply(req_id, {"healthz": self.healthz()})
+        return ok_reply(req_id, {"pong": True})
+
+    async def handle_request(self, obj):
+        """One validated-and-admitted request → one reply dict."""
+        self.counters["total"] += 1
+        try:
+            req_id, kind, argv, deadline = validate_request(obj)
+        except ProtocolError as exc:
+            self.counters["bad_request"] += 1
+            self.counters["errors"] += 1
+            return error_reply(request_id(obj), exc)
+        by_kind = self.counters["by_kind"]
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        if kind in CONTROL_KINDS:
+            self.counters["ok"] += 1
+            return self._control(req_id, kind)
+        if self._draining:
+            self.counters["overloaded"] += 1
+            self.counters["errors"] += 1
+            return error_reply(req_id, OverloadedError(
+                "daemon is draining for shutdown"
+            ))
+        breaker = self._breaker(kind)
+        if not breaker.allow():
+            self.counters["circuit_open"] += 1
+            self.counters["errors"] += 1
+            return error_reply(req_id, CircuitOpenError(
+                "circuit breaker for %r is open "
+                "(retry after %.1f s)" % (kind, self.breaker_cooldown)
+            ))
+        if self._in_flight >= self.queue_size:
+            self.counters["overloaded"] += 1
+            self.counters["errors"] += 1
+            return error_reply(req_id, OverloadedError(
+                "request queue is full (%d in flight)" % self._in_flight
+            ))
+        self._in_flight += 1
+        self.counters["queue_high_water"] = max(
+            self.counters["queue_high_water"], self._in_flight,
+        )
+        try:
+            reply = await asyncio.wrap_future(self.pool.submit(
+                kind, argv,
+                deadline if deadline is not None else self.deadline,
+            ))
+        finally:
+            self._in_flight -= 1
+        if reply.get("ok"):
+            breaker.record_success()
+            self.counters["ok"] += 1
+            self.counters["corrupt_entries"] += reply.pop(
+                "corrupt_delta", 0,
+            )
+            return ok_reply(req_id, {
+                key: value for key, value in reply.items() if key != "ok"
+            })
+        self.counters["errors"] += 1
+        code = reply.get("error", {}).get("code")
+        if code == "wall-clock-exceeded":
+            self.counters["deadline_exceeded"] += 1
+        elif code == "worker-crashed":
+            self.counters["worker_crashed"] += 1
+        if code in _BREAKER_FAILURE_CODES:
+            breaker.record_failure()
+        else:
+            breaker.record_success()
+        reply = dict(reply)
+        reply["id"] = req_id
+        return reply
+
+    # -- unix socket (NDJSON) ------------------------------------------------
+
+    async def _handle_ndjson(self, reader, writer):
+        lock = asyncio.Lock()
+        tasks = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(
+                    self._serve_line(line, writer, lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_line(self, line, writer, lock):
+        try:
+            obj = decode_line(line)
+        except ProtocolError as exc:
+            self.counters["total"] += 1
+            self.counters["bad_request"] += 1
+            self.counters["errors"] += 1
+            reply = error_reply(None, exc)
+        else:
+            reply = await self.handle_request(obj)
+        async with lock:
+            try:
+                writer.write(encode_line(reply))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; the work is done either way
+
+    # -- localhost HTTP ------------------------------------------------------
+
+    async def _handle_http(self, reader, writer):
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, path = parts[0].upper(), parts[1]
+            content_length = 0
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = header.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        content_length = int(value.strip())
+                    except ValueError:
+                        content_length = 0
+            body = (
+                await reader.readexactly(content_length)
+                if content_length else b""
+            )
+            status, reply = await self._http_route(method, path, body)
+            payload = encode_line(reply)
+            head = (
+                "HTTP/1.1 %d %s\r\n"
+                "Content-Type: application/json\r\n"
+                "Content-Length: %d\r\n"
+                "Connection: close\r\n\r\n"
+                % (status, "OK" if status == 200 else "Error", len(payload))
+            )
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _http_route(self, method, path, body):
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if method == "GET" and path == "/healthz":
+            return 200, self.healthz()
+        if method == "GET" and path == "/stats":
+            return 200, self.stats()
+        if method == "POST" and path in ("/", "/rpc"):
+            try:
+                obj = decode_line(body)
+            except ProtocolError as exc:
+                self.counters["total"] += 1
+                self.counters["bad_request"] += 1
+                self.counters["errors"] += 1
+                return 400, error_reply(None, exc)
+            reply = await self.handle_request(obj)
+            if reply.get("ok"):
+                return 200, reply
+            code = reply.get("error", {}).get("code")
+            return _HTTP_STATUS.get(code, 500), reply
+        return 404, {"ok": False, "error": error_to_json(
+            ProtocolError("no such endpoint: %s %s" % (method, path))
+        )}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self):
+        """Spawn the pool and bind the listeners (idempotent-unsafe)."""
+        self._stop = asyncio.Event()
+        # Fork the initial resident workers before the listeners exist so
+        # children inherit as little live server state as possible.
+        self.pool.start()
+        if self.socket_path is not None:
+            if os.path.exists(self.socket_path):
+                os.unlink(self.socket_path)  # stale socket from a crash
+            self._servers.append(await asyncio.start_unix_server(
+                self._handle_ndjson, path=self.socket_path,
+            ))
+        if self.http_port is not None:
+            self._servers.append(await asyncio.start_server(
+                self._handle_http, host=self.http_host,
+                port=self.http_port,
+            ))
+
+    @property
+    def http_address(self):
+        """``(host, port)`` actually bound (port 0 resolves here)."""
+        for server in self._servers:
+            for sock in server.sockets or ():
+                name = sock.getsockname()
+                if isinstance(name, tuple):
+                    return name[0], name[1]
+        return None
+
+    def request_shutdown(self):
+        if self._stop is not None:
+            self._stop.set()
+
+    async def wait_stopped(self):
+        await self._stop.wait()
+
+    async def shutdown(self):
+        """Graceful drain: close listeners, finish in-flight, stop pool."""
+        self._draining = True
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            try:
+                await server.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        deadline = time.monotonic() + self.drain_timeout
+        while self._in_flight and time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+        self.pool.stop()
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+
+
+def run_daemon(daemon, out):
+    """Run a :class:`ServeDaemon` until SIGTERM/SIGINT; returns exit code.
+
+    Prints one ``listening`` line per bound endpoint (flushed, so a parent
+    process can wait for readiness) and a final ``drained`` line.
+    """
+    async def _run():
+        await daemon.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, daemon.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass
+        if daemon.socket_path is not None:
+            out.write("repro-serve: listening on unix:%s\n"
+                      % daemon.socket_path)
+        if daemon.http_port is not None:
+            host, port = daemon.http_address
+            out.write("repro-serve: listening on http://%s:%d\n"
+                      % (host, port))
+        out.write("repro-serve: %d workers ready\n"
+                  % len(daemon.pool.worker_pids()))
+        _flush(out)
+        await daemon.wait_stopped()
+        out.write("repro-serve: draining...\n")
+        _flush(out)
+        await daemon.shutdown()
+        stats = daemon.stats()
+        out.write(
+            "repro-serve: drained (%d requests, %d ok, %d errors, "
+            "%d restarts)\n" % (
+                stats["requests"]["total"], stats["requests"]["ok"],
+                stats["requests"]["errors"], stats["pool"]["restarts"],
+            )
+        )
+        _flush(out)
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    except ReproError as exc:
+        out.write("error: %s\n" % exc)
+        return exc.exit_code
+    except KeyboardInterrupt:
+        return 0
+
+
+def _flush(stream):
+    try:
+        stream.flush()
+    except (AttributeError, OSError):
+        pass

@@ -1,0 +1,124 @@
+"""The serve wire protocol: request validation and reply envelopes.
+
+A request is one JSON object (one line on the unix socket; the body of a
+``POST /rpc`` over HTTP)::
+
+    {"id": "r1", "kind": "estimate", "argv": ["app.cmini"], "deadline": 5.0}
+
+``kind`` plus ``argv`` are exactly a CLI invocation (``python -m repro
+<kind> <argv...>``); the worker executes them through the one-shot code
+path, which is what makes served responses bit-identical to the CLI.
+``id`` is echoed verbatim in the reply so clients may pipeline.
+``deadline`` (seconds, optional) bounds the request's execution.
+
+Replies are one JSON object either way::
+
+    {"id": "r1", "ok": true,  "exit_code": 0, "output": "...",
+     "wall_seconds": 0.01}
+    {"id": "r1", "ok": false, "error": {"code": "overloaded",
+     "message": "...", "exit_code": 5}}
+
+``ok: true`` means the request *executed*; its ``exit_code``/``output``
+mirror the CLI (a failed sweep still replies ``ok`` with exit code 4 and
+the CLI's error text in ``output``).  ``ok: false`` is a serve-level
+failure — the taxonomy codes of :mod:`repro.errors`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ProtocolError, error_to_json
+
+#: Subcommands a request may name — the CLI surface minus the daemon
+#: itself and store administration.
+REQUEST_KINDS = frozenset((
+    "calibrate",
+    "disasm",
+    "estimate",
+    "explore",
+    "profile",
+    "pum",
+    "run",
+    "search",
+    "simulate",
+    "tlm",
+))
+
+#: In-daemon control requests (never dispatched to a worker).
+CONTROL_KINDS = frozenset(("healthz", "ping", "stats"))
+
+#: Bound on one encoded request line (a malformed client must not make the
+#: daemon buffer without limit).
+MAX_REQUEST_BYTES = 1 << 20
+
+
+def request_id(obj):
+    """The request's ``id`` if it is echo-safe, else ``None``."""
+    if isinstance(obj, dict):
+        value = obj.get("id")
+        if isinstance(value, (str, int)):
+            return value
+    return None
+
+
+def validate_request(obj):
+    """``(id, kind, argv, deadline)`` of a well-formed request.
+
+    Raises :class:`~repro.errors.ProtocolError` otherwise — the daemon
+    turns that into a ``bad-request`` reply (echoing ``id`` when it was at
+    least echo-safe).
+    """
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be a JSON object")
+    req_id = request_id(obj)
+    kind = obj.get("kind")
+    if not isinstance(kind, str):
+        raise ProtocolError("request needs a string 'kind'")
+    if kind not in REQUEST_KINDS and kind not in CONTROL_KINDS:
+        raise ProtocolError(
+            "unknown kind %r (choose from %s)"
+            % (kind, ", ".join(sorted(REQUEST_KINDS | CONTROL_KINDS)))
+        )
+    argv = obj.get("argv", [])
+    if (not isinstance(argv, list)
+            or any(not isinstance(a, str) for a in argv)):
+        raise ProtocolError("'argv' must be a list of strings")
+    deadline = obj.get("deadline")
+    if deadline is not None:
+        if (isinstance(deadline, bool)
+                or not isinstance(deadline, (int, float))
+                or deadline <= 0):
+            raise ProtocolError("'deadline' must be a positive number")
+        deadline = float(deadline)
+    return req_id, kind, list(argv), deadline
+
+
+def ok_reply(req_id, payload):
+    """The reply envelope for an executed request (``payload`` comes from
+    the worker: exit_code/output/wall_seconds)."""
+    reply = {"id": req_id, "ok": True}
+    reply.update(payload)
+    return reply
+
+
+def error_reply(req_id, exc):
+    """The reply envelope for a serve-level failure."""
+    return {"id": req_id, "ok": False, "error": error_to_json(exc)}
+
+
+def encode_line(obj):
+    """One NDJSON frame (bytes, newline-terminated, key-sorted)."""
+    return (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_line(line):
+    """Parse one NDJSON frame; raises :class:`ProtocolError` on junk."""
+    if len(line) > MAX_REQUEST_BYTES:
+        raise ProtocolError(
+            "request exceeds %d bytes" % MAX_REQUEST_BYTES
+        )
+    try:
+        return json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError("request is not valid JSON: %s" % exc) from None

@@ -32,28 +32,43 @@ import time
 from collections import deque
 
 
-class SimulationError(Exception):
+from ..errors import AbortError
+
+
+class SimulationError(AbortError):
     """Raised for kernel-level failures (deadlock, process error)."""
+
+    code = "simulation"
 
 
 class DeadlockError(SimulationError):
     """Raised when processes remain blocked but no timed event is pending."""
 
+    code = "deadlock"
+
 
 class WatchdogError(SimulationError):
     """Base class for watchdog-triggered aborts (see :class:`Watchdog`)."""
+
+    code = "watchdog"
 
 
 class WallClockExceeded(WatchdogError):
     """The run exceeded the watchdog's real-time budget."""
 
+    code = "wall-clock-exceeded"
+
 
 class HorizonExceeded(WatchdogError):
     """Simulated time passed the watchdog's hard horizon."""
 
+    code = "horizon-exceeded"
+
 
 class LivelockError(WatchdogError):
     """Processes keep activating without simulated time advancing."""
+
+    code = "livelock"
 
 
 class Watchdog:

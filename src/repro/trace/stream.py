@@ -17,10 +17,14 @@ from __future__ import annotations
 
 from array import array
 
+from ..errors import InputError
 
-class TraceError(Exception):
+
+class TraceError(InputError):
     """Raised when a trace cannot serve a requested evaluation (e.g. the
     cache geometry wants a different line size than the trace recorded)."""
+
+    code = "trace"
 
 
 #: Delta base of the first run: streams start "before" any real line so the

@@ -1,0 +1,155 @@
+"""Fault injection composing with the sweep machinery (explore/search).
+
+Resilience sweeps — "how does this platform ranking hold up under a flaky
+bus?" — pass a :class:`FaultScenario` into :func:`repro.explore.explore`
+or :func:`repro.search.search`.  The composition rules under test:
+
+* ``faults=`` reaches every evaluation path (sequential, parallel worker,
+  search stages) and perturbs cycle counts deterministically;
+* the replay fast path **degrades cleanly to kernel runs**: trace
+  recording is rejected under fault injection, so a fault-injected sweep
+  with ``replay="auto"``/``"approx"`` skips the replay phase (recorded in
+  ``replay_stats``) instead of capturing poisoned traces — and still
+  produces results bit-identical to the plain ``replay="off"`` sweep;
+* ``checkpoint=`` is refused outright: fault-perturbed cycle counts must
+  never be restorable as clean results;
+* a crash fault fails its own point (a failed :class:`PointResult`), not
+  the sweep.
+"""
+
+import pytest
+
+from repro.explore import CheckpointError, DesignPoint, explore
+from repro.faults import ChannelFault, FaultScenario, ProcessFault
+from repro.pum import dct_hw, microblaze
+from repro.search import search
+from repro.tlm import Design
+
+CPU_SRC = """
+int buf[8];
+int total;
+int main(void) {
+  for (int f = 0; f < 2; f++) {
+    for (int i = 0; i < 8; i++) buf[i] = f * 8 + i;
+    send(1, buf, 8);
+    recv(2, buf, 8);
+    for (int i = 0; i < 8; i++) total += buf[i];
+  }
+  return total;
+}
+"""
+
+HW_SRC = """
+int data[8];
+void main(void) {
+  for (int f = 0; f < 2; f++) {
+    recv(1, data, 8);
+    for (int i = 0; i < 8; i++) data[i] = data[i] * 3 + 1;
+    send(2, data, 8);
+  }
+}
+"""
+
+
+def _offload_design(name, arbitration=1):
+    def build():
+        design = Design(name)
+        design.add_pe("cpu", microblaze(2048, 2048))
+        design.add_pe("hw0", dct_hw())
+        design.add_bus("bus0", arbitration_cycles=arbitration)
+        design.add_channel(1, "req", "bus0")
+        design.add_channel(2, "rsp", "bus0")
+        design.add_process("sw", CPU_SRC, "main", "cpu")
+        design.add_process("acc", HW_SRC, "main", "hw0")
+        return design
+
+    return build
+
+
+def _points(n=2):
+    return [
+        DesignPoint("arb%d" % arb, _offload_design("arb%d" % arb, arb),
+                    area=arb)
+        for arb in range(1, n + 1)
+    ]
+
+
+def _slow_bus(cycles=50):
+    return FaultScenario("slow-bus", faults=[
+        ChannelFault("delay", "req", cycles=cycles),
+    ])
+
+
+class TestExploreWithFaults:
+    def test_faults_perturb_every_point(self):
+        clean = explore(_points())
+        faulty = explore(_points(), faults=_slow_bus())
+        assert not faulty.failures
+        for c, f in zip(clean.results, faulty.results):
+            assert f.makespan_cycles > c.makespan_cycles
+
+    def test_fault_sweep_is_deterministic(self):
+        first = explore(_points(), faults=_slow_bus())
+        second = explore(_points(), faults=_slow_bus())
+        assert ([r.makespan_cycles for r in first.results]
+                == [r.makespan_cycles for r in second.results])
+
+    def test_replay_degrades_to_kernel_runs(self):
+        plain = explore(_points(), faults=_slow_bus())
+        for mode in ("auto", "approx"):
+            swept = explore(_points(), replay=mode, faults=_slow_bus())
+            assert swept.replay_stats["mode"] == mode
+            assert swept.replay_stats["skipped"] == "fault-injection"
+            # No point was replayed; every result came from a kernel run
+            # and matches the replay="off" sweep bit-for-bit.
+            assert not any(r.replayed for r in swept.results)
+            assert ([r.makespan_cycles for r in swept.results]
+                    == [r.makespan_cycles for r in plain.results])
+
+    def test_replay_without_faults_untouched(self):
+        # The degrade path must not fire for clean sweeps.
+        swept = explore(_points(), replay="auto")
+        assert "skipped" not in (swept.replay_stats or {})
+
+    def test_checkpoint_is_refused(self, tmp_path):
+        with pytest.raises(CheckpointError) as exc_info:
+            explore(_points(), faults=_slow_bus(),
+                    checkpoint=str(tmp_path / "ckpt.json"))
+        assert "fault-injected" in str(exc_info.value)
+
+    def test_crash_fault_fails_point_not_sweep(self):
+        crash = FaultScenario("fatal", faults=[
+            ProcessFault("crash", "sw", at_cycle=0),
+        ])
+        result = explore(_points(), faults=crash)
+        assert len(result.failures) == len(result.results)
+        for failed in result.failures:
+            assert "injected fault" in failed.error
+        assert result.ranked() == []
+
+    def test_parallel_workers_apply_faults(self):
+        clean = explore(_points(3))
+        faulty = explore(_points(3), workers=2, faults=_slow_bus())
+        assert not faulty.failures
+        for c, f in zip(clean.results, faulty.results):
+            assert f.makespan_cycles > c.makespan_cycles
+        # Same counts as the sequential fault sweep: determinism holds
+        # across the process boundary.
+        sequential = explore(_points(3), faults=_slow_bus())
+        assert ([r.makespan_cycles for r in faulty.results]
+                == [r.makespan_cycles for r in sequential.results])
+
+
+class TestSearchWithFaults:
+    def test_faults_forwarded_to_exact_stage(self):
+        clean = search(_points(2), stages="")
+        faulty = search(_points(2), stages="", faults=_slow_bus())
+        assert not faulty.exploration.failures
+        for c, f in zip(clean.exploration.results,
+                        faulty.exploration.results):
+            assert f.makespan_cycles > c.makespan_cycles
+
+    def test_checkpoint_is_refused(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            search(_points(2), stages="", faults=_slow_bus(),
+                   checkpoint=str(tmp_path / "ckpt.json"))

@@ -1,0 +1,105 @@
+"""Circuit-breaker state machine, driven by an injected clock."""
+
+import pytest
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make(threshold=3, cooldown=10.0):
+    clock = Clock()
+    return CircuitBreaker(threshold=threshold, cooldown=cooldown,
+                          clock=clock), clock
+
+
+class TestClosed:
+    def test_allows_and_stays_closed_under_successes(self):
+        breaker, _ = make()
+        for _ in range(50):
+            assert breaker.allow()
+            breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_failures_must_be_consecutive(self):
+        breaker, _ = make(threshold=3)
+        for _ in range(10):
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()  # resets the streak
+        assert breaker.state == CLOSED
+
+    def test_threshold_consecutive_failures_open(self):
+        breaker, _ = make(threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opened_count == 1
+
+
+class TestOpen:
+    def test_sheds_until_cooldown(self):
+        breaker, clock = make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.shed_count == 2
+        clock.now = 9.9
+        assert not breaker.allow()
+        clock.now = 10.0
+        assert breaker.allow()  # the caller's request is the trial
+        assert breaker.state == HALF_OPEN
+
+
+class TestHalfOpen:
+    def test_single_trial_at_a_time(self):
+        breaker, clock = make(threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        clock.now = 1.0
+        assert breaker.allow()
+        assert not breaker.allow()  # trial in flight
+
+    def test_trial_success_closes(self):
+        breaker, clock = make(threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        clock.now = 1.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trial_failure_reopens_for_full_cooldown(self):
+        breaker, clock = make(threshold=5, cooldown=1.0)
+        for _ in range(5):
+            breaker.record_failure()
+        clock.now = 1.0
+        assert breaker.allow()
+        breaker.record_failure()  # one half-open failure re-opens
+        assert breaker.state == OPEN
+        assert breaker.opened_count == 2
+        clock.now = 1.5
+        assert not breaker.allow()
+        clock.now = 2.0
+        assert breaker.allow()
+
+
+class TestValidationAndStats:
+    @pytest.mark.parametrize("kwargs", [
+        {"threshold": 0}, {"cooldown": 0.0}, {"cooldown": -1.0},
+    ])
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)
+
+    def test_as_dict(self):
+        breaker, _ = make(threshold=2)
+        breaker.record_failure()
+        snapshot = breaker.as_dict()
+        assert snapshot == {"state": CLOSED, "consecutive_failures": 1,
+                            "opened": 0, "shed": 0}

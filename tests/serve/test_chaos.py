@@ -1,0 +1,217 @@
+"""The chaos acceptance test (see docs/robustness.md, "Serving").
+
+One real daemon, one deterministic storm: while a 50-request mixed batch
+runs from 8 concurrent client threads,
+
+* resident workers are SIGKILLed at least 3 times,
+* one on-disk artifact entry has been corrupted,
+* the bounded queue (size 4) is flooded so overload shedding fires.
+
+The promises under test: **zero lost well-formed requests** (every request
+reaches a final reply; overload/circuit shed replies are structured and
+retryable), responses remain **bit-identical** to the one-shot CLI
+(modulo the wall-clock figures some subcommands print — those differ
+between any two runs of the *same* binary), and ``/stats`` accounts for
+the injected damage: worker restarts, crash retries, corrupt artifacts,
+overload sheds.
+"""
+
+import io
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.client import ServeClient
+from repro.errors import ReproError
+
+from .conftest import SOURCE, mask_walltimes
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="serve daemon needs fork",
+)
+
+SECOND_SOURCE = """
+int square(int x) { return x * x; }
+int main(void) {
+  int s = 0;
+  for (int i = 0; i < 60; i++) s += square(i);
+  return s;
+}
+"""
+
+BUSY_SOURCE = """
+int main(void) {
+  int s = 0;
+  for (int i = 0; i < 200000; i++) s += i;
+  return s;
+}
+"""
+
+#: Replies a well-behaved client retries: the daemon shed load, it did
+#: not lose the request.
+RETRYABLE = ("overloaded", "circuit-open")
+
+
+def _one_shot(cache, kind, argv):
+    key = (kind, tuple(argv))
+    if key not in cache:
+        out = io.StringIO()
+        code = cli_main([kind] + list(argv), out=out)
+        cache[key] = (code, out.getvalue())
+    return cache[key]
+
+
+def _build_batch(src_a, src_b, busy):
+    """50 well-formed requests: mixed kinds, including 4 slow ones that
+    occupy workers long enough for the flood to overrun the queue."""
+    rotation = [
+        ("estimate", [src_a]),
+        ("run", [src_b]),
+        ("disasm", [src_a]),
+        ("pum", ["microblaze"]),
+        ("estimate", [src_b]),
+        ("run", [src_a]),
+    ]
+    batch = [rotation[i % len(rotation)] for i in range(46)]
+    batch += [("run", [busy])] * 4
+    return batch
+
+
+def test_chaos_storm_loses_nothing(serve_daemon, tmp_path):
+    art_dir = tmp_path / "artifacts"
+    art_dir.mkdir()
+    src_a = tmp_path / "a.cmini"
+    src_a.write_text(SOURCE)
+    src_b = tmp_path / "b.cmini"
+    src_b.write_text(SECOND_SOURCE)
+    busy = tmp_path / "busy.cmini"
+    busy.write_text(BUSY_SOURCE)
+
+    handle = serve_daemon(
+        "--workers", "2", "--queue-size", "4", "--crash-retries", "3",
+        "--restart-backoff", "0.05", "--breaker-threshold", "50",
+        env={"REPRO_ARTIFACTS_DIR": str(art_dir)},
+    )
+    address = "unix:" + handle.socket_path
+
+    # Warm the disk store through the daemon, then corrupt one entry.
+    # The resident workers are warm now; every worker respawned by the
+    # chaos below forks cold, re-reads the disk store, and must detect
+    # (and survive) the corruption.
+    with ServeClient(address) as client:
+        for src in (src_a, src_b):
+            warm = client.call("estimate", [str(src)])
+            assert warm["ok"] is True and warm["exit_code"] == 0
+    on_disk = sorted(art_dir.rglob("*.json"))
+    assert on_disk, "warmup should have populated the disk store"
+    on_disk[0].write_text("{corrupted-by-chaos-harness")
+
+    expected_cache = {}
+    batch = _build_batch(str(src_a), str(src_b), str(busy))
+    for kind, argv in batch:
+        _one_shot(expected_cache, kind, argv)  # one-shot ground truth
+
+    replies = {}
+    errors = []
+    lock = threading.Lock()
+    pending = list(enumerate(batch))
+    shed_seen = 0
+
+    def client_thread():
+        nonlocal shed_seen
+        with ServeClient(address, timeout=120) as client:
+            while True:
+                with lock:
+                    if not pending:
+                        return
+                    index, (kind, argv) = pending.pop()
+                try:
+                    while True:
+                        reply = client.call(kind, argv)
+                        if (not reply.get("ok")
+                                and reply["error"]["code"] in RETRYABLE):
+                            with lock:
+                                shed_seen += 1
+                            time.sleep(0.05)
+                            continue
+                        break
+                except ReproError as exc:  # pragma: no cover - diagnostics
+                    with lock:
+                        errors.append((index, kind, str(exc)))
+                    return
+                with lock:
+                    replies[index] = (kind, argv, reply)
+
+    def chaos_thread():
+        kills = 0
+        with ServeClient(address, timeout=120) as client:
+            while kills < 3:
+                time.sleep(0.6)
+                stats = client.stats()
+                pids = [w["pid"] for w in stats["pool"]["workers"]
+                        if w["alive"]]
+                if not pids:
+                    continue
+                try:
+                    os.kill(pids[kills % len(pids)], signal.SIGKILL)
+                    kills += 1
+                except ProcessLookupError:
+                    pass
+        return
+
+    workers = [threading.Thread(target=client_thread) for _ in range(8)]
+    chaos = threading.Thread(target=chaos_thread)
+    for thread in workers:
+        thread.start()
+    chaos.start()
+    for thread in workers:
+        thread.join(timeout=600)
+    chaos.join(timeout=120)
+    assert not any(t.is_alive() for t in workers + [chaos])
+
+    # Zero lost well-formed requests: every one of the 50 got a reply.
+    assert not errors, errors
+    assert len(replies) == len(batch)
+
+    # Bit-identical to the one-shot CLI.  run/disasm/pum output is fully
+    # deterministic and must match byte-for-byte; estimate prints elapsed
+    # wall seconds, which differ between ANY two runs, so those figures
+    # (and only those) are masked on both sides.
+    for index, (kind, argv, reply) in sorted(replies.items()):
+        expected_code, expected_output = _one_shot(
+            expected_cache, kind, argv,
+        )
+        assert reply["ok"] is True, (index, kind, reply)
+        assert reply["exit_code"] == expected_code, (index, kind)
+        if kind == "estimate":
+            assert (mask_walltimes(reply["output"])
+                    == mask_walltimes(expected_output)), (index, kind)
+        else:
+            assert reply["output"] == expected_output, (index, kind)
+
+    # Heal: a kill that landed after the batch drained leaves its slot
+    # empty until the next request needs it — supervision is on-demand,
+    # not a babysitting loop.  A few follow-ups force every slot live.
+    with ServeClient(address, timeout=120) as client:
+        for _ in range(6):
+            assert client.call("pum", ["microblaze"])["ok"] is True
+        stats = client.stats()
+        health = client.healthz()
+
+    # /stats accounts for the injected damage.
+    assert stats["pool"]["restarts"] >= 3          # >= 3 SIGKILLs absorbed
+    assert stats["pool"]["retries"] >= 1           # killed mid-request
+    assert stats["artifacts"]["corrupt_entries"] >= 1  # corruption seen
+    if shed_seen:
+        assert stats["requests"]["overloaded"] >= 1
+    assert stats["requests"]["ok"] >= len(batch)
+    assert health["workers_alive"] == 2            # pool healed fully
+
+    # And after all that, the daemon still drains gracefully.
+    code, tail = handle.terminate()
+    assert code == 0
+    assert "drained" in tail

@@ -1,0 +1,174 @@
+"""Supervised worker-pool tests: real forked workers, real SIGKILL.
+
+The pool promises: every submitted request resolves to a reply dict (never
+a raised exception, never a hang); a crashed worker costs a retry, not the
+request; a blown deadline is reported as the watchdog's wall-clock error;
+and counters account for every one of those events.
+"""
+
+import io
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.serve.pool import WorkerPool
+
+from .conftest import SLOW_SOURCE, SOURCE, mask_walltimes
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="worker pool needs fork",
+)
+
+
+@pytest.fixture()
+def pool():
+    active = []
+
+    def _start(**kwargs):
+        kwargs.setdefault("workers", 1)
+        kwargs.setdefault("restart_backoff", 0.01)
+        instance = WorkerPool(**kwargs)
+        instance.start()
+        active.append(instance)
+        return instance
+
+    yield _start
+    for instance in active:
+        instance.stop()
+
+
+@pytest.fixture()
+def slow_file(tmp_path):
+    path = tmp_path / "slow.cmini"
+    path.write_text(SLOW_SOURCE)
+    return str(path)
+
+
+def test_served_reply_is_bit_identical_to_cli(pool, source_file):
+    reply = pool().submit("estimate", [source_file]).result(timeout=60)
+    assert reply["ok"] is True
+    out = io.StringIO()
+    code = cli_main(["estimate", source_file], out=out)
+    assert reply["exit_code"] == code == 0
+    # estimate prints elapsed wall seconds, which differ between ANY two
+    # runs; everything else must match byte-for-byte.
+    assert mask_walltimes(reply["output"]) == mask_walltimes(out.getvalue())
+
+
+def test_cli_errors_are_executions_not_serve_failures(
+        pool, source_file, tmp_path):
+    bad_pum = tmp_path / "bad_pum.json"
+    bad_pum.write_text("{not json")
+    reply = pool().submit(
+        "estimate", [source_file, "--pum-json", str(bad_pum)],
+    ).result(timeout=60)
+    assert reply["ok"] is True  # it *executed*; the CLI result is the answer
+    assert reply["exit_code"] == 2
+    assert "error:" in reply["output"]
+
+
+def test_unstructured_crashes_become_internal_errors(pool):
+    # The one-shot CLI propagates a missing source file as a raw
+    # FileNotFoundError (a bug-shaped failure); served, that surfaces as
+    # a structured internal error instead of killing the worker.
+    instance = pool()
+    reply = instance.submit(
+        "estimate", ["/nonexistent/app.cmini"],
+    ).result(timeout=60)
+    assert reply["ok"] is False
+    assert reply["error"]["code"] == "internal"
+    assert reply["error"]["exit_code"] == 1
+    # ...and the worker survived to serve the next request.
+    follow_up = instance.submit("pum", ["microblaze"]).result(timeout=60)
+    assert follow_up["ok"] is True
+    assert instance.stats()["restarts"] == 0
+
+
+def test_workers_are_resident(pool, source_file):
+    instance = pool(workers=1)
+    first = pool_pids = None
+    for _ in range(3):
+        reply = instance.submit("estimate", [source_file]).result(timeout=60)
+        assert reply["ok"]
+        pool_pids = instance.worker_pids()
+        if first is None:
+            first = pool_pids
+    assert pool_pids == first  # same process served all three
+    assert instance.stats()["served"] == 3
+    assert instance.stats()["restarts"] == 0
+
+
+def test_sigkill_mid_request_is_retried(pool, slow_file):
+    instance = pool(workers=1, crash_retries=2)
+    future = instance.submit("run", [slow_file])
+    time.sleep(0.5)  # let the worker get into the request
+    victim = instance.worker_pids()[0]
+    os.kill(victim, signal.SIGKILL)
+    reply = future.result(timeout=120)
+    assert reply["ok"] is True  # retried on a fresh worker, zero lost
+    assert reply["exit_code"] == 0
+    stats = instance.stats()
+    assert stats["retries"] >= 1
+    assert stats["restarts"] >= 1
+    assert instance.worker_pids() and instance.worker_pids()[0] != victim
+
+
+def test_crash_budget_exhaustion_fails_structurally(pool, slow_file):
+    instance = pool(workers=1, crash_retries=1)
+    future = instance.submit("run", [slow_file])
+    # Kill every worker that picks the request up, beyond the budget.
+    deadline = time.monotonic() + 120
+    while not future.done() and time.monotonic() < deadline:
+        pids = instance.worker_pids()
+        if pids:
+            try:
+                os.kill(pids[0], signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+        time.sleep(0.4)
+    reply = future.result(timeout=10)
+    assert reply["ok"] is False
+    assert reply["error"]["code"] == "worker-crashed"
+    assert reply["error"]["exit_code"] == 5
+    assert instance.stats()["crash_failures"] == 1
+
+
+def test_deadline_reported_as_wall_clock_exceeded(pool, slow_file):
+    instance = pool(workers=1)
+    reply = instance.submit("run", [slow_file], deadline=0.3).result(
+        timeout=60,
+    )
+    assert reply["ok"] is False
+    assert reply["error"]["code"] == "wall-clock-exceeded"
+    assert reply["error"]["exit_code"] == 3  # the watchdog convention
+    # The SIGALRM path caught it inside the worker: no kill needed, and
+    # the same worker keeps serving.
+    assert instance.stats()["deadline_kills"] == 0
+    follow_up = instance.submit("pum", ["microblaze"]).result(timeout=60)
+    assert follow_up["ok"] is True
+
+
+def test_idle_worker_death_is_absorbed(pool, source_file):
+    instance = pool(workers=1)
+    warm = instance.submit("estimate", [source_file]).result(timeout=60)
+    assert warm["ok"]
+    os.kill(instance.worker_pids()[0], signal.SIGKILL)
+    time.sleep(0.2)
+    reply = instance.submit("estimate", [source_file]).result(timeout=60)
+    assert reply["ok"] is True
+    assert mask_walltimes(reply["output"]) == mask_walltimes(warm["output"])
+
+
+def test_stop_fails_pending_requests_instead_of_hanging(slow_file):
+    instance = WorkerPool(workers=1, restart_backoff=0.01)
+    instance.start()
+    blocker = instance.submit("run", [slow_file])
+    queued = [instance.submit("pum", ["microblaze"]) for _ in range(3)]
+    time.sleep(0.3)
+    instance.stop()
+    for future in [blocker] + queued:
+        reply = future.result(timeout=10)  # resolved, not abandoned
+        assert isinstance(reply, dict)

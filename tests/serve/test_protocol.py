@@ -1,0 +1,111 @@
+"""Wire-protocol unit tests: validation, envelopes, framing."""
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError, WorkerCrashedError
+from repro.serve.protocol import (
+    CONTROL_KINDS,
+    MAX_REQUEST_BYTES,
+    REQUEST_KINDS,
+    decode_line,
+    encode_line,
+    error_reply,
+    ok_reply,
+    request_id,
+    validate_request,
+)
+
+
+class TestValidateRequest:
+    def test_minimal_request(self):
+        req_id, kind, argv, deadline = validate_request(
+            {"id": "r1", "kind": "estimate", "argv": ["app.cmini"]}
+        )
+        assert (req_id, kind, argv, deadline) == (
+            "r1", "estimate", ["app.cmini"], None,
+        )
+
+    def test_argv_defaults_empty(self):
+        _, _, argv, _ = validate_request({"kind": "stats"})
+        assert argv == []
+
+    def test_deadline_coerced_to_float(self):
+        *_, deadline = validate_request({"kind": "estimate", "deadline": 3})
+        assert deadline == 3.0 and isinstance(deadline, float)
+
+    @pytest.mark.parametrize("bad", [
+        [], "estimate", 7, None,
+    ])
+    def test_non_object_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            validate_request(bad)
+
+    def test_unknown_kind_rejected_with_choices(self):
+        with pytest.raises(ProtocolError) as exc_info:
+            validate_request({"kind": "fry"})
+        assert "estimate" in str(exc_info.value)
+
+    @pytest.mark.parametrize("argv", ["x", [1], [None], {"a": 1}])
+    def test_bad_argv_rejected(self, argv):
+        with pytest.raises(ProtocolError):
+            validate_request({"kind": "estimate", "argv": argv})
+
+    @pytest.mark.parametrize("deadline", [0, -1, "5", True])
+    def test_bad_deadline_rejected(self, deadline):
+        with pytest.raises(ProtocolError):
+            validate_request({"kind": "estimate", "deadline": deadline})
+
+    def test_request_kinds_match_cli_surface(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = next(a for a in parser._actions
+                   if hasattr(a, "choices") and a.choices)
+        cli_kinds = set(sub.choices)
+        # Every servable kind is a real subcommand; the daemon and store
+        # administration stay out of the served surface.
+        assert REQUEST_KINDS <= cli_kinds
+        assert "serve" not in REQUEST_KINDS
+        assert "artifacts" not in REQUEST_KINDS
+        assert not (REQUEST_KINDS & CONTROL_KINDS)
+
+
+class TestEnvelopes:
+    def test_request_id_echo_safety(self):
+        assert request_id({"id": "a"}) == "a"
+        assert request_id({"id": 3}) == 3
+        assert request_id({"id": ["no"]}) is None
+        assert request_id("junk") is None
+
+    def test_ok_reply_merges_payload(self):
+        reply = ok_reply("r9", {"exit_code": 0, "output": "hi\n"})
+        assert reply == {"id": "r9", "ok": True, "exit_code": 0,
+                         "output": "hi\n"}
+
+    def test_error_reply_carries_taxonomy(self):
+        reply = error_reply("r9", WorkerCrashedError("boom"))
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == "worker-crashed"
+        assert reply["error"]["exit_code"] == 5
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        obj = {"id": "r1", "kind": "estimate", "argv": ["a", "b"]}
+        assert decode_line(encode_line(obj)) == obj
+
+    def test_encode_is_one_sorted_line(self):
+        raw = encode_line({"b": 1, "a": 2})
+        assert raw.endswith(b"\n") and raw.count(b"\n") == 1
+        assert raw.index(b'"a"') < raw.index(b'"b"')
+
+    def test_junk_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"{nope\n")
+
+    def test_oversized_rejected(self):
+        huge = json.dumps({"kind": "x" * MAX_REQUEST_BYTES}).encode()
+        with pytest.raises(ProtocolError):
+            decode_line(huge)

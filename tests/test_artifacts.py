@@ -219,3 +219,191 @@ class TestCacheStatsExport:
         stats.hits = 2
         assert "hits=2" in repr(stats)
         assert "kinds" in repr(ArtifactStore())
+
+
+class TestCorruptionHardening:
+    KIND = "corrupt-test"
+
+    @pytest.fixture(autouse=True)
+    def _kind(self):
+        register_kind(self.KIND, version=1, disk=True)
+
+    def _damage_entries(self, tmp_path, text="{not json"):
+        for path in sorted((tmp_path / self.KIND).iterdir()):
+            path.write_text(text)
+
+    def test_corrupt_entry_is_counted(self, tmp_path):
+        ArtifactStore(directory=str(tmp_path)).put(self.KIND, "a", 1)
+        self._damage_entries(tmp_path)
+        store = ArtifactStore(directory=str(tmp_path))
+        assert store.get(self.KIND, "a") is None
+        assert store.stats(self.KIND).corrupt == 1
+        assert store.corrupt_entries() == 1
+        assert store.counters()[self.KIND]["corrupt"] == 1
+
+    def test_plain_miss_is_not_corrupt(self, tmp_path):
+        store = ArtifactStore(directory=str(tmp_path))
+        assert store.get(self.KIND, "never-stored") is None
+        assert store.stats(self.KIND).corrupt == 0
+        assert store.counters()[self.KIND]["disk_misses"] == 1
+
+    def test_envelope_damage_counts_as_corrupt(self, tmp_path):
+        ArtifactStore(directory=str(tmp_path)).put(self.KIND, "a", 1)
+        self._damage_entries(tmp_path, json.dumps({"format": 999}))
+        store = ArtifactStore(directory=str(tmp_path))
+        assert store.get(self.KIND, "a") is None
+        assert store.stats(self.KIND).corrupt == 1
+
+    def test_warning_logged_once_per_entry(self, tmp_path, caplog):
+        import logging
+
+        ArtifactStore(directory=str(tmp_path)).put(self.KIND, "a", 1)
+        self._damage_entries(tmp_path)
+        store = ArtifactStore(directory=str(tmp_path))
+        with caplog.at_level(logging.WARNING, logger="repro.artifacts"):
+            store.get(self.KIND, "a")
+            store.get(self.KIND, "a")
+        warnings = [r for r in caplog.records
+                    if "corrupt" in r.getMessage()]
+        assert len(warnings) == 1
+        assert "artifacts verify" in warnings[0].getMessage()
+        # The counter still counts every encounter.
+        assert store.stats(self.KIND).corrupt == 2
+
+    def test_corrupt_resets_with_stats(self, tmp_path):
+        ArtifactStore(directory=str(tmp_path)).put(self.KIND, "a", 1)
+        self._damage_entries(tmp_path)
+        store = ArtifactStore(directory=str(tmp_path))
+        store.get(self.KIND, "a")
+        store.clear(self.KIND)
+        assert store.stats(self.KIND).corrupt == 0
+
+
+class TestVerifyStore:
+    KIND = "verify-test"
+
+    @pytest.fixture(autouse=True)
+    def _kind(self):
+        register_kind(self.KIND, version=1, disk=True)
+
+    def _populate(self, tmp_path, n=3):
+        store = ArtifactStore(directory=str(tmp_path))
+        for i in range(n):
+            store.put(self.KIND, "key-%d" % i, {"i": i})
+        return sorted((tmp_path / self.KIND).iterdir())
+
+    def test_clean_store_scans_clean(self, tmp_path):
+        self._populate(tmp_path)
+        report = artifacts.verify_store(str(tmp_path))
+        assert (report.scanned, report.ok) == (3, 3)
+        assert report.bad == [] and report.quarantined == []
+
+    def test_corrupt_entry_quarantined(self, tmp_path):
+        paths = self._populate(tmp_path)
+        paths[0].write_text("{broken")
+        report = artifacts.verify_store(str(tmp_path))
+        assert report.scanned == 3 and report.ok == 2
+        assert len(report.bad) == 1
+        rel, reason = report.bad[0]
+        assert rel.startswith(self.KIND) and "JSON" in reason
+        assert report.quarantined == [rel]
+        # Moved, not deleted: preserved for post-mortems...
+        assert not paths[0].exists()
+        quarantined = tmp_path / artifacts.QUARANTINE_DIR / rel
+        assert quarantined.exists()
+        # ...and the next scan no longer sees it.
+        second = artifacts.verify_store(str(tmp_path))
+        assert (second.scanned, second.ok) == (2, 2)
+
+    def test_quarantine_false_reports_only(self, tmp_path):
+        paths = self._populate(tmp_path)
+        paths[0].write_text("{broken")
+        report = artifacts.verify_store(str(tmp_path), quarantine=False)
+        assert len(report.bad) == 1
+        assert report.quarantined == []
+        assert paths[0].exists()
+
+    def test_filename_key_mismatch_detected(self, tmp_path):
+        paths = self._populate(tmp_path, n=1)
+        data = json.loads(paths[0].read_text())
+        data["key"] = "a-different-key"
+        data_path = paths[0].parent / paths[0].name
+        data_path.write_text(json.dumps(data))
+        report = artifacts.verify_store(str(tmp_path))
+        assert len(report.bad) == 1
+        assert "digest" in report.bad[0][1] or "key" in report.bad[0][1]
+
+    def test_unregistered_kind_skipped_not_flagged(self, tmp_path):
+        self._populate(tmp_path, n=1)
+        alien = tmp_path / "alien-kind"
+        alien.mkdir()
+        (alien / "deadbeef.json").write_text("{}")
+        report = artifacts.verify_store(str(tmp_path))
+        assert report.unknown_kinds == ["alien-kind"]
+        assert report.scanned == 1  # only the registered kind
+
+    def test_missing_directory_is_empty_report(self, tmp_path):
+        report = artifacts.verify_store(str(tmp_path / "nope"))
+        assert report.scanned == 0 and report.bad == []
+
+    def test_as_dict_shape(self, tmp_path):
+        paths = self._populate(tmp_path, n=1)
+        paths[0].write_text("{broken")
+        data = artifacts.verify_store(str(tmp_path)).as_dict()
+        assert data["scanned"] == 1
+        assert data["bad"][0]["reason"]
+        assert data["quarantined"] == data["bad"][0]["path"].split()
+
+
+class TestArtifactsCli:
+    @pytest.fixture(autouse=True)
+    def _kind(self):
+        register_kind("cli-verify-test", version=1, disk=True)
+
+    def _run(self, argv):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_verify_clean_store_exits_zero(self, tmp_path):
+        ArtifactStore(directory=str(tmp_path)).put(
+            "cli-verify-test", "a", 1,
+        )
+        code, text = self._run(["artifacts", "verify", "--dir",
+                                str(tmp_path)])
+        assert code == 0
+        assert "1 ok, 0 bad" in text
+
+    def test_verify_bad_store_exits_partial(self, tmp_path):
+        ArtifactStore(directory=str(tmp_path)).put(
+            "cli-verify-test", "a", 1,
+        )
+        for path in (tmp_path / "cli-verify-test").iterdir():
+            path.write_text("{broken")
+        code, text = self._run(["artifacts", "verify", "--dir",
+                                str(tmp_path)])
+        assert code == 4
+        assert "1 bad" in text
+        assert "quarantined" in text
+
+    def test_verify_no_quarantine_flag(self, tmp_path):
+        ArtifactStore(directory=str(tmp_path)).put(
+            "cli-verify-test", "a", 1,
+        )
+        for path in (tmp_path / "cli-verify-test").iterdir():
+            path.write_text("{broken")
+        code, text = self._run(["artifacts", "verify", "--dir",
+                                str(tmp_path), "--no-quarantine"])
+        assert code == 4
+        assert "quarantined" not in text
+        assert list((tmp_path / "cli-verify-test").iterdir())
+
+    def test_verify_without_directory_is_an_input_error(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARTIFACTS_DIR", raising=False)
+        code, text = self._run(["artifacts", "verify"])
+        assert code == 2
+        assert "error:" in text
