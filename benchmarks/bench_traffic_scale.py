@@ -1,0 +1,263 @@
+"""Traffic-scale benchmark: N decoder instances, heap vs event wheel.
+
+Sweeps N = 1 -> 256 MP3 decoder instances over one platform (profile-replay
+traffic, quantum-granularity op streams) and times the kernel's two event
+schedulers on the identical workload.  The wheel's flat per-event cost is
+the whole point of the indexed scheduler, so the headline assert is a
+>= 4x wall-clock speedup over the binary heap at N = 256.
+
+Correctness rides along at every scale: heap and wheel makespans must be
+bit-identical at each N, per-instance latencies must be identical across
+schedulers and across repeated runs under a fixed traffic seed, and a
+single uncontended instance must reproduce the pinned TLM golden exactly —
+with or without a bus arbitration policy attached (the arbiter's
+uncontended fast path charges the same arithmetic as the plain bus).
+
+CI runs the cheap ``equivalence``/``determinism``/``contention`` tests on
+every push; the N = 256 speedup row is bench-tier only.  Results land in
+``results/BENCH_traffic_scale.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.apps.mp3 import Mp3Params, build_design
+from repro.reporting import Table, fmt_seconds
+from repro.workloads import TrafficSpec, capture_traffic_profile, run_traffic
+
+EVAL_SEED = 7  # matches bench_tlm_speed: pins the goldens below
+ICACHE, DCACHE = 8192, 4096
+FRAMES = 1
+QUANTUM = 64
+
+#: Seed-kernel timed-TLM makespan of the SW variant (1 frame, seed 7) —
+#: a single traffic instance's latency must reproduce it exactly.
+SW_GOLDEN_MAKESPAN = 3528191
+
+#: The sweep; the last point carries the speedup assert.
+SWEEP = (1, 4, 16, 64, 256)
+HIGH_N = 256
+SPEEDUP_FLOOR = 4.0
+
+_rows = {}
+
+
+def _min_wall(runner, rounds=3):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = runner()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _lockstep_spec(n):
+    """All N instances arrive at t=0 — the flash-crowd worst case and the
+    densest same-timestamp batches the wheel can be handed."""
+    return TrafficSpec(n, arrivals="bursty", burst_size=n,
+                       mean_gap_cycles=0.0, seed=1)
+
+
+@pytest.fixture(scope="module")
+def sw_design():
+    return build_design("SW", Mp3Params(), n_frames=FRAMES, seed=EVAL_SEED,
+                        icache_size=ICACHE, dcache_size=DCACHE)[0]
+
+
+@pytest.fixture(scope="module")
+def sw_profile(sw_design):
+    """One recorded decode, replayed by every instance of every run."""
+    return capture_traffic_profile(sw_design, granularity="quantum",
+                                   quantum=QUANTUM)
+
+
+@pytest.fixture(scope="module")
+def hw_design():
+    return build_design("SW+1", Mp3Params(), n_frames=FRAMES, seed=EVAL_SEED,
+                        icache_size=ICACHE, dcache_size=DCACHE)[0]
+
+
+# -- equivalence: scheduler choice changes nothing but wall time ------------
+
+@pytest.mark.parametrize("n", SWEEP[:-1])
+def test_traffic_equivalence_sweep(n, sw_design, sw_profile):
+    """Heap and wheel produce bit-identical results at every N."""
+    spec = _lockstep_spec(n)
+    results = {}
+    for scheduler in ("heap", "wheel"):
+        wall, result = _min_wall(
+            lambda s=scheduler: run_traffic(
+                sw_design, spec, granularity="quantum", quantum=QUANTUM,
+                scheduler=s, profile=sw_profile,
+            ),
+            rounds=1,
+        )
+        results[scheduler] = result
+        _rows[(n, scheduler)] = {
+            "wall": wall,
+            "makespan": result.makespan_cycles,
+            "events": result.kernel_stats["events_scheduled"],
+        }
+    heap, wheel = results["heap"], results["wheel"]
+    assert heap.makespan_cycles == wheel.makespan_cycles
+    assert heap.latencies_cycles == wheel.latencies_cycles
+    assert (heap.kernel_stats["events_scheduled"]
+            == wheel.kernel_stats["events_scheduled"])
+    assert (heap.kernel_stats["activations"]
+            == wheel.kernel_stats["activations"])
+    assert heap.kernel_stats["scheduler"] == "heap"
+    assert wheel.kernel_stats["scheduler"] == "wheel"
+    if n == 1:
+        # One uncontended instance is exactly the recorded decode.
+        assert heap.latencies_cycles == [SW_GOLDEN_MAKESPAN]
+
+
+def test_traffic_equivalence_golden_single(sw_design, sw_profile):
+    """The replay engine is exact: one instance == the pinned TLM golden."""
+    result = run_traffic(sw_design, _lockstep_spec(1), granularity="quantum",
+                         quantum=QUANTUM, profile=sw_profile)
+    assert result.latencies_cycles == [SW_GOLDEN_MAKESPAN]
+    assert result.makespan_cycles == SW_GOLDEN_MAKESPAN
+
+
+def test_traffic_determinism_fixed_seed(sw_design, sw_profile):
+    """Same seed => identical per-instance latencies, across two runs and
+    across both schedulers (the ISSUE's determinism criterion)."""
+    spec = TrafficSpec(32, arrivals="poisson", mean_gap_cycles=5000.0,
+                       seed=42)
+    baseline = None
+    for scheduler in ("heap", "wheel"):
+        for _ in range(2):
+            result = run_traffic(
+                sw_design, spec, granularity="quantum", quantum=QUANTUM,
+                scheduler=scheduler, profile=sw_profile,
+            )
+            if baseline is None:
+                baseline = result.latencies_cycles
+            assert result.latencies_cycles == baseline
+    assert len(set(baseline)) == 1  # no bus => instances don't interact
+
+
+def test_traffic_contention_fastpath_identity(hw_design):
+    """A dynamic arbiter with zero contention is bit-identical to the
+    static bus model: one instance, policy on vs off."""
+    plain = run_traffic(hw_design, _lockstep_spec(1))
+    hw_design.buses["sysbus"].policy = "fifo"
+    try:
+        arbitrated = run_traffic(hw_design, _lockstep_spec(1))
+    finally:
+        hw_design.buses["sysbus"].policy = None
+    assert plain.makespan_cycles == arbitrated.makespan_cycles
+    assert plain.latencies_cycles == arbitrated.latencies_cycles
+    stats = arbitrated.bus_stats["sysbus"]
+    assert stats["queued_grants"] == 0
+    assert stats["grants"] > 0
+    _rows["contention_single"] = {
+        "makespan": arbitrated.makespan_cycles,
+        "grants": stats["grants"],
+    }
+
+
+def test_traffic_contention_under_load(hw_design):
+    """Contended instances queue on the shared bus: deterministic queuing
+    delays, visible in the per-bus counters, identical across schedulers."""
+    spec = _lockstep_spec(8)
+    hw_design.buses["sysbus"].policy = "fifo"
+    try:
+        heap = run_traffic(hw_design, spec, scheduler="heap")
+        wheel = run_traffic(hw_design, spec, scheduler="wheel")
+    finally:
+        hw_design.buses["sysbus"].policy = None
+    assert heap.makespan_cycles == wheel.makespan_cycles
+    assert heap.latencies_cycles == wheel.latencies_cycles
+    stats = heap.bus_stats["sysbus"]
+    assert stats["queued_grants"] > 0
+    assert stats["stall_cycles"] > 0
+    assert heap.makespan_cycles > _rows.get(
+        "contention_single", {"makespan": 0})["makespan"]
+    _rows["contention_loaded"] = {
+        "makespan": heap.makespan_cycles,
+        "queued_grants": stats["queued_grants"],
+        "stall_cycles": stats["stall_cycles"],
+        "utilization": stats["utilization"],
+    }
+
+
+# -- the headline: wheel >= 4x heap at N = 256 ------------------------------
+
+def test_traffic_speedup_high_n(sw_design, sw_profile):
+    spec = _lockstep_spec(HIGH_N)
+    walls = {}
+    results = {}
+    for scheduler in ("heap", "wheel"):
+        walls[scheduler], results[scheduler] = _min_wall(
+            lambda s=scheduler: run_traffic(
+                sw_design, spec, granularity="quantum", quantum=QUANTUM,
+                scheduler=s, profile=sw_profile,
+            ),
+            rounds=3,
+        )
+        _rows[(HIGH_N, scheduler)] = {
+            "wall": walls[scheduler],
+            "makespan": results[scheduler].makespan_cycles,
+            "events": results[scheduler].kernel_stats["events_scheduled"],
+        }
+    assert (results["heap"].makespan_cycles
+            == results["wheel"].makespan_cycles)
+    assert (results["heap"].latencies_cycles
+            == results["wheel"].latencies_cycles)
+    speedup = walls["heap"] / walls["wheel"]
+    _rows["speedup"] = speedup
+    assert speedup >= SPEEDUP_FLOOR, (
+        "event wheel %.2fx over heap at N=%d (need >= %.1fx)"
+        % (speedup, HIGH_N, SPEEDUP_FLOOR)
+    )
+
+
+# -- table + metrics --------------------------------------------------------
+
+def test_render_traffic_scale(tables, metrics):
+    table = Table(
+        ["Instances", "Heap", "Wheel", "Speedup", "Events", "Wheel ev/s"],
+        title="Traffic scale — event wheel vs heap (MP3 SW, quantum sync)",
+    )
+    bench = {"quantum": QUANTUM, "frames": FRAMES}
+    for n in SWEEP:
+        heap = _rows.get((n, "heap"))
+        wheel = _rows.get((n, "wheel"))
+        if not heap or not wheel:
+            continue
+        speedup = heap["wall"] / wheel["wall"] if wheel["wall"] else 0.0
+        ev_s = wheel["events"] / wheel["wall"] if wheel["wall"] else 0.0
+        table.add_row(
+            str(n),
+            fmt_seconds(heap["wall"]),
+            fmt_seconds(wheel["wall"]),
+            "%.2fx" % speedup,
+            str(wheel["events"]),
+            "%.2fM" % (ev_s / 1e6),
+        )
+        bench["n%d_heap_wall" % n] = heap["wall"]
+        bench["n%d_wheel_wall" % n] = wheel["wall"]
+        bench["n%d_events" % n] = wheel["events"]
+        bench["n%d_makespan" % n] = wheel["makespan"]
+        bench["n%d_wheel_events_per_sec" % n] = ev_s
+        bench["n%d_heap_events_per_sec" % n] = (
+            heap["events"] / heap["wall"] if heap["wall"] else 0.0
+        )
+    if "speedup" in _rows:
+        bench["speedup_high_n"] = _rows["speedup"]
+    for key in ("contention_single", "contention_loaded"):
+        if key in _rows:
+            for stat, value in _rows[key].items():
+                bench["%s_%s" % (key, stat)] = value
+    tables["traffic_scale"] = table.render() + (
+        "\n(N lockstep instances of the 1-frame SW decode, quantum sync "
+        "q=%d; identical op streams on both schedulers, makespans "
+        "bit-identical at every N. The N=256 row is best-of-3.)" % QUANTUM
+    )
+    metrics["traffic_scale"] = bench

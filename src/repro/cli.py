@@ -43,6 +43,11 @@ Subcommands:
     ``--faults scenario.json`` injects a deterministic fault scenario;
     ``--max-wall-seconds`` / ``--max-cycles`` / ``--max-stalled`` arm the
     kernel watchdog (see docs/robustness.md).
+    ``--traffic N`` spawns N instances of the design over one shared
+    platform under a seeded arrival process and reports per-instance
+    latency percentiles plus bus-contention counters; ``--scheduler``
+    pins the kernel's event scheduler (heap / indexed event wheel /
+    auto-select — bit-identical results, see docs/performance.md).
 
 Structured failures (malformed PUM / scenario / checkpoint files, watchdog
 aborts, deadlocks) exit non-zero with a one-line message instead of a raw
@@ -212,18 +217,22 @@ def cmd_tlm(args, out):
     from .tlm import generate_tlm, load_design
 
     design = load_design(args.design)
-    model = generate_tlm(
-        design, timed=not args.functional, granularity=args.granularity,
-        engine=args.engine, optimize=not args.no_optimize,
-        quantum=args.quantum,
-    )
     scenario = None
     if args.faults:
         from .faults import load_scenario
 
         scenario = load_scenario(args.faults)
+    if args.traffic:
+        return _run_traffic_cli(args, out, design, scenario)
+    model = generate_tlm(
+        design, timed=not args.functional, granularity=args.granularity,
+        engine=args.engine, optimize=not args.no_optimize,
+        quantum=args.quantum,
+    )
     watchdog = _build_watchdog(args, model.reference_cycle_ns)
-    result = model.run(faults=scenario, watchdog=watchdog)
+    result = model.run(
+        faults=scenario, watchdog=watchdog, scheduler=args.scheduler,
+    )
     out.write("Design %r (%s TLM): makespan %d cycles, simulated in %.3f s\n"
               % (design.name, "functional" if args.functional else "timed",
                  result.makespan_cycles, result.wall_seconds))
@@ -237,6 +246,8 @@ def cmd_tlm(args, out):
         )
     if scenario is not None:
         _write_fault_stats(out, scenario, result.fault_stats)
+    if result.bus_stats:
+        _write_bus_stats(out, result.bus_stats)
     if args.kernel_stats:
         _write_kernel_stats(out, result.kernel_stats)
     if args.gen_stats:
@@ -246,6 +257,49 @@ def cmd_tlm(args, out):
             out, report.stage_seconds, report.stage_hits,
             report.stage_misses,
         )
+    return 0
+
+
+def _run_traffic_cli(args, out, design, scenario):
+    """The ``simulate --traffic N`` path: N instances, one platform."""
+    from .workloads import TrafficSpec, run_traffic
+
+    spec = TrafficSpec(
+        args.traffic, arrivals=args.traffic_arrivals,
+        mean_gap_cycles=args.traffic_gap, burst_size=args.traffic_burst,
+        seed=args.traffic_seed,
+    )
+    # Traffic runs use the TLModel reference cycle; the watchdog's
+    # --max-cycles bound is converted with the same constant.
+    from .tlm.model import REFERENCE_CYCLE_NS
+
+    result = run_traffic(
+        design, spec, granularity=args.granularity, engine=args.engine,
+        optimize=not args.no_optimize, quantum=args.quantum,
+        scheduler=args.scheduler, faults=scenario,
+        watchdog=_build_watchdog(args, REFERENCE_CYCLE_NS),
+    )
+    summary = result.latency_summary()
+    out.write(
+        "Design %r: %d instances (%s arrivals, seed %d): makespan %d "
+        "cycles, simulated in %.3f s\n" % (
+            design.name, result.n_instances, spec.arrivals, spec.seed,
+            result.makespan_cycles, result.wall_seconds,
+        )
+    )
+    out.write(
+        "latency cycles: min %d  p50 %d  p90 %d  p99 %d  max %d  "
+        "(mean %.0f)\n" % (
+            summary["min"], summary["p50"], summary["p90"], summary["p99"],
+            summary["max"], summary["mean"],
+        )
+    )
+    if scenario is not None:
+        _write_fault_stats(out, scenario, result.fault_stats)
+    if result.bus_stats:
+        _write_bus_stats(out, result.bus_stats)
+    if args.kernel_stats:
+        _write_kernel_stats(out, result.kernel_stats)
     return 0
 
 
@@ -281,13 +335,28 @@ def _write_fault_stats(out, scenario, stats):
 
 def _write_kernel_stats(out, stats):
     out.write(
-        "kernel: engine=%s  %d activations, %d events scheduled, "
-        "%d channel fast-path hits\n" % (
-            stats.get("engine", "?"), stats.get("activations", 0),
+        "kernel: engine=%s scheduler=%s  %d activations, %d events "
+        "scheduled, %d channel fast-path hits, %d buckets drained\n" % (
+            stats.get("engine", "?"), stats.get("scheduler", "?"),
+            stats.get("activations", 0),
             stats.get("events_scheduled", 0),
             stats.get("channel_fastpath_hits", 0),
+            stats.get("buckets_drained", 0),
         )
     )
+
+
+def _write_bus_stats(out, bus_stats):
+    for name in sorted(bus_stats):
+        stats = bus_stats[name]
+        out.write(
+            "bus %-12s policy=%-8s %8d grants (%d queued)  "
+            "%10d stall cycles  utilization %.3f\n" % (
+                name, stats.get("policy", "?"), stats.get("grants", 0),
+                stats.get("queued_grants", 0), stats.get("stall_cycles", 0),
+                stats.get("utilization", 0.0),
+            )
+        )
 
 
 def _parse_cache_configs(specs):
@@ -339,6 +408,17 @@ def cmd_explore(args, out):
             params, variant=args.variant, n_frames=args.frames,
             seed=args.seed, icache_size=cache_configs[0][0],
             dcache_size=cache_configs[0][1],
+        )
+    elif args.sweep == "traffic":
+        from .explore import mp3_traffic_points
+
+        points = mp3_traffic_points(
+            params, variant=args.variant, n_frames=args.frames,
+            seed=args.seed, icache_size=cache_configs[0][0],
+            dcache_size=cache_configs[0][1],
+            n_instances=_parse_value_list(
+                args.traffic_instances, int, "--traffic-instances",
+            ),
         )
     else:
         points = mp3_design_points(
@@ -438,6 +518,10 @@ def _search_space_from_args(args):
             args.bus_arbitrations, int, "--bus-arbitrations",
         ),
         cpu_mhz=_parse_value_list(args.cpu_mhz, float, "--cpu-mhz"),
+        traffic=(
+            _parse_value_list(args.traffic, int, "--traffic")
+            if args.traffic else ()
+        ),
     )
 
 
@@ -710,14 +794,20 @@ def build_parser():
     p_exp.add_argument("--retries", type=int, default=2, metavar="N",
                        help="pool rebuilds tolerated after worker crashes "
                             "before degrading to sequential (default: 2)")
-    p_exp.add_argument("--sweep", choices=("mapping", "platform"),
+    p_exp.add_argument("--sweep", choices=("mapping", "platform", "traffic"),
                        default="mapping",
                        help="design space: 'mapping' crosses HW/SW variants "
                             "(default), 'platform' sweeps bus width/"
-                            "arbitration and CPU clock on one variant")
+                            "arbitration and CPU clock on one variant, "
+                            "'traffic' sweeps instance count under bus "
+                            "contention on one variant")
     p_exp.add_argument("--variant", default="SW+2",
-                       help="MP3 mapping variant for --sweep platform "
-                            "(default: SW+2)")
+                       help="MP3 mapping variant for --sweep platform/"
+                            "traffic (default: SW+2)")
+    p_exp.add_argument("--traffic-instances", default="1,4,16",
+                       metavar="N,N,...",
+                       help="instance-count axis for --sweep traffic "
+                            "(default: 1,4,16)")
     p_exp.add_argument("--replay", choices=("off", "auto", "approx"),
                        default="off",
                        help="sim-trace fast path: trace one point per "
@@ -753,6 +843,10 @@ def build_parser():
                         help="bus arbitration-cycles axis (default: 1,2,4)")
     p_srch.add_argument("--cpu-mhz", default="100", metavar="F,F,...",
                         help="CPU clock axis in MHz (default: 100)")
+    p_srch.add_argument("--traffic", default=None, metavar="N,N,...",
+                        help="traffic instance-count axis: those points "
+                             "rank by loaded makespan under bus contention "
+                             "(default: no traffic axis)")
     p_srch.add_argument("--stages", default="012",
                         help="which optional stages run: any combination "
                              "of 0 (static prune), 1 (approx rung), "
@@ -929,6 +1023,29 @@ def build_parser():
     p_tlm.add_argument("--engine", choices=["coroutine", "thread"],
                        default="coroutine",
                        help="process scheduler backend (default: coroutine)")
+    p_tlm.add_argument("--scheduler", choices=["auto", "heap", "wheel"],
+                       default="auto",
+                       help="kernel event scheduler: binary heap, indexed "
+                            "event wheel, or auto-select by process count "
+                            "(default: auto; results are bit-identical)")
+    p_tlm.add_argument("--traffic", type=int, default=0, metavar="N",
+                       help="traffic mode: spawn N instances of the design "
+                            "over one shared platform and report latency "
+                            "percentiles (see docs/performance.md)")
+    p_tlm.add_argument("--traffic-arrivals", choices=["poisson", "bursty"],
+                       default="poisson",
+                       help="arrival process for --traffic (default: "
+                            "poisson)")
+    p_tlm.add_argument("--traffic-gap", type=float, default=1000.0,
+                       metavar="CYCLES",
+                       help="mean inter-arrival (or inter-burst) gap in "
+                            "reference cycles (default: 1000)")
+    p_tlm.add_argument("--traffic-burst", type=int, default=8, metavar="N",
+                       help="arrivals per burst for --traffic-arrivals "
+                            "bursty (default: 8)")
+    p_tlm.add_argument("--traffic-seed", type=int, default=0,
+                       help="arrival-process seed; one seed => identical "
+                            "per-instance latencies, forever (default: 0)")
     p_tlm.add_argument("--no-optimize", action="store_true",
                        help="emit unoptimized generated code (the "
                             "equivalence baseline)")

@@ -317,6 +317,16 @@ def _evaluate_point_index(index):
     point = payload["points"][index]
     design = point.build()
     report = GenerationReport(design.name, True)
+    spec = _traffic_spec_of(point)
+    if spec is not None:
+        result = _evaluate_traffic(
+            point, design, spec, payload["granularity"],
+            store=payload["store"], faults=payload.get("faults"),
+        )
+        if not result.ok:
+            raise RuntimeError(result.error)
+        return (result.makespan_cycles, result.per_process_cycles,
+                result.wall_seconds, report.summary())
     model = generate_tlm(design, timed=True,
                          granularity=payload["granularity"],
                          report=report, store=payload["store"])
@@ -415,6 +425,59 @@ def _prewarm_store(points, indices, granularity, store,
             pass
 
 
+def _traffic_spec_of(point):
+    """The point's :class:`~repro.workloads.TrafficSpec`, or ``None``.
+
+    ``meta["traffic"]`` opts a design point into traffic-mode evaluation
+    (N instances over one shared platform, see :mod:`repro.workloads`);
+    accepted shapes: a TrafficSpec, its ``to_dict`` form, or a bare
+    instance count (search axes sweep plain integers).
+    """
+    spec = point.meta.get("traffic")
+    if spec is None:
+        return None
+    from .workloads import TrafficSpec
+
+    if isinstance(spec, TrafficSpec):
+        return spec
+    if isinstance(spec, dict):
+        return TrafficSpec.from_dict(spec)
+    return TrafficSpec(int(spec), arrivals="bursty",
+                       burst_size=max(1, int(spec)), mean_gap_cycles=0.0)
+
+
+def _evaluate_traffic(point, design, spec, granularity, store=None,
+                      faults=None):
+    """Traffic-mode evaluation of one *prebuilt* design.
+
+    The makespan is the traffic run's first-arrival-to-last-completion
+    span; per-process cycles are the per-instance latencies (keyed
+    ``instance#i``), so rankings and checkpoints reuse the TLM plumbing
+    unchanged.
+    """
+    from .workloads import run_traffic
+
+    wall_start = time.perf_counter()
+    try:
+        traffic = run_traffic(design, spec, granularity=granularity,
+                              store=store, faults=faults)
+    except Exception as exc:
+        return PointResult(
+            point,
+            wall_seconds=time.perf_counter() - wall_start,
+            error="%s: %s" % (type(exc).__name__, exc),
+        )
+    return PointResult(
+        point,
+        wall_seconds=time.perf_counter() - wall_start,
+        makespan_cycles=traffic.makespan_cycles,
+        per_process_cycles={
+            "instance#%d" % i: latency
+            for i, latency in enumerate(traffic.latencies_cycles)
+        },
+    )
+
+
 def _evaluate_with_trace(point, design, granularity, store=None):
     """In-process evaluation of one *prebuilt* design with trace capture.
 
@@ -443,6 +506,10 @@ def _evaluate_with_trace(point, design, granularity, store=None):
 
 def _evaluate_design(point, design, granularity, store=None, faults=None):
     """In-process evaluation of one *prebuilt* design (no capture)."""
+    spec = _traffic_spec_of(point)
+    if spec is not None:
+        return _evaluate_traffic(point, design, spec, granularity,
+                                 store=store, faults=faults)
     wall_start = time.perf_counter()
     report = GenerationReport(point.name, True)
     try:
@@ -638,6 +705,16 @@ def _try_replay(points, todo, granularity, store, ckpt, mode, validate_n,
 def _evaluate_sequential(point, granularity, store=None, faults=None):
     """In-process evaluation of one point; never raises for point-local
     failures (returns a failed :class:`PointResult` instead)."""
+    spec = _traffic_spec_of(point)
+    if spec is not None:
+        try:
+            design = point.build()
+        except Exception as exc:
+            return PointResult(
+                point, error="%s: %s" % (type(exc).__name__, exc),
+            )
+        return _evaluate_traffic(point, design, spec, granularity,
+                                 store=store, faults=faults)
     wall_start = time.perf_counter()
     report = GenerationReport(point.name, True)
     try:
@@ -767,10 +844,31 @@ def explore(points, granularity="transaction", workers=1,
         replay_stats = {"mode": replay, "points": len(todo),
                         "skipped": "fault-injection"}
     elif replay != "off" and todo:
-        todo, replay_stats = _try_replay(
-            points, todo, granularity, store, ckpt, replay,
-            max(0, int(replay_validate)), replay_tolerance, slots,
-        )
+        # Traffic-mode points are never replayed: trace capture refuses
+        # load-dependent arbitration, and replaying a single-instance
+        # trace would erase exactly the contention being measured.
+        traffic_todo = [
+            i for i in todo if _traffic_spec_of(points[i]) is not None
+        ]
+        replayable = [
+            i for i in todo if _traffic_spec_of(points[i]) is None
+        ]
+        todo = traffic_todo
+        if replayable:
+            unresolved, replay_stats = _try_replay(
+                points, replayable, granularity, store, ckpt, replay,
+                max(0, int(replay_validate)), replay_tolerance, slots,
+            )
+            todo = sorted(unresolved + traffic_todo)
+        else:
+            replay_stats = {"mode": replay, "points": 0,
+                            "traces_captured": 0, "traces_reused": 0,
+                            "replayed_exact": 0, "replayed_approx": 0,
+                            "simulated": 0, "validated": 0, "fallbacks": 0,
+                            "vectorized": 0, "scalar": 0,
+                            "skipped": "traffic-mode points"}
+        if traffic_todo and replay_stats is not None:
+            replay_stats["traffic_points"] = len(traffic_todo)
 
     used_workers = 1
     if workers > 1 and len(todo) > 1:
@@ -894,4 +992,54 @@ def mp3_platform_points(params=None, variant="SW+2", n_frames=1, seed=7,
                     meta={"variant": variant, "bus_width": width,
                           "bus_arbitration": arbitration, "cpu_mhz": mhz},
                 ))
+    return points
+
+
+def mp3_traffic_points(params=None, variant="SW+2", n_frames=1, seed=7,
+                       icache_size=8 * 1024, dcache_size=4 * 1024,
+                       n_instances=(1, 4, 16), arrivals="poisson",
+                       mean_gap_cycles=1000.0, burst_size=8, traffic_seed=0,
+                       policy="fifo", memory_model=None, branch_model=None):
+    """A *traffic* sweep over one MP3 mapping: instance count under a
+    seeded arrival process, platform held fixed.
+
+    Each point simulates ``n`` decoder instances over one shared platform
+    (``meta["traffic"]`` routes evaluation through
+    :func:`repro.workloads.run_traffic`); ``policy`` arms every bus with a
+    dynamic arbiter so instances contend with real queuing delays
+    (``None`` keeps the static bus model).  Rankings then answer capacity
+    questions — how much load the platform absorbs before the makespan
+    knee — instead of single-run latency questions.
+    """
+    from .apps.mp3 import build_design
+    from .apps.mp3.source import VARIANT_MAPPINGS
+
+    points = []
+    for n in n_instances:
+        def build(n=n):
+            design, _ = build_design(
+                variant, params, n_frames=n_frames, seed=seed,
+                icache_size=icache_size, dcache_size=dcache_size,
+                memory_model=memory_model, branch_model=branch_model,
+            )
+            if policy is not None:
+                for bus in design.buses.values():
+                    bus.policy = policy
+            return design
+
+        points.append(DesignPoint(
+            "%s x%d %s" % (variant, n, arrivals),
+            build,
+            area=len(VARIANT_MAPPINGS[variant]),
+            meta={
+                "variant": variant,
+                "traffic": {
+                    "n_instances": n,
+                    "arrivals": arrivals,
+                    "mean_gap_cycles": mean_gap_cycles,
+                    "burst_size": burst_size,
+                    "seed": traffic_seed,
+                },
+            },
+        ))
     return points

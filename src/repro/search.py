@@ -844,7 +844,7 @@ def merge_shard_results(space_or_points, paths, output=None,
 def mp3_product_space(params=None, variants=("SW+2",), n_frames=1, seed=7,
                       icache_sizes=(8 * 1024,), dcache_sizes=(4 * 1024,),
                       bus_widths=(1, 2, 4), bus_arbitrations=(1, 2, 4),
-                      cpu_mhz=(100.0,)):
+                      cpu_mhz=(100.0,), traffic=(), traffic_policy="fifo"):
     """The MP3 case study as a :class:`SearchSpace` product.
 
     Variant and cache geometry are design axes (one delay group per
@@ -852,6 +852,13 @@ def mp3_product_space(params=None, variants=("SW+2",), n_frames=1, seed=7,
     axes.  Sources are built once per variant and shared by every point —
     assembling one design costs microseconds, so even 10^4-10^6-point
     spaces enumerate cheaply.
+
+    A non-empty ``traffic`` adds an instance-count design axis: those
+    points evaluate via :func:`repro.workloads.run_traffic` (N lockstep
+    instances contending on buses armed with ``traffic_policy``), so the
+    search ranks platforms by loaded makespan instead of single-run
+    makespan.  Traffic points always simulate — the replay tiers skip
+    them, as recorded traces cannot reproduce load-dependent arbitration.
     """
     from .apps.mp3 import Mp3Params
     from .apps.mp3.designs import build_design
@@ -876,22 +883,27 @@ def mp3_product_space(params=None, variants=("SW+2",), n_frames=1, seed=7,
         for bus in design.buses.values():
             bus.words_per_cycle = meta["bus_width"]
             bus.arbitration_cycles = meta["bus_arb"]
+            if meta.get("traffic") and traffic_policy is not None:
+                bus.policy = traffic_policy
         design.pes["cpu"].pum.frequency_mhz = meta["cpu_mhz"]
         return design
 
     def area(meta):
         return len(VARIANT_MAPPINGS[meta["variant"]])
 
+    axes = [
+        ("variant", tuple(variants)),
+        ("icache", tuple(icache_sizes)),
+        ("dcache", tuple(dcache_sizes)),
+        ("bus_width", tuple(bus_widths)),
+        ("bus_arb", tuple(bus_arbitrations)),
+        ("cpu_mhz", tuple(cpu_mhz)),
+    ]
+    if traffic:
+        axes.append(("traffic", tuple(traffic)))
     return SearchSpace(
         "mp3",
-        [
-            ("variant", tuple(variants)),
-            ("icache", tuple(icache_sizes)),
-            ("dcache", tuple(dcache_sizes)),
-            ("bus_width", tuple(bus_widths)),
-            ("bus_arb", tuple(bus_arbitrations)),
-            ("cpu_mhz", tuple(cpu_mhz)),
-        ],
+        axes,
         build,
         freq_axes={"cpu_mhz": "cpu"},
         bus_width_axis="bus_width",

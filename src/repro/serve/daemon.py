@@ -89,6 +89,9 @@ class ServeDaemon:
             restart_backoff=restart_backoff, rng=rng,
         )
         self._breakers = {}
+        #: kernel/contention totals aggregated from worker sim_delta
+        #: replies (see repro.simkernel.SIM_TOTALS for the keys)
+        self.sim_totals = {}
         self._servers = []
         self._stop = None  # asyncio.Event, created on the loop
         self._draining = False
@@ -149,7 +152,19 @@ class ServeDaemon:
                 for kind, breaker in sorted(self._breakers.items())
             },
             "artifacts": artifacts,
+            "simulation": self._simulation_stats(),
         }
+
+    def _simulation_stats(self):
+        """Aggregated kernel/contention counters from worker replies:
+        every simulation any worker ran for this daemon, whatever the
+        request kind (simulate, traffic, explore, search)."""
+        sim = dict(self.sim_totals)
+        wall = sim.get("wall_seconds", 0.0)
+        sim["events_per_second"] = (
+            sim.get("events_scheduled", 0) / wall if wall else 0.0
+        )
+        return sim
 
     def healthz(self):
         alive = len(self.pool.worker_pids())
@@ -220,6 +235,11 @@ class ServeDaemon:
             self.counters["corrupt_entries"] += reply.pop(
                 "corrupt_delta", 0,
             )
+            sim_delta = reply.pop("sim_delta", None)
+            if sim_delta:
+                totals = self.sim_totals
+                for key, value in sim_delta.items():
+                    totals[key] = totals.get(key, 0) + value
             return ok_reply(req_id, {
                 key: value for key, value in reply.items() if key != "ok"
             })

@@ -105,10 +105,11 @@ def _execute(kind, argv, deadline):
     """
     from .. import cli
     from ..artifacts import default_store
-    from ..simkernel import WallClockExceeded
+    from ..simkernel import WallClockExceeded, sim_totals_snapshot
 
     store = default_store()
     corrupt_before = store.corrupt_entries() if store is not None else 0
+    sim_before = sim_totals_snapshot()
     out = io.StringIO()
     start = time.perf_counter()
     if deadline is not None:
@@ -128,6 +129,8 @@ def _execute(kind, argv, deadline):
     finally:
         if deadline is not None:
             signal.setitimer(signal.ITIMER_REAL, 0)
+    from ..simkernel import sim_totals_delta
+
     corrupt_after = store.corrupt_entries() if store is not None else 0
     return {
         "ok": True,
@@ -135,6 +138,9 @@ def _execute(kind, argv, deadline):
         "output": out.getvalue(),
         "wall_seconds": time.perf_counter() - start,
         "corrupt_delta": corrupt_after - corrupt_before,
+        # What this request's simulations did to the worker's kernel and
+        # contention totals; the daemon aggregates these for /stats.
+        "sim_delta": sim_totals_delta(sim_before),
     }
 
 

@@ -1,6 +1,13 @@
 """Transaction-level platform modelling: designs, the TLM generator and the
 executable model."""
 
+from .contention import (
+    POLICIES,
+    ArbitratedBus,
+    ContentionError,
+    build_bus,
+    collect_bus_stats,
+)
 from .generator import (
     GenerationReport,
     compile_process,
@@ -19,17 +26,22 @@ from .serialize import (
 )
 
 __all__ = [
+    "ArbitratedBus",
     "BusDecl",
     "ChannelBinding",
     "ChannelDecl",
+    "ContentionError",
     "Design",
     "GenerationReport",
     "PEDecl",
+    "POLICIES",
     "PlatformError",
     "ProcessDecl",
     "ProcessResult",
     "TLModel",
     "TLMResult",
+    "build_bus",
+    "collect_bus_stats",
     "compile_process",
     "design_from_dict",
     "design_from_json",

@@ -23,16 +23,21 @@ from __future__ import annotations
 import time
 
 from ..simkernel import (
-    Bus,
     BusChannel,
     ChannelMap,
     Kernel,
     SimulationError,
     record_channel_map,
 )
+from ..simkernel.kernel import SIM_TOTALS
 from ..codegen.runtime import ProcessContext, RecordingContext
+from .contention import build_bus, collect_bus_stats
 
 ENGINES = ("coroutine", "thread")
+
+#: One reference cycle in simulated nanoseconds (100 MHz reference clock);
+#: every makespan-in-cycles conversion in the repo divides by this.
+REFERENCE_CYCLE_NS = 10.0
 
 
 class ChannelBinding:
@@ -81,7 +86,8 @@ class TLMResult:
     """Outcome of one TLM simulation."""
 
     def __init__(self, design_name, timed, end_time_ns, wall_seconds,
-                 processes, cycle_ns, kernel_stats=None, fault_stats=None):
+                 processes, cycle_ns, kernel_stats=None, fault_stats=None,
+                 bus_stats=None):
         self.design_name = design_name
         self.timed = timed
         self.end_time_ns = end_time_ns
@@ -89,11 +95,16 @@ class TLMResult:
         self.processes = processes  # name -> ProcessResult
         self.cycle_ns = cycle_ns
         #: scheduler counters of the run (``activations``,
-        #: ``events_scheduled``, ``channel_fastpath_hits``, ``engine``)
+        #: ``events_scheduled``, ``channel_fastpath_hits``, ``scheduler``,
+        #: ``engine``)
         self.kernel_stats = kernel_stats or {}
         #: fault-injection counters when the run had a
         #: :class:`~repro.faults.FaultScenario` attached (``{}`` otherwise)
         self.fault_stats = fault_stats or {}
+        #: per-bus contention counters (bus name -> dict with ``grants``,
+        #: ``stall_cycles``, ``utilization``, ...) for every bus with a
+        #: dynamic arbitration policy (``{}`` for purely static designs)
+        self.bus_stats = bus_stats or {}
 
     @property
     def makespan_cycles(self):
@@ -132,7 +143,8 @@ class TLModel:
     """A generated, simulatable transaction-level model."""
 
     def __init__(self, design, timed, granularity="transaction",
-                 reference_cycle_ns=10.0, engine="coroutine", quantum=None):
+                 reference_cycle_ns=REFERENCE_CYCLE_NS, engine="coroutine",
+                 quantum=None):
         if engine not in ENGINES:
             raise ValueError("engine must be one of %s" % (ENGINES,))
         self.design = design
@@ -150,7 +162,8 @@ class TLModel:
 
     # -- execution -----------------------------------------------------------
 
-    def run(self, until=None, faults=None, watchdog=None, record=None):
+    def run(self, until=None, faults=None, watchdog=None, record=None,
+            scheduler="auto"):
         """Simulate the model once; returns a :class:`TLMResult`.
 
         Each call builds a fresh kernel and fresh per-process global stores,
@@ -168,21 +181,26 @@ class TLModel:
                 run then logs each process's applied delay segments and
                 channel operations (for :mod:`repro.simtrace` replay).
                 ``None`` (default) instantiates no recording proxy at all.
+            scheduler: kernel event-queue backend — ``"auto"`` (default),
+                ``"heap"`` or ``"wheel"``; activation order (and therefore
+                every estimate) is bit-identical across all three.
         """
         if record is not None and faults is not None:
             raise SimulationError(
                 "cannot record a simulation trace of a fault-injected run"
             )
-        kernel = Kernel()
+        if record is not None and self.design.has_dynamic_arbitration():
+            raise SimulationError(
+                "cannot record a simulation trace of design %r: dynamic "
+                "bus arbitration makes grant order load-dependent, so a "
+                "recorded per-process timing decomposition would not "
+                "replay faithfully" % self.design.name
+            )
+        kernel = Kernel(scheduler=scheduler)
         channel_map = ChannelMap()
         buses = {}
         for name, bus_decl in self.design.buses.items():
-            buses[name] = Bus(
-                kernel, name,
-                cycle_ns=bus_decl.cycle_ns,
-                words_per_cycle=bus_decl.words_per_cycle,
-                arbitration_cycles=bus_decl.arbitration_cycles,
-            )
+            buses[name] = build_bus(kernel, bus_decl)
         for chan_id, chan_decl in self.design.channels.items():
             channel_map.add(
                 chan_id,
@@ -262,6 +280,10 @@ class TLModel:
             )
         stats = kernel.kernel_stats()
         stats["engine"] = self.engine
+        bus_stats = collect_bus_stats(buses)
+        for per_bus in bus_stats.values():
+            SIM_TOTALS["bus_grants"] += per_bus["grants"]
+            SIM_TOTALS["bus_stall_cycles"] += per_bus["stall_cycles"]
         return TLMResult(
             self.design.name,
             self.timed,
@@ -271,6 +293,7 @@ class TLModel:
             self.reference_cycle_ns,
             kernel_stats=stats,
             fault_stats=active.counters() if active is not None else None,
+            bus_stats=bus_stats,
         )
 
     @staticmethod

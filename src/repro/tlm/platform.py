@@ -41,18 +41,32 @@ class PEDecl:
 
 
 class BusDecl:
-    """A shared bus: width and arbitration overhead."""
+    """A shared bus: width, static arbitration overhead and (optionally) a
+    dynamic grant policy.
 
-    __slots__ = ("name", "words_per_cycle", "arbitration_cycles", "cycle_ns")
+    ``policy`` is ``None`` for the legacy static model (every transaction
+    charges ``arbitration_cycles``, simultaneous masters retry-poll), or one
+    of ``"fifo"`` / ``"priority"`` / ``"rr"`` to attach an
+    :class:`~repro.tlm.contention.ArbitratedBus` with queued grants and real
+    queuing delays.  ``priorities`` (master name -> int, lower = more
+    urgent) only matters for the ``"priority"`` policy.
+    """
+
+    __slots__ = ("name", "words_per_cycle", "arbitration_cycles", "cycle_ns",
+                 "policy", "priorities")
 
     def __init__(self, name, words_per_cycle=1, arbitration_cycles=2,
-                 cycle_ns=10.0):
+                 cycle_ns=10.0, policy=None, priorities=None):
         self.name = name
         self.words_per_cycle = words_per_cycle
         self.arbitration_cycles = arbitration_cycles
         self.cycle_ns = cycle_ns
+        self.policy = policy
+        self.priorities = dict(priorities) if priorities else {}
 
     def __repr__(self):
+        if self.policy is not None:
+            return "BusDecl(%r, policy=%r)" % (self.name, self.policy)
         return "BusDecl(%r)" % self.name
 
 
@@ -116,13 +130,20 @@ class Design:
         return self.pes[name]
 
     def add_bus(self, name, words_per_cycle=1, arbitration_cycles=2,
-                cycle_ns=10.0):
+                cycle_ns=10.0, policy=None, priorities=None):
         if name in self.buses:
             raise PlatformError("duplicate bus %r" % name)
         self.buses[name] = BusDecl(
-            name, words_per_cycle, arbitration_cycles, cycle_ns
+            name, words_per_cycle, arbitration_cycles, cycle_ns,
+            policy=policy, priorities=priorities,
         )
         return self.buses[name]
+
+    def has_dynamic_arbitration(self):
+        """True when any bus resolves contention with a dynamic arbiter
+        (grant order then depends on run-time load — see
+        :mod:`repro.tlm.contention`)."""
+        return any(bus.policy is not None for bus in self.buses.values())
 
     def add_channel(self, chan_id, name, bus_name):
         if chan_id in self.channels:

@@ -34,12 +34,19 @@ def design_to_dict(design):
             }
         data["pes"].append(entry)
     for bus in design.buses.values():
-        data["buses"].append({
+        entry = {
             "name": bus.name,
             "words_per_cycle": bus.words_per_cycle,
             "arbitration_cycles": bus.arbitration_cycles,
             "cycle_ns": bus.cycle_ns,
-        })
+        }
+        # Dynamic arbitration is serialised only when set, so designs
+        # saved by older versions round-trip byte-identically.
+        if bus.policy is not None:
+            entry["policy"] = bus.policy
+            if bus.priorities:
+                entry["priorities"] = dict(bus.priorities)
+        data["buses"].append(entry)
     for chan in design.channels.values():
         data["channels"].append({
             "id": chan.chan_id,
@@ -76,6 +83,8 @@ def design_from_dict(data):
             words_per_cycle=bus.get("words_per_cycle", 1),
             arbitration_cycles=bus.get("arbitration_cycles", 2),
             cycle_ns=bus.get("cycle_ns", 10.0),
+            policy=bus.get("policy"),
+            priorities=bus.get("priorities"),
         )
     for chan in data.get("channels", []):
         design.add_channel(chan["id"], chan["name"], chan["bus"])

@@ -1,5 +1,24 @@
 """Deterministic synthetic workload generators."""
 
 from .mp3frames import FrameSet, make_frames
+from .traffic import (
+    ARRIVALS,
+    TrafficError,
+    TrafficProfile,
+    TrafficResult,
+    TrafficSpec,
+    capture_traffic_profile,
+    run_traffic,
+)
 
-__all__ = ["FrameSet", "make_frames"]
+__all__ = [
+    "ARRIVALS",
+    "FrameSet",
+    "TrafficError",
+    "TrafficProfile",
+    "TrafficResult",
+    "TrafficSpec",
+    "capture_traffic_profile",
+    "make_frames",
+    "run_traffic",
+]

@@ -356,3 +356,66 @@ class TestServedEndToEnd:
         assert all(w["alive"] for w in workers)
         assert sum(w["served"] for w in workers) >= 3
         assert stats["pool"]["restarts"] == 0
+
+
+class TestSimulationStats:
+    """Aggregated kernel/contention totals from worker sim deltas."""
+
+    REPLY = {"ok": True, "exit_code": 0, "output": "", "wall_seconds": 0.0,
+             "corrupt_delta": 0}
+
+    def _reply(self, **sim_delta):
+        reply = dict(self.REPLY)
+        reply["sim_delta"] = sim_delta
+        return reply
+
+    def test_deltas_accumulate_across_requests(self):
+        daemon = make_daemon()
+        daemon.pool.replies = [
+            self._reply(runs=1, events_scheduled=100, activations=90,
+                        wall_seconds=0.5, bus_stall_cycles=7),
+            self._reply(runs=1, events_scheduled=300, activations=250,
+                        wall_seconds=0.5, bus_stall_cycles=3),
+        ]
+        for index in range(2):
+            reply = run(daemon.handle_request(
+                {"id": "r%d" % index, "kind": "estimate", "argv": ["x"]}
+            ))
+            assert reply["ok"]
+            # The delta is daemon bookkeeping, never echoed to clients.
+            assert "sim_delta" not in reply
+        stats = run(daemon.handle_request(
+            {"id": "s", "kind": "stats"}))["stats"]["simulation"]
+        assert stats["runs"] == 2
+        assert stats["events_scheduled"] == 400
+        assert stats["activations"] == 340
+        assert stats["bus_stall_cycles"] == 10
+        assert stats["events_per_second"] == pytest.approx(400.0)
+
+    def test_replies_without_delta_leave_totals_untouched(self):
+        daemon = make_daemon()  # FakePool default reply has no sim_delta
+        assert run(daemon.handle_request(
+            {"id": "r", "kind": "estimate", "argv": ["x"]}))["ok"]
+        stats = run(daemon.handle_request(
+            {"id": "s", "kind": "stats"}))["stats"]["simulation"]
+        assert stats == {"events_per_second": 0.0}
+
+    def test_real_workers_report_simulation_totals(self, serve_daemon,
+                                                   tmp_path):
+        # ``estimate`` is static analysis; only a simulating kind (``tlm``)
+        # moves the kernel totals.
+        from repro.apps.mp3 import Mp3Params, build_design
+        from repro.tlm import save_design
+
+        small = Mp3Params(n_subbands=4, n_slots=4, n_phases=4, n_alias=2)
+        design, _ = build_design("SW+1", small, n_frames=1, seed=3)
+        design_path = tmp_path / "design.json"
+        save_design(design, str(design_path))
+        handle = serve_daemon()
+        with ServeClient("unix:" + handle.socket_path) as client:
+            assert client.call("tlm", [str(design_path)])["ok"]
+            stats = client.stats()
+        sim = stats["simulation"]
+        assert sim["runs"] >= 1
+        assert sim["events_scheduled"] > 0
+        assert sim["wall_seconds"] > 0

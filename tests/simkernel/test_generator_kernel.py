@@ -144,6 +144,8 @@ class TestKernelCounters:
             "activations": 0,
             "events_scheduled": 0,
             "channel_fastpath_hits": 0,
+            "buckets_drained": 0,
+            "scheduler": "auto",
         }
 
     def test_activations_and_events_counted(self):
