@@ -1,0 +1,104 @@
+"""Merge per-bench ``BENCH_*.json`` files into one trajectory snapshot.
+
+Every benchmark that records machine-readable numbers through the
+``metrics`` fixture (see ``conftest.py``) writes a
+``results/BENCH_<name>.json`` with the schema ``{bench, metrics,
+wall_seconds, commit}``.  This script folds all of them into a single
+``results/BENCH_trajectory.json`` so CI can upload ONE artifact that
+answers "how fast is every subsystem at this commit" — the file a
+trajectory dashboard diffs across PRs.
+
+Per bench the snapshot keeps the commit, the wall time and a flattened
+``headline`` of the scalar metrics (nested dicts are flattened one level
+with ``.``-joined keys; lists and strings ride along verbatim).  Speedup
+figures therefore land as e.g. ``traffic_replay.speedup`` without the
+dashboard needing per-bench schema knowledge.
+
+Usage::
+
+    python benchmarks/aggregate_bench.py [--results-dir benchmarks/results]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+TRAJECTORY = "BENCH_trajectory.json"
+
+
+def _flatten(metrics, prefix=""):
+    """One-level flatten: scalars keep their key, nested dicts contribute
+    ``parent.child`` scalar entries, deeper nesting is left as-is."""
+    flat = {}
+    for key, value in sorted(metrics.items()):
+        name = prefix + key
+        if isinstance(value, dict):
+            for sub_key, sub_value in sorted(value.items()):
+                if not isinstance(sub_value, dict):
+                    flat["%s.%s" % (name, sub_key)] = sub_value
+        else:
+            flat[name] = value
+    return flat
+
+
+def aggregate(results_dir):
+    """Fold every ``BENCH_*.json`` under ``results_dir`` into one dict."""
+    benches = {}
+    skipped = []
+    for entry in sorted(os.listdir(results_dir)):
+        if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+            continue
+        if entry == TRAJECTORY:
+            continue
+        path = os.path.join(results_dir, entry)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            name = payload["bench"]
+            benches[name] = {
+                "commit": payload.get("commit", "unknown"),
+                "wall_seconds": payload.get("wall_seconds"),
+                "headline": _flatten(payload.get("metrics", {})),
+            }
+        except (OSError, ValueError, KeyError) as exc:
+            skipped.append((entry, str(exc)))
+    commits = {b["commit"] for b in benches.values()}
+    return {
+        "commit": commits.pop() if len(commits) == 1 else "mixed",
+        "n_benches": len(benches),
+        "benches": benches,
+        "skipped": [entry for entry, _ in skipped],
+    }, skipped
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Merge BENCH_*.json results into BENCH_trajectory.json")
+    parser.add_argument(
+        "--results-dir",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "results"),
+        help="directory holding BENCH_*.json files (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    if not os.path.isdir(args.results_dir):
+        sys.stderr.write("no results directory %s — run the benchmarks "
+                         "first\n" % args.results_dir)
+        return 1
+    trajectory, skipped = aggregate(args.results_dir)
+    for entry, reason in skipped:
+        sys.stderr.write("skipping unreadable %s: %s\n" % (entry, reason))
+    out_path = os.path.join(args.results_dir, TRAJECTORY)
+    with open(out_path, "w") as handle:
+        json.dump(trajectory, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    sys.stdout.write("wrote %s (%d benches)\n"
+                     % (out_path, trajectory["n_benches"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

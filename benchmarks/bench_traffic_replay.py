@@ -1,0 +1,216 @@
+"""Traffic-replay benchmark: analytic grant-queue sweeps vs the kernel.
+
+The contention-aware replay tier (:mod:`repro.workloads.traffic_replay`)
+evaluates an N-instance traffic point from ONE recorded instance trace —
+an analytic per-bus grant-queue pass instead of a full discrete-event
+simulation.  The headline assert is a >= 5x wall-clock speedup over
+per-point kernel runs on a 16-point arrival-rate x seed sweep (N = 64
+instances each) — while staying **bit-identical** at every fifo point:
+makespans, per-instance latency percentiles and bus counters all match
+the kernel exactly (flagged points fall back to the kernel, so they match
+by construction; the speedup must survive those fallbacks).
+
+priority/rr points ride along cross-validated: at least one point per
+sweep runs on the kernel and a mismatch falls the whole group back — the
+tier is never silently wrong, only slower.
+
+CI runs the cheap ``equivalence``/``validation``/``fallback`` tests on
+every push; the N = 64 speedup grid is bench-tier only.  Results land in
+``results/BENCH_traffic_replay.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.apps.mp3 import Mp3Params, build_design
+from repro.reporting import Table, fmt_seconds
+from repro.workloads import (
+    TrafficSpec,
+    capture_traffic_profile,
+    replay_traffic_sweep,
+    run_traffic,
+)
+
+SMALL = Mp3Params(n_subbands=4, n_slots=4, n_phases=4, n_alias=2)
+MED = Mp3Params(n_subbands=8, n_slots=8, n_phases=8, n_alias=4)
+GRANULARITY = "block"
+
+#: The headline grid: 4 arrival rates x 4 traffic seeds, N = 64 each.
+HIGH_N = 64
+GAPS = (1000.0, 1500.0, 2200.0, 3300.0)
+SEEDS = (0, 1, 2, 3)
+SPEEDUP_FLOOR = 5.0
+PERCENTILES = (50, 90, 95, 99)
+
+_rows = {}
+
+
+def _build(params, policy="fifo", priorities=None):
+    design, _ = build_design("SW+1", params, n_frames=1, seed=3)
+    for bus in design.buses.values():
+        bus.policy = policy
+        if priorities is not None:
+            bus.priorities = dict(priorities)
+    return design
+
+
+def _grid(n, gaps=GAPS, seeds=SEEDS):
+    return [TrafficSpec(n, arrivals="poisson", mean_gap_cycles=gap, seed=s)
+            for gap in gaps for s in seeds]
+
+
+def _point_key(result):
+    """Everything the acceptance contract compares, per point."""
+    return (
+        result.makespan_cycles,
+        result.end_time_ns,
+        tuple(result.latencies_cycles),
+        tuple(result.latency_percentile(q) for q in PERCENTILES),
+        tuple(sorted(
+            (bus, tuple(sorted(stats.items())))
+            for bus, stats in result.bus_stats.items()
+        )),
+    )
+
+
+@pytest.fixture(scope="module")
+def med_profile():
+    """One recorded instance (real arbiters armed), shared by every run."""
+    return capture_traffic_profile(_build(MED), granularity=GRANULARITY,
+                                   record_grants=True)
+
+
+# -- equivalence: the replay tier changes nothing but wall time -------------
+
+def test_traffic_replay_equivalence_grid():
+    """fifo replays are bit-identical to the kernel at every point of a
+    small sweep — makespans, latencies, percentiles, bus counters."""
+    specs = _grid(16, gaps=(400.0, 900.0), seeds=(5, 6))
+    results, stats = replay_traffic_sweep(
+        _build(SMALL), specs, granularity=GRANULARITY, validate_n=0)
+    assert stats["replayed"] + stats["flagged"] == len(specs)
+    assert stats["self_check"] == "ok"
+    for spec, result in zip(specs, results):
+        kernel = run_traffic(_build(SMALL), spec, granularity=GRANULARITY)
+        assert _point_key(result) == _point_key(kernel)
+    _rows["equivalence"] = {"points": len(specs),
+                            "replayed": stats["replayed"],
+                            "flagged": stats["flagged"]}
+
+
+@pytest.mark.parametrize("policy,priorities", [
+    ("priority", {"filter_l": 1, "filter_r": 2}),
+    ("rr", None),
+])
+def test_traffic_replay_policy_validation(policy, priorities):
+    """priority/rr sweeps never return unvalidated analytic results: at
+    least one point runs on the kernel, and every returned point matches
+    the kernel bit-identically (replayed or fallen back)."""
+    specs = _grid(16, gaps=(500.0,), seeds=(1, 2))
+    design = _build(SMALL, policy, priorities)
+    results, stats = replay_traffic_sweep(
+        design, specs, granularity=GRANULARITY, validate_n=0)
+    assert stats["validated"] >= 1
+    for spec, result in zip(specs, results):
+        kernel = run_traffic(_build(SMALL, policy, priorities), spec,
+                             granularity=GRANULARITY)
+        assert _point_key(result) == _point_key(kernel)
+    _rows["policy_%s" % policy] = {"validated": stats["validated"],
+                                   "replayed": stats["replayed"],
+                                   "diverged": stats.get("diverged", False)}
+
+
+def test_traffic_replay_lockstep_fallback():
+    """Same-instant arrivals are exactly the load-dependent tie the replay
+    refuses to guess at: the point is flagged and the kernel answers."""
+    spec = TrafficSpec(8, arrivals="bursty", burst_size=8,
+                       mean_gap_cycles=0.0)
+    results, stats = replay_traffic_sweep(
+        _build(SMALL), [spec], granularity=GRANULARITY, validate_n=0)
+    assert stats["flagged"] == 1
+    assert not results[0].replayed
+    kernel = run_traffic(_build(SMALL), spec, granularity=GRANULARITY)
+    assert _point_key(results[0]) == _point_key(kernel)
+
+
+# -- the headline: >= 5x over the kernel on the 16-point N=64 sweep ---------
+
+def test_traffic_replay_speedup_sweep(med_profile):
+    specs = _grid(HIGH_N)
+    design = _build(MED)
+
+    kernel_results = []
+    kernel_wall = 0.0
+    per_point = []
+    for spec in specs:
+        start = time.perf_counter()
+        kernel_results.append(run_traffic(
+            design, spec, granularity=GRANULARITY, profile=med_profile))
+        wall = time.perf_counter() - start
+        kernel_wall += wall
+        per_point.append(wall)
+
+    start = time.perf_counter()
+    replay_results, stats = replay_traffic_sweep(
+        design, specs, granularity=GRANULARITY, profile=med_profile)
+    replay_wall = time.perf_counter() - start
+
+    # Bit-identity at every point — replayed, validated or fallen back.
+    for replayed, kernel in zip(replay_results, kernel_results):
+        assert _point_key(replayed) == _point_key(kernel)
+    assert stats["replayed"] > 0
+    assert (stats["replayed"] + stats["flagged"] + stats["validated"]
+            == len(specs))
+
+    speedup = kernel_wall / replay_wall
+    _rows["speedup"] = {
+        "points": len(specs),
+        "n_instances": HIGH_N,
+        "kernel_wall": kernel_wall,
+        "kernel_wall_per_point": kernel_wall / len(specs),
+        "replay_wall": replay_wall,
+        "speedup": speedup,
+        "replayed": stats["replayed"],
+        "flagged": stats["flagged"],
+        "validated": stats["validated"],
+        "engine": stats["engine"],
+    }
+    assert speedup >= SPEEDUP_FLOOR, (
+        "traffic replay %.2fx over per-point kernel runs on %d points "
+        "(need >= %.1fx)" % (speedup, len(specs), SPEEDUP_FLOOR)
+    )
+
+
+# -- table + metrics --------------------------------------------------------
+
+def test_render_traffic_replay(tables, metrics):
+    table = Table(
+        ["Sweep", "Points", "Replayed", "Flagged", "Kernel", "Replay",
+         "Speedup"],
+        title="Traffic replay — analytic grant-queue sweep vs kernel "
+              "(MP3 SW+1, %s sync)" % GRANULARITY,
+    )
+    bench = {"granularity": GRANULARITY, "percentiles": list(PERCENTILES)}
+    eq = _rows.get("equivalence")
+    if eq:
+        table.add_row("equivalence N=16", eq["points"], eq["replayed"],
+                      eq["flagged"], "-", "-", "-")
+        bench["equivalence"] = eq
+    for policy in ("priority", "rr"):
+        row = _rows.get("policy_%s" % policy)
+        if row:
+            bench["policy_%s" % policy] = row
+    sp = _rows.get("speedup")
+    if sp:
+        table.add_row(
+            "N=%d x%d" % (sp["n_instances"], sp["points"]),
+            sp["points"], sp["replayed"], sp["flagged"],
+            fmt_seconds(sp["kernel_wall"]), fmt_seconds(sp["replay_wall"]),
+            "%.1fx" % sp["speedup"],
+        )
+        bench.update(sp)
+    tables["traffic_replay"] = table.render()
+    metrics["traffic_replay"] = bench

@@ -58,16 +58,21 @@ def content_key(*parts):
 
 
 class CacheStats:
-    """Hit/miss/stored/evicted/corrupt counters of one cache kind.
+    """Hit/miss/stored/evicted/corrupt/stale counters of one cache kind.
 
     ``corrupt`` counts disk entries that *existed* but failed validation —
-    unparseable JSON, a stale or foreign envelope, a value the kind's
-    decoder rejected.  They degrade to misses (the pipeline recomputes and
+    unparseable JSON, a foreign envelope, a value the kind's decoder
+    rejected.  They degrade to misses (the pipeline recomputes and
     overwrites), but unlike plain misses they indicate disk-level damage,
     so they are counted separately and logged once per entry file.
+
+    ``stale`` counts entries written under an older store format or kind
+    schema version.  They also degrade to misses, but indicate a planned
+    format bump — not damage — so they are kept out of ``corrupt`` (and
+    out of the serve layer's corrupt-entry chaos counters).
     """
 
-    __slots__ = ("hits", "misses", "stored", "evicted", "corrupt")
+    __slots__ = ("hits", "misses", "stored", "evicted", "corrupt", "stale")
 
     def __init__(self):
         self.reset()
@@ -78,6 +83,7 @@ class CacheStats:
         self.stored = 0
         self.evicted = 0
         self.corrupt = 0
+        self.stale = 0
 
     @property
     def lookups(self):
@@ -95,30 +101,33 @@ class CacheStats:
             "stored": self.stored,
             "evicted": self.evicted,
             "corrupt": self.corrupt,
+            "stale": self.stale,
             "hit_rate": self.hit_rate,
         }
 
     def snapshot(self):
         """The current counters as an immutable value (for :meth:`delta`)."""
         return (self.hits, self.misses, self.stored, self.evicted,
-                self.corrupt)
+                self.corrupt, self.stale)
 
     def delta(self, snapshot):
         """Counter increments since a :meth:`snapshot` — how one phase of a
         larger run (e.g. one search stage) used this cache kind."""
-        hits, misses, stored, evicted, corrupt = snapshot
+        hits, misses, stored, evicted, corrupt, stale = snapshot
         return {
             "hits": self.hits - hits,
             "misses": self.misses - misses,
             "stored": self.stored - stored,
             "evicted": self.evicted - evicted,
             "corrupt": self.corrupt - corrupt,
+            "stale": self.stale - stale,
         }
 
     def __repr__(self):
         return ("CacheStats(hits=%d, misses=%d, stored=%d, evicted=%d, "
-                "corrupt=%d)" % (self.hits, self.misses, self.stored,
-                                 self.evicted, self.corrupt))
+                "corrupt=%d, stale=%d)"
+                % (self.hits, self.misses, self.stored, self.evicted,
+                   self.corrupt, self.stale))
 
 
 class KindSpec:
@@ -331,9 +340,18 @@ class ArtifactStore:
         )
 
     def _mark_corrupt(self, state, path, reason):
-        """Count (and log, once per entry file) a damaged disk entry."""
-        state.stats.corrupt += 1
+        """Count (and log, once per entry file) an unusable disk entry.
+
+        Reasons beginning ``"stale"`` (an older store format or kind
+        schema version — see :func:`entry_envelope_error`) count as
+        ``stale``, not ``corrupt``: the entry is a casualty of a planned
+        format bump, not disk damage, and is silently recomputed.
+        """
         state.disk_misses += 1
+        if reason.startswith("stale"):
+            state.stats.stale += 1
+            return
+        state.stats.corrupt += 1
         if path not in self._warned_paths:
             self._warned_paths.add(path)
             _log.warning(
@@ -496,6 +514,50 @@ def _verify_entry(path, entry_name, spec):
         except (TypeError, ValueError, KeyError, IndexError) as exc:
             return "undecodable value: %s" % exc
     return None
+
+
+def disk_stats(directory):
+    """Per-kind disk summary: ``{kind: {entries, stale, corrupt}}`` plus
+    the list of unregistered kind directories.
+
+    Envelope-level only (JSON well-formedness + the versioned envelope of
+    :func:`entry_envelope_error`; payloads are not decoded) — the cheap
+    classification behind ``python -m repro artifacts stats``.  ``stale``
+    counts planned ``format``/``kind_version`` bumps; ``corrupt`` counts
+    genuine damage.  Use :func:`verify_store` for the full (decoder-level,
+    quarantining) scan.
+    """
+    summaries = {}
+    unknown = []
+    if not os.path.isdir(directory):
+        return summaries, unknown
+    for kind_name in sorted(os.listdir(directory)):
+        kind_dir = os.path.join(directory, kind_name)
+        if kind_name == QUARANTINE_DIR or not os.path.isdir(kind_dir):
+            continue
+        spec = _KINDS.get(kind_name)
+        if spec is None:
+            unknown.append(kind_name)
+            continue
+        summary = {"entries": 0, "stale": 0, "corrupt": 0}
+        for entry_name in sorted(os.listdir(kind_dir)):
+            if not entry_name.endswith(".json"):
+                continue
+            summary["entries"] += 1
+            try:
+                with open(os.path.join(kind_dir, entry_name)) as handle:
+                    data = json.load(handle)
+            except (OSError, ValueError):
+                summary["corrupt"] += 1
+                continue
+            reason = entry_envelope_error(data, spec)
+            if reason is not None:
+                if reason.startswith("stale"):
+                    summary["stale"] += 1
+                else:
+                    summary["corrupt"] += 1
+        summaries[kind_name] = summary
+    return summaries, unknown
 
 
 def _quarantine_entry(directory, kind_name, entry_name, path):

@@ -447,6 +447,16 @@ def cmd_explore(args, out):
                stats["replayed_exact"], stats["replayed_approx"],
                stats["simulated"])
         )
+        if stats.get("traffic_points"):
+            out.write(
+                "Traffic replay tier: %d points, %d replayed, "
+                "%d simulated (%d flagged), %d validated\n\n"
+                % (stats["traffic_points"],
+                   stats.get("traffic_replayed", 0),
+                   stats.get("traffic_simulated", 0),
+                   stats.get("traffic_flagged", 0),
+                   stats.get("traffic_validated", 0))
+            )
     _write_ranking(out, result.ranked(), args.top_k)
     failures = result.failures
     if failures:
@@ -482,6 +492,16 @@ def cmd_explore(args, out):
                 ("scalar evaluations", "scalar"),
             ):
                 out.write("  %-24s %6d\n" % (label, stats[key]))
+            if stats.get("traffic_points"):
+                for label, key in (
+                    ("traffic points", "traffic_points"),
+                    ("traffic replayed", "traffic_replayed"),
+                    ("traffic simulated", "traffic_simulated"),
+                    ("traffic flagged", "traffic_flagged"),
+                    ("traffic validated", "traffic_validated"),
+                    ("traffic fallbacks", "traffic_fallbacks"),
+                ):
+                    out.write("  %-24s %6d\n" % (label, stats.get(key, 0)))
     if args.cache_stats:
         _write_cache_stats(out)
     return 0 if not failures else 4
@@ -693,19 +713,38 @@ def cmd_artifacts(args, out):
                       % ", ".join(report.unknown_kinds))
         return 4 if report.bad else 0
     # action == "stats"
+    from .artifacts import disk_stats, kind_spec
+
+    _register_all_artifact_kinds()
+    summaries, unknown = disk_stats(directory)
+    if summaries:
+        out.write("On-disk store %s:\n" % directory)
+        for kind, summary in sorted(summaries.items()):
+            out.write(
+                "  %-16s v%-3d %6d entries  %4d stale  %4d corrupt\n"
+                % (kind, kind_spec(kind).version, summary["entries"],
+                   summary["stale"], summary["corrupt"]),
+            )
+        if unknown:
+            out.write("  unregistered kinds skipped: %s\n"
+                      % ", ".join(unknown))
+    else:
+        out.write("On-disk store %s: empty\n" % directory)
     store = default_store()
     if store is None:
-        out.write("artifact store: disabled (REPRO_ARTIFACTS=0)\n")
         return 0
     counters = store.counters()
     if not counters:
-        out.write("artifact store: no kinds touched this process\n")
+        out.write("This process: no kinds touched\n")
         return 0
+    out.write("This process:\n")
     for kind, entry in sorted(counters.items()):
         out.write(
-            "%-16s %6d entries  %6d hits  %6d misses  %4d corrupt\n"
-            % (kind, entry["entries"], entry["hits"], entry["misses"],
-               entry["corrupt"]),
+            "  %-16s v%-3d %6d entries  %6d hits  %6d misses  "
+            "%4d corrupt  %4d stale\n"
+            % (kind, kind_spec(kind).version, entry["entries"],
+               entry["hits"], entry["misses"], entry["corrupt"],
+               entry["stale"]),
         )
     return 0
 

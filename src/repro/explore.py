@@ -702,6 +702,89 @@ def _try_replay(points, todo, granularity, store, ckpt, mode, validate_n,
     return unresolved, stats
 
 
+def _try_traffic_replay(points, todo, granularity, store, ckpt, validate_n,
+                        slots):
+    """The sweep's traffic-replay phase: analytic N-instance evaluation.
+
+    Groups the pending traffic-mode points by full design identity (one
+    capture serves every spec of one design), hands each group to
+    :func:`repro.workloads.traffic_replay.replay_traffic_sweep` — which
+    replays exactly where it can and falls back to kernel runs where it
+    must — and fills ``slots`` with the outcomes.  Returns
+    ``(remaining_todo, stats)``; only points whose *builder* failed are
+    left for the normal paths.
+    """
+    import json
+
+    from .artifacts import content_key
+    from .tlm.serialize import design_to_dict
+
+    stats = {
+        "points": len(todo),
+        "groups": 0,
+        "replayed": 0,
+        "simulated": 0,
+        "flagged": 0,
+        "validated": 0,
+        "fallbacks": 0,
+    }
+    groups = {}  # design content key -> [index]
+    designs = {}
+    specs = {}
+    unresolved = []
+    for index in todo:
+        try:
+            design = points[index].build().validate()
+            key = content_key(
+                json.dumps(design_to_dict(design), sort_keys=True),
+                granularity,
+            )
+            specs[index] = _traffic_spec_of(points[index])
+        except Exception:
+            unresolved.append(index)  # surfaces via the normal paths
+            continue
+        designs[index] = design
+        groups.setdefault(key, []).append(index)
+
+    from .workloads.traffic_replay import replay_traffic_sweep
+
+    for indices in groups.values():
+        stats["groups"] += 1
+        wall_start = time.perf_counter()
+        try:
+            results, group_stats = replay_traffic_sweep(
+                designs[indices[0]], [specs[i] for i in indices],
+                granularity=granularity, store=store,
+                validate_n=validate_n,
+            )
+        except Exception:
+            # The analytic tier is an optimisation; any failure returns
+            # the group to the kernel paths.
+            stats["fallbacks"] += len(indices)
+            unresolved.extend(indices)
+            continue
+        for counter in ("replayed", "simulated", "flagged", "validated",
+                        "fallbacks"):
+            stats[counter] += group_stats.get(counter, 0)
+        wall_each = (time.perf_counter() - wall_start) / len(indices)
+        for index, traffic in zip(indices, results):
+            result = PointResult(
+                points[index],
+                wall_seconds=wall_each,
+                makespan_cycles=traffic.makespan_cycles,
+                per_process_cycles={
+                    "instance#%d" % i: latency
+                    for i, latency in enumerate(traffic.latencies_cycles)
+                },
+                replayed=traffic.replayed,
+            )
+            slots[index] = result
+            if ckpt is not None:
+                ckpt.record(points[index].name, result.makespan_cycles,
+                            result.per_process_cycles, result.wall_seconds)
+    return unresolved, stats
+
+
 def _evaluate_sequential(point, granularity, store=None, faults=None):
     """In-process evaluation of one point; never raises for point-local
     failures (returns a failed :class:`PointResult` instead)."""
@@ -844,31 +927,39 @@ def explore(points, granularity="transaction", workers=1,
         replay_stats = {"mode": replay, "points": len(todo),
                         "skipped": "fault-injection"}
     elif replay != "off" and todo:
-        # Traffic-mode points are never replayed: trace capture refuses
-        # load-dependent arbitration, and replaying a single-instance
-        # trace would erase exactly the contention being measured.
+        # Traffic-mode points take their own analytic tier: a recorded
+        # single-instance profile plus the per-bus grant-queue replay
+        # (exact-with-fallback; see repro.workloads.traffic_replay).
         traffic_todo = [
             i for i in todo if _traffic_spec_of(points[i]) is not None
         ]
         replayable = [
             i for i in todo if _traffic_spec_of(points[i]) is None
         ]
-        todo = traffic_todo
+        todo = []
         if replayable:
             unresolved, replay_stats = _try_replay(
                 points, replayable, granularity, store, ckpt, replay,
                 max(0, int(replay_validate)), replay_tolerance, slots,
             )
-            todo = sorted(unresolved + traffic_todo)
+            todo = unresolved
         else:
             replay_stats = {"mode": replay, "points": 0,
                             "traces_captured": 0, "traces_reused": 0,
                             "replayed_exact": 0, "replayed_approx": 0,
                             "simulated": 0, "validated": 0, "fallbacks": 0,
-                            "vectorized": 0, "scalar": 0,
-                            "skipped": "traffic-mode points"}
-        if traffic_todo and replay_stats is not None:
+                            "vectorized": 0, "scalar": 0}
+        if traffic_todo:
             replay_stats["traffic_points"] = len(traffic_todo)
+            traffic_unresolved, traffic_stats = _try_traffic_replay(
+                points, traffic_todo, granularity, store, ckpt,
+                max(0, int(replay_validate)), slots,
+            )
+            todo = todo + traffic_unresolved
+            for key, value in traffic_stats.items():
+                if key != "points":
+                    replay_stats["traffic_" + key] = value
+        todo = sorted(todo)
 
     used_workers = 1
     if workers > 1 and len(todo) > 1:

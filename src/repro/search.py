@@ -857,8 +857,10 @@ def mp3_product_space(params=None, variants=("SW+2",), n_frames=1, seed=7,
     points evaluate via :func:`repro.workloads.run_traffic` (N lockstep
     instances contending on buses armed with ``traffic_policy``), so the
     search ranks platforms by loaded makespan instead of single-run
-    makespan.  Traffic points always simulate — the replay tiers skip
-    them, as recorded traces cannot reproduce load-dependent arbitration.
+    makespan.  Traffic points ride their own replay tier: the staged
+    rungs evaluate them through the analytic grant-queue replay
+    (:mod:`repro.workloads.traffic_replay`), which is exact where it can
+    prove it and falls back to kernel runs where it cannot.
     """
     from .apps.mp3 import Mp3Params
     from .apps.mp3.designs import build_design

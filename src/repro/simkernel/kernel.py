@@ -139,11 +139,16 @@ class TraceRecorder:
     replay engines in :mod:`repro.simtrace` walk.
     """
 
-    __slots__ = ("ops", "_seq")
+    __slots__ = ("ops", "grants", "_seq")
 
     def __init__(self):
         #: process name -> list of (seq, op, a, b), in execution order
         self.ops = {}
+        #: bus name -> list of (seq, master, n_words, when_ns), in grant
+        #: order — the per-bus grant streams an arbitrated capture logs
+        #: (uncontended fast-path grants only; a queued grant aborts the
+        #: recording, see :meth:`ArbitratedBus.attach_recorder`).
+        self.grants = {}
         self._seq = 0
 
     def register(self, name):
@@ -154,6 +159,15 @@ class TraceRecorder:
         seq = self._seq
         self._seq = seq + 1
         self.ops.setdefault(name, []).append((seq, op, a, b))
+
+    def record_grant(self, bus_name, master, n_words, when_ns):
+        """Log one bus grant; shares the global ``seq`` stream with ops so
+        grants stay totally ordered against channel operations."""
+        seq = self._seq
+        self._seq = seq + 1
+        self.grants.setdefault(bus_name, []).append(
+            (seq, master, n_words, when_ns)
+        )
 
     def n_ops(self):
         return sum(len(ops) for ops in self.ops.values())
@@ -193,6 +207,8 @@ SIM_TOTALS = {
     "wall_seconds": 0.0,
     "bus_grants": 0,
     "bus_stall_cycles": 0,
+    "traffic_replays": 0,
+    "traffic_replay_fallbacks": 0,
 }
 
 

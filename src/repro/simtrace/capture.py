@@ -68,6 +68,7 @@ def capture_tlm_trace(design, granularity="transaction", engine="coroutine",
         result.end_time_ns,
         signature,
         process_delay_totals(design, store=store),
+        grants=recorder.grants,
     )
     if store is not False:
         from ..tlm.generator import _resolve_store

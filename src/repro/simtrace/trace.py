@@ -105,11 +105,11 @@ class SimTrace:
 
     __slots__ = ("design_name", "granularity", "quantum", "optimize",
                  "reference_cycle_ns", "processes", "makespan_cycles",
-                 "end_time_ns", "signature", "delay_totals")
+                 "end_time_ns", "signature", "delay_totals", "grants")
 
     def __init__(self, design_name, granularity, quantum, optimize,
                  reference_cycle_ns, processes, makespan_cycles,
-                 end_time_ns, signature, delay_totals):
+                 end_time_ns, signature, delay_totals, grants=None):
         self.design_name = design_name
         self.granularity = granularity
         self.quantum = quantum
@@ -120,6 +120,15 @@ class SimTrace:
         self.end_time_ns = end_time_ns
         self.signature = signature
         self.delay_totals = delay_totals
+        #: bus name -> ((seq, master, n_words, when_ns), ...) — the per-bus
+        #: grant streams of an arbitrated capture (schema v2).  Fast-path
+        #: grants only: a queued grant aborts recording, so every logged
+        #: grant started at its requester's own request instant.  Empty for
+        #: designs without arbitration policies.
+        self.grants = {
+            bus: tuple(tuple(grant) for grant in stream)
+            for bus, stream in (grants or {}).items()
+        }
 
     def n_ops(self):
         return sum(len(p.ops) for p in self.processes.values())
@@ -145,6 +154,10 @@ class SimTrace:
             "end_time_ns": self.end_time_ns,
             "signature": self.signature,
             "delay_totals": dict(self.delay_totals),
+            "grants": {
+                bus: [list(grant) for grant in stream]
+                for bus, stream in self.grants.items()
+            },
             "processes": [
                 {
                     "name": p.name,
@@ -179,6 +192,7 @@ class SimTrace:
             data["end_time_ns"],
             data["signature"],
             dict(data["delay_totals"]),
+            grants=data.get("grants"),
         )
 
     def __repr__(self):
@@ -188,7 +202,10 @@ class SimTrace:
         )
 
 
-register_kind(TRACE_KIND, version=1, disk=True,
+# Version 2 added the per-bus ``grants`` streams (arbitrated captures);
+# v1 entries on disk are *stale*, not corrupt — the store counts them
+# separately and transparently recaptures.
+register_kind(TRACE_KIND, version=2, disk=True,
               encode=SimTrace.to_dict,
               decode=SimTrace.from_dict)
 

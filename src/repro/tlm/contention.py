@@ -71,6 +71,8 @@ class ArbitratedBus(Bus):
         )
         self.policy = policy
         self.priorities = dict(priorities or {})
+        #: optional :class:`~repro.simkernel.TraceRecorder` logging grants
+        self._recorder = None
         #: waiters: [process, n_words, arrival_ns, arrival_seq]
         self._wait_queue = []
         self._arrival_seq = 0
@@ -81,6 +83,20 @@ class ArbitratedBus(Bus):
         self.stall_ns = 0.0
         self.busy_ns = 0.0
         self.max_queue = 0
+
+    # -- trace recording -----------------------------------------------------
+
+    def attach_recorder(self, recorder):
+        """Log every grant to ``recorder`` (a ``TraceRecorder``).
+
+        Recording is only sound while the bus stays uncontended: fast-path
+        grants start at the master's own request instant, so their order
+        and timing are properties of the op streams alone.  The moment a
+        grant would have to *queue*, grant order becomes load-dependent —
+        the recording aborts there (see :meth:`_enqueue`) rather than
+        produce a trace that replays unfaithfully.
+        """
+        self._recorder = recorder
 
     # -- grant bookkeeping ---------------------------------------------------
 
@@ -95,6 +111,14 @@ class ArbitratedBus(Bus):
         return duration
 
     def _enqueue(self, process, n_words):
+        if self._recorder is not None:
+            raise SimulationError(
+                "cannot record a simulation trace of bus %r: master %r "
+                "found the bus busy at t=%.1fns, and a queued grant's "
+                "order is load-dependent — only uncontended (fast-path "
+                "only) arbitrated runs are recordable"
+                % (self.name, process.name, self.kernel.now)
+            )
         entry = [process, n_words, self.kernel.now, self._arrival_seq]
         self._arrival_seq += 1
         self._wait_queue.append(entry)
@@ -156,6 +180,10 @@ class ArbitratedBus(Bus):
         if (not self._wait_queue and not self._grant_pending
                 and kernel.now >= self.busy_until):
             self._rr_last = process.name
+            if self._recorder is not None:
+                self._recorder.record_grant(
+                    self.name, process.name, n_words, kernel.now,
+                )
             duration = self._occupy_now(n_words)
             process.wait(duration)
             self._release()
@@ -173,6 +201,10 @@ class ArbitratedBus(Bus):
         if (not self._wait_queue and not self._grant_pending
                 and kernel.now >= self.busy_until):
             self._rr_last = process.name
+            if self._recorder is not None:
+                self._recorder.record_grant(
+                    self.name, process.name, n_words, kernel.now,
+                )
             duration = self._occupy_now(n_words)
             yield duration
             self._release()

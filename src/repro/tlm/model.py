@@ -31,7 +31,7 @@ from ..simkernel import (
 )
 from ..simkernel.kernel import SIM_TOTALS
 from ..codegen.runtime import ProcessContext, RecordingContext
-from .contention import build_bus, collect_bus_stats
+from .contention import ArbitratedBus, build_bus, collect_bus_stats
 
 ENGINES = ("coroutine", "thread")
 
@@ -189,18 +189,21 @@ class TLModel:
             raise SimulationError(
                 "cannot record a simulation trace of a fault-injected run"
             )
-        if record is not None and self.design.has_dynamic_arbitration():
-            raise SimulationError(
-                "cannot record a simulation trace of design %r: dynamic "
-                "bus arbitration makes grant order load-dependent, so a "
-                "recorded per-process timing decomposition would not "
-                "replay faithfully" % self.design.name
-            )
         kernel = Kernel(scheduler=scheduler)
         channel_map = ChannelMap()
         buses = {}
         for name, bus_decl in self.design.buses.items():
             buses[name] = build_bus(kernel, bus_decl)
+        if record is not None:
+            # Dynamically-arbitrated designs are recordable exactly as
+            # long as every grant takes the uncontended fast path (whose
+            # order and timing are properties of the op streams alone);
+            # the first *queued* grant aborts the recording inside the
+            # bus, because queued grant order is load-dependent.  The
+            # recorder also logs the per-bus grant streams.
+            for bus in buses.values():
+                if isinstance(bus, ArbitratedBus):
+                    bus.attach_recorder(record)
         for chan_id, chan_decl in self.design.channels.items():
             channel_map.add(
                 chan_id,

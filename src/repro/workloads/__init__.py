@@ -10,15 +10,23 @@ from .traffic import (
     capture_traffic_profile,
     run_traffic,
 )
+from .traffic_replay import (
+    ReplayUnsupported,
+    compile_replay_plan,
+    replay_traffic_sweep,
+)
 
 __all__ = [
     "ARRIVALS",
     "FrameSet",
+    "ReplayUnsupported",
     "TrafficError",
     "TrafficProfile",
     "TrafficResult",
     "TrafficSpec",
     "capture_traffic_profile",
+    "compile_replay_plan",
     "make_frames",
+    "replay_traffic_sweep",
     "run_traffic",
 ]

@@ -39,6 +39,7 @@ from ..simkernel import BusChannel, ChannelMap, Kernel, TraceRecorder
 from ..simkernel.kernel import OP_SEND, OP_WAIT, SIM_TOTALS, SimulationError
 from ..tlm.contention import build_bus, collect_bus_stats
 from ..tlm.generator import generate_tlm
+from ..tlm.model import REFERENCE_CYCLE_NS
 from ..tlm.serialize import design_from_dict, design_to_dict
 
 ARRIVALS = ("poisson", "bursty")
@@ -144,7 +145,8 @@ class TrafficResult:
 
     def __init__(self, design_name, spec, end_time_ns, wall_seconds,
                  latencies_cycles, reference_cycle_ns, kernel_stats,
-                 bus_stats, fault_stats=None, scheduler="auto"):
+                 bus_stats, fault_stats=None, scheduler="auto",
+                 replayed=False):
         self.design_name = design_name
         self.spec = spec
         self.end_time_ns = end_time_ns
@@ -157,6 +159,12 @@ class TrafficResult:
         self.bus_stats = bus_stats
         self.fault_stats = fault_stats or {}
         self.scheduler = scheduler
+        #: ``True`` when the point was evaluated by the analytic grant-queue
+        #: replay (:mod:`repro.workloads.traffic_replay`), not the kernel
+        self.replayed = replayed
+        #: replay-tier counters when :func:`run_traffic` ran with
+        #: ``replay != "off"`` (``None`` for plain kernel runs)
+        self.replay_stats = None
 
     @property
     def makespan_cycles(self):
@@ -169,6 +177,10 @@ class TrafficResult:
 
     def latency_percentile(self, q):
         """Nearest-rank percentile of the per-instance latencies."""
+        if not 0 <= q <= 100:
+            raise TrafficError(
+                "latency percentile q=%r outside [0, 100]" % (q,)
+            )
         ordered = sorted(self.latencies_cycles)
         if not ordered:
             return 0
@@ -181,6 +193,7 @@ class TrafficResult:
             "min": ordered[0],
             "p50": self.latency_percentile(50),
             "p90": self.latency_percentile(90),
+            "p95": self.latency_percentile(95),
             "p99": self.latency_percentile(99),
             "max": ordered[-1],
             "mean": sum(ordered) / len(ordered),
@@ -201,16 +214,20 @@ class TrafficProfile:
     """The recorded single-instance op streams a traffic run replays."""
 
     __slots__ = ("design_name", "ops", "process_cycle_ns", "process_pe",
-                 "reference_cycle_ns", "granularity")
+                 "reference_cycle_ns", "granularity", "grants")
 
     def __init__(self, design_name, ops, process_cycle_ns, process_pe,
-                 reference_cycle_ns, granularity):
+                 reference_cycle_ns, granularity, grants=None):
         self.design_name = design_name
         self.ops = ops  # process name -> [(seq, op, a, b)]
         self.process_cycle_ns = process_cycle_ns  # process name -> PE ns
         self.process_pe = process_pe  # process name -> PE name
         self.reference_cycle_ns = reference_cycle_ns
         self.granularity = granularity
+        #: bus name -> [(seq, master, n_words, when_ns)] when the capture
+        #: ran the design's real arbiters uncontended (``None`` otherwise);
+        #: the analytic replay self-checks against these streams
+        self.grants = grants
 
     def n_ops(self):
         return sum(len(ops) for ops in self.ops.values())
@@ -218,37 +235,61 @@ class TrafficProfile:
 
 def capture_traffic_profile(design, granularity="transaction",
                             engine="coroutine", optimize=True, quantum=None,
-                            store=None):
+                            store=None, record_grants=False):
     """Record one instance's op streams for :func:`run_traffic`.
 
-    The recording run uses a copy of ``design`` with dynamic arbitration
-    stripped: a single uncontended instance is bit-identical with or
-    without an arbiter (the O(1) fast path charges the same arithmetic),
-    and recording refuses dynamically-arbitrated runs on principle — grant
-    order under load must be *simulated*, never replayed from a trace.
+    By default the recording run uses a copy of ``design`` with dynamic
+    arbitration stripped: a single uncontended instance is bit-identical
+    with or without an arbiter (the O(1) fast path charges the same
+    arithmetic).  With ``record_grants=True`` the capture first tries the
+    design's *real* arbiters — an uncontended (fast-path only) run records
+    per-bus grant streams the analytic replay self-checks against; should
+    a grant queue (the recording aborts inside the bus, because queued
+    grant order is load-dependent), the capture transparently falls back
+    to the stripped run with no grant streams.  The op streams themselves
+    are identical either way — op content never depends on bus timing.
     """
-    plain = design_from_dict(design_to_dict(design))
-    for bus in plain.buses.values():
-        bus.policy = None
-        bus.priorities = {}
-    model = generate_tlm(
-        plain, timed=True, granularity=granularity, engine=engine,
-        optimize=optimize, quantum=quantum, store=store,
-    )
+    grants = None
     recorder = TraceRecorder()
-    model.run(record=recorder)
+    if record_grants and any(
+            getattr(bus, "policy", None) is not None
+            for bus in design.buses.values()):
+        armed = generate_tlm(
+            design, timed=True, granularity=granularity, engine=engine,
+            optimize=optimize, quantum=quantum, store=store,
+        )
+        try:
+            armed.run(record=recorder)
+        except SimulationError:
+            recorder = TraceRecorder()  # contended capture: start over
+        else:
+            grants = {
+                name: tuple(stream)
+                for name, stream in recorder.grants.items()
+            }
+    if grants is None:
+        plain = design_from_dict(design_to_dict(design))
+        for bus in plain.buses.values():
+            bus.policy = None
+            bus.priorities = {}
+        model = generate_tlm(
+            plain, timed=True, granularity=granularity, engine=engine,
+            optimize=optimize, quantum=quantum, store=store,
+        )
+        model.run(record=recorder)
     process_cycle_ns = {}
     process_pe = {}
-    for name, decl in plain.processes.items():
-        process_cycle_ns[name] = plain.pes[decl.pe_name].cycle_ns
+    for name, decl in design.processes.items():
+        process_cycle_ns[name] = design.pes[decl.pe_name].cycle_ns
         process_pe[name] = decl.pe_name
     return TrafficProfile(
         design.name,
         {name: tuple(ops) for name, ops in recorder.ops.items()},
         process_cycle_ns,
         process_pe,
-        model.reference_cycle_ns,
+        REFERENCE_CYCLE_NS,
         granularity,
+        grants=grants,
     )
 
 
@@ -322,7 +363,7 @@ def _instance_target(ops, cycle_ns, share, channel_map, proc_name,
 
 def run_traffic(design, spec, granularity="transaction", engine="coroutine",
                 optimize=True, quantum=None, scheduler="auto", faults=None,
-                watchdog=None, store=None, profile=None):
+                watchdog=None, store=None, profile=None, replay="off"):
     """Simulate ``spec.n_instances`` instances of ``design`` under the
     spec's arrival process; returns a :class:`TrafficResult`.
 
@@ -336,7 +377,28 @@ def run_traffic(design, spec, granularity="transaction", engine="coroutine",
     :class:`TrafficProfile` (sweeps capture once and replay many).
     ``faults`` composes a :class:`~repro.faults.FaultScenario` into every
     instance's channels.
+
+    ``replay="auto"`` evaluates the point through the analytic grant-queue
+    replay (:mod:`repro.workloads.traffic_replay`) where it is exact,
+    falling back to this kernel path otherwise; the result then carries
+    the tier's counters on ``.replay_stats``.  Fault injection and
+    watchdogs force the kernel path (they are simulation-only semantics).
     """
+    if replay not in ("off", "auto"):
+        raise TrafficError(
+            "replay must be 'off' or 'auto', not %r" % (replay,)
+        )
+    if replay == "auto" and faults is None and watchdog is None:
+        from .traffic_replay import replay_traffic_sweep
+
+        results, stats = replay_traffic_sweep(
+            design, [spec], granularity=granularity, engine=engine,
+            optimize=optimize, quantum=quantum, scheduler=scheduler,
+            store=store, profile=profile, validate_n=0,
+        )
+        result = results[0]
+        result.replay_stats = stats
+        return result
     if profile is None:
         profile = capture_traffic_profile(
             design, granularity=granularity, engine=engine,

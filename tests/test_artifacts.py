@@ -249,10 +249,35 @@ class TestCorruptionHardening:
 
     def test_envelope_damage_counts_as_corrupt(self, tmp_path):
         ArtifactStore(directory=str(tmp_path)).put(self.KIND, "a", 1)
-        self._damage_entries(tmp_path, json.dumps({"format": 999}))
+        self._damage_entries(tmp_path, json.dumps(["not", "an", "object"]))
         store = ArtifactStore(directory=str(tmp_path))
         assert store.get(self.KIND, "a") is None
         assert store.stats(self.KIND).corrupt == 1
+
+    def test_stale_version_counted_distinctly_from_corrupt(self, tmp_path):
+        """A planned schema bump (kind version or store format) degrades
+        to a silent miss under the ``stale`` counter — never ``corrupt``,
+        never a warning, never the serve layer's corrupt-entry totals."""
+        writer = ArtifactStore(directory=str(tmp_path))
+        writer.put(self.KIND, "a", 1)
+        writer.put(self.KIND, "b", 2)
+        entries = sorted((tmp_path / self.KIND).iterdir())
+        old_version = json.loads(entries[0].read_text())
+        old_version["kind_version"] = 0
+        entries[0].write_text(json.dumps(old_version))
+        old_format = json.loads(entries[1].read_text())
+        old_format["format"] = -1
+        entries[1].write_text(json.dumps(old_format))
+        store = ArtifactStore(directory=str(tmp_path))
+        assert store.get(self.KIND, "a") is None
+        assert store.get(self.KIND, "b") is None
+        stats = store.stats(self.KIND)
+        assert stats.stale == 2
+        assert stats.corrupt == 0
+        assert store.corrupt_entries() == 0
+        assert store.counters()[self.KIND]["stale"] == 2
+        delta = stats.delta(stats.snapshot())
+        assert delta["stale"] == 0 and delta["corrupt"] == 0
 
     def test_warning_logged_once_per_entry(self, tmp_path, caplog):
         import logging

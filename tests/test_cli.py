@@ -89,6 +89,38 @@ class TestCacheStats:
         assert "schedule cache: disabled" in text
 
 
+class TestArtifactsStats:
+    def test_stats_lists_kind_versions_and_stale_counts(self, tmp_path):
+        """`artifacts stats` shows each kind's schema version and counts
+        stale-version entries distinctly from corrupt ones."""
+        import json
+
+        from repro.artifacts import DISK_FORMAT_VERSION
+        from repro.simtrace import TRACE_KIND  # registers sim-trace (v2)
+
+        kind_dir = tmp_path / TRACE_KIND
+        kind_dir.mkdir()
+
+        def envelope(key, kind_version=2):
+            return json.dumps({
+                "format": DISK_FORMAT_VERSION, "kind": TRACE_KIND,
+                "kind_version": kind_version, "key": key, "value": {},
+            })
+
+        (kind_dir / "ok.json").write_text(envelope("a"))
+        (kind_dir / "old.json").write_text(envelope("b", kind_version=1))
+        (kind_dir / "deadbeef.json").write_text("{not json")
+
+        code, text = run_cli(["artifacts", "stats",
+                              "--dir", str(tmp_path)])
+        assert code == 0
+        line = next(l for l in text.splitlines() if TRACE_KIND in l)
+        assert "v2" in line
+        assert "3 entries" in line
+        assert "1 stale" in line
+        assert "1 corrupt" in line
+
+
 class TestExplore:
     def test_explore_small_sweep(self):
         code, text = run_cli([

@@ -135,8 +135,17 @@ class TestRunTraffic:
         assert summary["min"] == min(result.latencies_cycles)
         assert summary["max"] == max(result.latencies_cycles)
         assert summary["min"] <= summary["p50"] <= summary["p90"]
-        assert summary["p90"] <= summary["p99"] <= summary["max"]
+        assert summary["p90"] <= summary["p95"] <= summary["p99"]
+        assert summary["p99"] <= summary["max"]
+        assert result.latency_percentile(95) == summary["p95"]
         assert result.latency_percentile(100) == summary["max"]
+
+    @pytest.mark.parametrize("q", [-1, -0.5, 100.1, 101, 1000])
+    def test_latency_percentile_rejects_out_of_range(self, q):
+        result = run_traffic(_design(), TrafficSpec(2))
+        with pytest.raises(TrafficError) as exc_info:
+            result.latency_percentile(q)
+        assert "outside [0, 100]" in str(exc_info.value)
 
     def test_faults_compose_with_traffic(self):
         slow = FaultScenario("slow", faults=[
@@ -150,6 +159,30 @@ class TestRunTraffic:
         assert runs[0].latencies_cycles == runs[1].latencies_cycles
         assert runs[0].fault_stats["total_events"] > 0
         assert runs[0].makespan_cycles > clean.makespan_cycles
+
+    @pytest.mark.parametrize("n", [1, 64, 130])
+    def test_schedulers_identical_under_faults(self, n):
+        """Fault injection composed with traffic must stay bit-identical
+        across event-queue implementations at any instance count."""
+        slow = FaultScenario("slow", faults=[
+            ChannelFault("delay", "filter_l_req", cycles=64),
+        ])
+        spec = TrafficSpec(n, arrivals="poisson", mean_gap_cycles=350.0,
+                           seed=13)
+        outcomes = []
+        for scheduler in ("heap", "wheel"):
+            result = run_traffic(_design("fifo"), spec,
+                                 scheduler=scheduler, faults=slow)
+            assert result.kernel_stats["scheduler"] == scheduler
+            assert result.fault_stats["total_events"] > 0
+            outcomes.append((
+                result.makespan_cycles,
+                result.end_time_ns,
+                result.latencies_cycles,
+                result.fault_stats,
+                result.bus_stats,
+            ))
+        assert outcomes[0] == outcomes[1]
 
 
 class TestExploreIntegration:
